@@ -1,0 +1,160 @@
+(* Benchmark harness: one Bechamel test per paper table/figure kernel, plus a
+   headline-reproduction pass that prints the comparative numbers the paper
+   reports.  `dune exec bench/main.exe` runs both. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------- kernels ------- *)
+
+let kernel_table1 () =
+  List.iter Device.validate Device.catalog;
+  Device.table_rows ()
+
+let kernel_table2 () =
+  List.map (fun c -> Design_rules.check c.Cell.graph) (Cell.all ())
+
+let kernel_fig3 () =
+  let cfg = Distill_module.heterogeneous ~rate_hz:1e6 () in
+  Distill_module.run cfg (Rng.create 1) ~horizon:100e-6
+
+let kernel_fig4 () =
+  let cfg = Distill_module.heterogeneous ~ts:2.5e-3 ~rate_hz:1e6 () in
+  Distill_module.run cfg (Rng.create 2) ~horizon:500e-6
+
+let fig6_exp =
+  lazy (Surface_circuit.build { (Surface_circuit.default ~distance:7) with t_data = 5e-4 })
+
+let kernel_fig6 () =
+  Surface_circuit.logical_error_rate (Lazy.force fig6_exp) (Rng.create 3) ~shots:10
+
+let fig7_exp = lazy (Surface_circuit.build (Surface_circuit.default ~distance:5))
+
+let kernel_fig7 () =
+  Surface_circuit.logical_error_rate (Lazy.force fig7_exp) (Rng.create 4) ~shots:10
+
+let kernel_fig9 () = Uec.fig9_point ~code:Codes.steane ~ts:10e-3 ~shots:100 (Rng.create 5)
+
+let kernel_table3 () = Uec.table3_row ~code:Codes.steane ~ts:50e-3 ~shots:100 (Rng.create 6)
+
+let kernel_fig12 () =
+  Teleport.fig12_point ~code_a:(Codes.surface 3) ~code_b:(Codes.surface 4) ~ts:10e-3
+    ~shots:50 (Rng.create 7)
+
+let kernel_table4 () =
+  let b =
+    Teleport.homogeneous ~code_a:Codes.steane ~code_b:(Codes.surface 3) ~shots:50
+      (Rng.create 8)
+  in
+  b.Teleport.total
+
+let kernel_repeater () =
+  Repeater.run (Repeater.default ~n_links:4 ~link_rate_hz:1e6 ()) (Rng.create 9)
+    ~horizon:200e-6
+
+let kernel_burden () =
+  List.map Burden.reduction
+    [ Burden.distillation_module (); Burden.uec_module (); Burden.ct_module () ]
+
+let tests =
+  Test.make_grouped ~name:"hetarch" ~fmt:"%s %s"
+    [ Test.make ~name:"table1-devices" (Staged.stage kernel_table1);
+      Test.make ~name:"table2-cells-drc" (Staged.stage kernel_table2);
+      Test.make ~name:"fig3-distill-trace" (Staged.stage kernel_fig3);
+      Test.make ~name:"fig4-distill-rate-point" (Staged.stage kernel_fig4);
+      Test.make ~name:"fig6-surface-d7" (Staged.stage kernel_fig6);
+      Test.make ~name:"fig7-surface-d5" (Staged.stage kernel_fig7);
+      Test.make ~name:"fig9-uec-point" (Staged.stage kernel_fig9);
+      Test.make ~name:"table3-uec-row" (Staged.stage kernel_table3);
+      Test.make ~name:"fig12-ct-point" (Staged.stage kernel_fig12);
+      Test.make ~name:"table4-ct-pair" (Staged.stage kernel_table4);
+      Test.make ~name:"ext-repeater-chain" (Staged.stage kernel_repeater);
+      Test.make ~name:"dse-burden" (Staged.stage kernel_burden) ]
+
+let run_benchmarks () =
+  print_endline "=== Bechamel micro-benchmarks (one kernel per table/figure) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000)
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some (est :: _) ->
+                Printf.printf "%-32s %12.3f us/run\n" name (est /. 1e3)
+            | _ -> Printf.printf "%-32s (no estimate)\n" name)
+          tbl)
+    results
+
+(* ------------------------------------------ headline reproduction ------ *)
+
+let shots =
+  match Sys.getenv_opt "HETARCH_SHOTS" with
+  | Some s -> (try max 100 (int_of_string s) with _ -> 1000)
+  | None -> 1000
+
+let headline () =
+  Printf.printf "\n=== Headline reproduction (shots=%d; HETARCH_SHOTS to scale) ===\n" shots;
+  (* Fig 3/4: distillation *)
+  let het =
+    Distill_module.run (Distill_module.heterogeneous ~rate_hz:3e5 ()) (Rng.create 42)
+      ~horizon:5e-3
+  in
+  let hom =
+    Distill_module.run (Distill_module.homogeneous ~rate_hz:3e5 ()) (Rng.create 42)
+      ~horizon:5e-3
+  in
+  let rh = Distill_module.delivered_rate_per_ms het in
+  let rm = Distill_module.delivered_rate_per_ms hom in
+  Printf.printf
+    "distillation @300kHz: het %.1f EP/ms vs hom %.1f EP/ms -> %.1fx (paper: >= 2x, 2.6x error reduction)\n"
+    rh rm (rh /. max rm 0.01);
+  (* Fig 6: d=13 heterogeneous surface code *)
+  let d13 t_data t_anc =
+    let exp = Surface_circuit.build { (Surface_circuit.default ~distance:13) with t_data; t_anc } in
+    let r = Surface_circuit.logical_error_rate exp (Rng.create 1) ~shots:(max 200 (shots / 2)) in
+    Surface_circuit.per_cycle_rate ~shot_rate:r ~rounds:13
+  in
+  let hom13 = d13 1e-4 1e-4 in
+  let het13 = d13 5e-4 1e-4 in
+  let anc13 = d13 1e-4 5e-4 in
+  Printf.printf
+    "surface d=13: hom %.4f/cycle; Tcd x5 -> %.4f (%.1fx better); Tca x5 -> %.4f (paper: ~2.5x from data coherence)\n"
+    hom13 het13 (hom13 /. het13) anc13;
+  (* Table 3: UEC *)
+  List.iter
+    (fun code ->
+      let h, m, red = Uec.table3_row ~code ~ts:50e-3 ~shots (Rng.create 11) in
+      Printf.printf "UEC %-6s het %.4f hom %.4f -> %.1fx (paper: RM 4.7x, 17QCC 3.5x, ST 10.7x; SC favors hom)\n"
+        code.Code.name h m red)
+    Codes.paper_codes;
+  (* Table 4: CT *)
+  let ct =
+    Teleport.table4
+      ~codes:[ Codes.reed_muller_15; Codes.steane; Codes.surface 3 ]
+      ~ts:50e-3 ~shots:(max 200 (shots / 2)) (Rng.create 12)
+  in
+  let ratios = List.map (fun (_, _, h, m) -> m /. h) ct in
+  Printf.printf "CT pairs: mean reduction %.2fx, max %.2fx (paper: mean 2.33x, max 2.96x)\n"
+    (List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios))
+    (List.fold_left max 0. ratios);
+  (* DSE burden *)
+  Printf.printf "DSE burden reduction: distillation %.1e, UEC %.1e (paper: >= 1e4)\n"
+    (Burden.reduction (Burden.distillation_module ()))
+    (Burden.reduction (Burden.uec_module ()))
+
+let () =
+  run_benchmarks ();
+  headline ()

@@ -1,0 +1,464 @@
+(* hetarch: command-line harness regenerating every table and figure of the
+   paper's evaluation.  Each subcommand prints the same rows/series the paper
+   reports; shot counts scale with --shots (or HETARCH_SHOTS). *)
+
+let default_shots =
+  match Sys.getenv_opt "HETARCH_SHOTS" with
+  | Some s -> (try max 50 (int_of_string s) with _ -> 2000)
+  | None -> 2000
+
+let g = Tableio.fmt_g
+
+(* ------------------------------------------------------------- devices *)
+
+let run_devices () =
+  print_endline "Table 1: near-term superconducting quantum devices";
+  Tableio.print ~align:Tableio.Left
+    ~header:
+      [ "Device"; "T1/T2"; "Readout"; "Gates"; "Gate error (time)"; "Conn.";
+        "Capacity"; "Control"; "Footprint"; "Notes" ]
+    (Device.table_rows ());
+  List.iter Device.validate Device.catalog;
+  print_endline "\nAll catalog entries pass physicality validation."
+
+(* --------------------------------------------------------------- cells *)
+
+let run_cells () =
+  print_endline "Table 2: quantum standard cells (design rules DR1-DR4)";
+  let rows =
+    List.map
+      (fun c ->
+        let violations = Design_rules.check c.Cell.graph in
+        [ Cell.name c;
+          string_of_int (Array.length c.Cell.graph.Design_rules.instances);
+          string_of_int (Cell.capacity c);
+          string_of_int (Cell.control_lines c);
+          Printf.sprintf "%.0f" (Cell.footprint_mm2 c);
+          (if violations = [] then "compliant" else "VIOLATIONS") ])
+      (Cell.all ())
+  in
+  Tableio.print ~align:Tableio.Left
+    ~header:[ "Cell"; "Devices"; "Capacity"; "Control lines"; "Footprint mm^2"; "DRC" ]
+    rows;
+  print_endline "\nCharacterized operations (density-matrix simulation):";
+  let reg = Cell.register () in
+  let pc = Cell.parcheck () in
+  let so = Cell.seqop () in
+  let uc = Cell.usc () in
+  let load = Characterize.register_load reg in
+  let ret = Characterize.register_retention reg ~dt:10e-6 in
+  let par = Characterize.parity_check pc in
+  let seq = Characterize.sequential_cnots so ~count:5 in
+  let stab = Characterize.stabilizer_check uc ~weight:4 ~serialized:true in
+  Tableio.print ~align:Tableio.Left
+    ~header:[ "Operation"; "Duration (us)"; "Error" ]
+    [ [ "Register load (SWAP in)"; g (load.Characterize.duration *. 1e6); g load.Characterize.error ];
+      [ "Register retention (10 us)"; g (ret.Characterize.duration *. 1e6); g ret.Characterize.error ];
+      [ "ParCheck parity check"; g (par.Characterize.duration *. 1e6); g par.Characterize.error ];
+      [ "SeqOp 5 sequential CNOTs"; g (seq.Characterize.duration *. 1e6); g seq.Characterize.error ];
+      [ "USC weight-4 stabilizer (serial)"; g (stab.Characterize.duration *. 1e6); g stab.Characterize.error ] ]
+
+(* ---------------------------------------------------------------- fig3 *)
+
+let run_fig3 seed =
+  print_endline "Fig 3: best output-register EP infidelity over time (1 MHz generation)";
+  let horizon = 100e-6 in
+  let run cfg = Distill_module.run ~trace_dt:5e-6 cfg (Rng.create seed) ~horizon in
+  let het = run (Distill_module.heterogeneous ~rate_hz:1e6 ()) in
+  let hom = run (Distill_module.homogeneous ~rate_hz:1e6 ()) in
+  let fmt r t =
+    let nearest =
+      List.fold_left
+        (fun acc s ->
+          match acc with
+          | Some best
+            when Float.abs (best.Distill_module.time -. t)
+                 <= Float.abs (s.Distill_module.time -. t) -> acc
+          | _ -> Some s)
+        None r.Distill_module.trace
+    in
+    match nearest with
+    | Some { Distill_module.best_output_infidelity = Some i; _ } -> g i
+    | _ -> "-"
+  in
+  let times = List.init 11 (fun i -> float_of_int i *. 10e-6) in
+  Tableio.print
+    ~header:[ "t (us)"; "het infidelity (Ts=12.5ms)"; "hom infidelity (Ts=0.5ms)" ]
+    (List.map (fun t -> [ g (t *. 1e6); fmt het t; fmt hom t ]) times);
+  Printf.printf "\ndelivered: het %d, hom %d (target fidelity 0.995)\n"
+    het.Distill_module.delivered hom.Distill_module.delivered
+
+(* ---------------------------------------------------------------- fig4 *)
+
+let run_fig4 seed =
+  print_endline "Fig 4: distilled-EP rate (F >= 0.995) vs generation rate and Ts";
+  let rates = [ 1e5; 2e5; 5e5; 1e6; 2e6; 5e6; 1e7 ] in
+  let configs =
+    [ ("Ts=0.5ms (hom)", fun rate -> Distill_module.homogeneous ~rate_hz:rate ());
+      ("Ts=1.0ms", fun rate -> Distill_module.heterogeneous ~ts:1e-3 ~rate_hz:rate ());
+      ("Ts=2.5ms", fun rate -> Distill_module.heterogeneous ~ts:2.5e-3 ~rate_hz:rate ());
+      ("Ts=5.0ms", fun rate -> Distill_module.heterogeneous ~ts:5e-3 ~rate_hz:rate ());
+      ("Ts=12.5ms", fun rate -> Distill_module.heterogeneous ~ts:12.5e-3 ~rate_hz:rate ()) ]
+  in
+  let rows =
+    List.map
+      (fun rate ->
+        string_of_float (rate /. 1e3)
+        :: List.map
+             (fun (_, mk) ->
+               let r = Distill_module.run (mk rate) (Rng.create seed) ~horizon:5e-3 in
+               g (Distill_module.delivered_rate_per_ms r))
+             configs)
+      rates
+  in
+  Tableio.print
+    ~header:("gen rate (kHz)" :: List.map fst configs)
+    rows
+
+(* ---------------------------------------------------------------- fig6 *)
+
+let run_fig6 shots seed =
+  print_endline
+    "Fig 6: d=13 surface-code logical error per cycle vs coherence scaling alpha";
+  let base = 1e-4 in
+  let point ~t_data ~t_anc =
+    let p = { (Surface_circuit.default ~distance:13) with t_data; t_anc } in
+    let exp = Surface_circuit.build p in
+    let rate = Surface_circuit.logical_error_rate exp (Rng.create seed) ~shots in
+    Surface_circuit.per_cycle_rate ~shot_rate:rate ~rounds:p.Surface_circuit.rounds
+  in
+  let alphas = [ 1.; 2.; 3.; 4.; 5. ] in
+  let rows =
+    List.map
+      (fun a ->
+        [ g a;
+          g (point ~t_data:(a *. base) ~t_anc:base);
+          g (point ~t_data:base ~t_anc:(a *. base)) ])
+      alphas
+  in
+  Tableio.print
+    ~header:[ "alpha"; "Tcd = a*100us (Tca=100us)"; "Tca = a*100us (Tcd=100us)" ]
+    rows;
+  print_endline "(alpha = 1 in either column is the homogeneous system)"
+
+(* ---------------------------------------------------------------- fig7 *)
+
+let run_fig7 shots seed full =
+  print_endline "Fig 7: logical error per cycle vs distance for Tcd/Tca ratios";
+  let base = 1e-4 in
+  let distances = if full then [ 5; 7; 9; 11; 13; 15 ] else [ 5; 7; 9; 11 ] in
+  let ratios = [ 1.; 2.; 3.; 5.; 8. ] in
+  let rows =
+    List.map
+      (fun d ->
+        string_of_int d
+        :: List.map
+             (fun r ->
+               let p =
+                 { (Surface_circuit.default ~distance:d) with
+                   t_data = r *. base;
+                   t_anc = base }
+               in
+               let exp = Surface_circuit.build p in
+               let rate = Surface_circuit.logical_error_rate exp (Rng.create seed) ~shots in
+               g (Surface_circuit.per_cycle_rate ~shot_rate:rate ~rounds:d))
+             ratios)
+      distances
+  in
+  Tableio.print
+    ~header:("d" :: List.map (fun r -> Printf.sprintf "Tcd/Tca=%g" r) ratios)
+    rows;
+  print_endline "(ratio 1 is the homogeneous system; growing ratios move below threshold)"
+
+(* ---------------------------------------------------------------- fig9 *)
+
+let run_fig9 shots seed =
+  print_endline "Fig 9: UEC logical error rate per round vs storage coherence Ts";
+  let ts_list = [ 0.5e-3; 1e-3; 2e-3; 5e-3; 10e-3; 20e-3; 50e-3 ] in
+  let data =
+    List.map
+      (fun code ->
+        ( code.Code.name,
+          List.map
+            (fun ts -> (ts, Uec.fig9_point ~code ~ts ~shots (Rng.create seed)))
+            ts_list ))
+      Codes.paper_codes
+  in
+  Tableio.print
+    ~header:("code" :: List.map (fun ts -> Printf.sprintf "Ts=%gms" (ts *. 1e3)) ts_list)
+    (List.map (fun (name, pts) -> name :: List.map (fun (_, v) -> g v) pts) data);
+  print_newline ();
+  print_string
+    (Plot.lines ~logy:true
+       ~series:(List.map (fun (n, pts) -> (n, List.map (fun (t, v) -> (t *. 1e3, v)) pts)) data)
+       ());
+  print_endline "(x: Ts in ms; y: log10 logical error rate per round)" 
+
+(* -------------------------------------------------------------- table3 *)
+
+let run_table3 shots seed =
+  print_endline "Table 3: pseudothreshold and UEC logical error rates (Ts = 50 ms)";
+  let rows =
+    List.map
+      (fun code ->
+        let rng = Rng.create seed in
+        let pt =
+          if code.Code.planar then "-"
+          else g (Threshold.pseudothreshold ~shots:(max 2000 (shots / 2)) code rng)
+        in
+        let het, hom, red = Uec.table3_row ~code ~ts:50e-3 ~shots rng in
+        [ code.Code.name; pt; g het; g hom; Printf.sprintf "%.1fx" red ])
+      Codes.paper_codes
+  in
+  Tableio.print ~header:[ "Code"; "PT"; "Het."; "Hom."; "Red." ] rows
+
+(* --------------------------------------------------------------- fig12 *)
+
+let run_fig12 shots seed =
+  print_endline "Fig 12: code-teleportation logical error probability vs Ts";
+  let pairs =
+    [ (Codes.surface 3, Codes.reed_muller_15);
+      (Codes.surface 3, Codes.surface 4);
+      (Codes.color_17, Codes.surface 4) ]
+  in
+  let ts_list = [ 1e-3; 5e-3; 10e-3; 25e-3; 50e-3 ] in
+  let rows =
+    List.map
+      (fun (a, b) ->
+        Printf.sprintf "%s & %s" a.Code.name b.Code.name
+        :: List.map
+             (fun ts ->
+               g (Teleport.fig12_point ~code_a:a ~code_b:b ~ts ~shots (Rng.create seed)))
+             ts_list)
+      pairs
+  in
+  Tableio.print
+    ~header:("codes" :: List.map (fun ts -> Printf.sprintf "Ts=%gms" (ts *. 1e3)) ts_list)
+    rows;
+  print_endline "(EP generation 1000 kHz, distillation target 99.5%)"
+
+(* -------------------------------------------------------------- table4 *)
+
+let run_table4 shots seed =
+  print_endline "Table 4: CT logical error probabilities, heterogeneous vs homogeneous";
+  let results =
+    Teleport.table4 ~codes:Codes.paper_codes ~ts:50e-3 ~shots (Rng.create seed)
+  in
+  Tableio.print ~align:Tableio.Left
+    ~header:[ "Code A"; "Code B"; "Het."; "Hom."; "Red." ]
+    (List.map
+       (fun (a, b, het, hom) ->
+         [ a; b; g het; g hom; Printf.sprintf "%.2fx" (hom /. het) ])
+       results);
+  let ratios = List.map (fun (_, _, het, hom) -> hom /. het) results in
+  let n = float_of_int (List.length ratios) in
+  Printf.printf "\nreduction: mean %.2fx, min %.2fx, max %.2fx\n"
+    (List.fold_left ( +. ) 0. ratios /. n)
+    (List.fold_left min infinity ratios)
+    (List.fold_left max 0. ratios)
+
+(* -------------------------------------------------------------- burden *)
+
+let run_burden () =
+  print_endline "DSE simulation-burden reduction (hierarchical vs flat density matrix)";
+  let rows =
+    List.map
+      (fun (name, cells) ->
+        [ name;
+          string_of_int (Burden.module_qubits cells);
+          Printf.sprintf "%.1e" (Burden.flat_cost cells);
+          Printf.sprintf "%.1e" (Burden.hierarchical_cost cells);
+          Printf.sprintf "%.1e" (Burden.reduction cells) ])
+      [ ("entanglement distillation", Burden.distillation_module ());
+        ("universal error correction", Burden.uec_module ());
+        ("code teleportation", Burden.ct_module ()) ]
+  in
+  Tableio.print ~align:Tableio.Left
+    ~header:[ "Module"; "Qubits"; "Flat cost"; "Hierarchical"; "Reduction" ]
+    rows;
+  print_endline "\n(The paper's claim: reduction by a factor of 10^4 or more.)"
+
+(* ----------------------------------------------------------- ablations *)
+
+let run_ablations shots seed =
+  print_endline "Ablations of DESIGN.md design choices\n";
+  (* 1. Decoder: weighted union-find vs greedy matching on d=5 circuits. *)
+  print_endline "1. Decoder choice (d=5 surface code, paper noise):";
+  let exp = Surface_circuit.build (Surface_circuit.default ~distance:5) in
+  let dem = Dem.of_circuit exp.Surface_circuit.circuit in
+  let matcher =
+    Decoder_match.of_dem
+      ~nodes:(Array.length exp.Surface_circuit.circuit.Circuit.detectors)
+      dem
+  in
+  let uf_rate =
+    Surface_circuit.logical_error_rate exp (Rng.create seed) ~shots
+  in
+  let match_rate =
+    Frame.logical_error_rate exp.Surface_circuit.circuit (Rng.create seed) ~shots
+      ~decode:(fun dets ->
+        let out = Bitvec.create 1 in
+        Bitvec.set out 0 (Decoder_match.decode matcher dets);
+        out)
+  in
+  Printf.printf "   weighted union-find: %.4f/shot   greedy matching: %.4f/shot\n\n"
+    uf_rate match_rate;
+  (* 2. USC register count: swap pipelining from the 2-register layout. *)
+  print_endline "2. USC register count (serialized round time):";
+  List.iter
+    (fun code ->
+      let t1 = Uec.round_time_with_registers code ~registers:1 in
+      let t2 = Uec.round_time_with_registers code ~registers:2 in
+      Printf.printf "   %-6s 1 register: %6.2f us   2 registers: %6.2f us (%.0f%% saved)\n"
+        code.Code.name (t1 *. 1e6) (t2 *. 1e6)
+        (100. *. (t1 -. t2) /. t1))
+    Codes.paper_codes;
+  print_newline ();
+  (* 3. Fabrication variability (paper §5: p-cells). *)
+  print_endline "3. Coherence variability on the d=5 surface code (log-normal sigma):";
+  List.iter
+    (fun sigma ->
+      let exp =
+        Surface_circuit.build_varied ~sigma (Rng.create seed)
+          { (Surface_circuit.default ~distance:5) with t_data = 3e-4; t_anc = 3e-4 }
+      in
+      let r = Surface_circuit.logical_error_rate exp (Rng.create (seed + 1)) ~shots in
+      Printf.printf "   sigma = %.1f -> %.4f/shot\n" sigma r)
+    [ 0.0; 0.3; 0.6; 1.0 ];
+  print_newline ();
+  (* 4. Noise bias (tailored codes): the Shor code's dense bit-flip checks
+     pay off exactly when X errors dominate. *)
+  print_endline "4. Noise bias eta = pz/px on the heterogeneous UEC (Ts = 50 ms):";
+  List.iter
+    (fun eta ->
+      Printf.printf "   eta = %4.1f:" eta;
+      List.iter
+        (fun code ->
+          let params = { Uec.default_params with eta } in
+          let prof = Uec.profile ~params (Uec.Het { ts = 50e-3 }) code in
+          let r = Uec.logical_error_rate ~params prof ~rounds:3 ~shots (Rng.create seed) in
+          Printf.printf "  %s %.4f" code.Code.name r)
+        [ Codes.shor; Codes.steane; Codes.surface 3 ];
+      print_newline ())
+    [ 0.1; 1.0; 10.0 ];
+  print_newline ();
+  (* 5. CAT generation: closed-form model vs circuit-level Monte Carlo. *)
+  print_endline "5. CAT generator model (n = 24, 1% CX, Tc = 0.5 ms):";
+  let mc = Cat_sim.run ~n:24 ~p2:1e-2 ~t_coh:0.5e-3 ~shots (Rng.create seed) in
+  Printf.printf
+    "   monte carlo: accept %.3f, undetected error %.4f  (closed-form e_cat uses all-error upper bound)\n"
+    mc.Cat_sim.accept_rate mc.Cat_sim.error_given_accept
+
+(* ------------------------------------------------------------ protocol *)
+
+let run_protocol () =
+  print_endline
+    "Timed six-step CT protocol (Fig 10): throughput and latency vs Ts\n";
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "%s & %s:\n" a.Code.name b.Code.name;
+      List.iter
+        (fun ts ->
+          let st = Ct_protocol.characterize ~code_a:a ~code_b:b ~ts (Rng.create 2023) in
+          let r = Ct_protocol.run st (Rng.create 2024) ~horizon:5e-3 in
+          Printf.printf
+            "  Ts=%5.1fms: %.1f CT/ms, latency mean %.1f us (EP period %.2f us)\n"
+            (ts *. 1e3)
+            (Ct_protocol.throughput_per_ms r)
+            (r.Ct_protocol.mean_latency *. 1e6)
+            (st.Ct_protocol.ep_period *. 1e6))
+        [ 2.5e-3; 12.5e-3; 50e-3 ];
+      print_newline ())
+    [ (Codes.surface 3, Codes.steane); (Codes.surface 3, Codes.reed_muller_15) ]
+
+(* ------------------------------------------------------------ schedule *)
+
+let run_schedule () =
+  print_endline "Serialized UEC round schedules (one Gantt per code):\n";
+  List.iter
+    (fun code ->
+      let prof = Uec.profile (Uec.Het { ts = 10e-3 }) code in
+      let s = Schedule.of_uec_round code ~assignment:prof.Uec.assignment in
+      Printf.printf "%s  [[%d,%d,%d]]  analytic %.2f us, scheduled %.2f us\n"
+        code.Code.name code.Code.n code.Code.k code.Code.distance
+        (prof.Uec.round_time *. 1e6) (s.Schedule.makespan *. 1e6);
+      print_string (Schedule.render s);
+      List.iter
+        (fun r ->
+          Printf.printf "  %s busy %.0f%%" r (100. *. Schedule.busy_fraction s r))
+        (Schedule.resources s);
+      print_newline ();
+      print_newline ())
+    [ Codes.steane; Codes.color_17 ];
+  print_endline
+    "The readout-dominated ancilla is the serialization bottleneck the USC\n\
+     trades for topology freedom; registers idle in storage meanwhile."
+
+(* ------------------------------------------------------------ hierarchy *)
+
+let run_hierarchy () =
+  print_endline "HetArch module hierarchies (Figs. 1, 5, 8, 11):\n";
+  List.iter
+    (fun n ->
+      Hierarchy.validate n;
+      print_string (Hierarchy.render n);
+      Printf.printf "  -> %d devices, %d qubits, %.0f mm^2, %d control lines\n\n"
+        (Hierarchy.device_count n) (Hierarchy.qubit_capacity n)
+        (Hierarchy.footprint_mm2 n) (Hierarchy.control_lines n))
+    [ Hierarchy.distillation ();
+      Hierarchy.universal_error_correction ();
+      Hierarchy.code_teleportation () ]
+
+(* ----------------------------------------------------------------- CLI *)
+
+open Cmdliner
+
+let shots_arg =
+  Arg.(value & opt int default_shots & info [ "shots" ] ~doc:"Monte-Carlo shots per point")
+
+let seed_arg = Arg.(value & opt int 2023 & info [ "seed" ] ~doc:"RNG seed")
+let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Run the full (slow) sweep")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let commands =
+  [ cmd "devices" "Table 1: device catalog" Term.(const run_devices $ const ());
+    cmd "cells" "Table 2: standard cells and characterization"
+      Term.(const run_cells $ const ());
+    cmd "fig3" "Fig 3: distillation fidelity over time" Term.(const run_fig3 $ seed_arg);
+    cmd "fig4" "Fig 4: distilled-EP rate sweep" Term.(const run_fig4 $ seed_arg);
+    cmd "fig6" "Fig 6: d=13 surface code coherence scaling"
+      Term.(const run_fig6 $ shots_arg $ seed_arg);
+    cmd "fig7" "Fig 7: distance sweep vs Tcd/Tca"
+      Term.(const run_fig7 $ shots_arg $ seed_arg $ full_arg);
+    cmd "fig9" "Fig 9: UEC vs storage coherence" Term.(const run_fig9 $ shots_arg $ seed_arg);
+    cmd "table3" "Table 3: UEC het vs hom" Term.(const run_table3 $ shots_arg $ seed_arg);
+    cmd "fig12" "Fig 12: code teleportation vs Ts"
+      Term.(const run_fig12 $ shots_arg $ seed_arg);
+    cmd "table4" "Table 4: CT for all code pairs"
+      Term.(const run_table4 $ shots_arg $ seed_arg);
+    cmd "ablations" "Design-choice ablations (decoder, registers, variability, CAT model)"
+      Term.(const run_ablations $ shots_arg $ seed_arg);
+    cmd "schedule" "Explicit timed UEC round schedules (Gantt)"
+      Term.(const run_schedule $ const ());
+    cmd "protocol" "Timed six-step CT protocol: throughput and latency"
+      Term.(const run_protocol $ const ());
+    cmd "burden" "DSE simulation-burden accounting" Term.(const run_burden $ const ());
+    cmd "hierarchy" "Module hierarchy trees" Term.(const run_hierarchy $ const ()) ]
+
+let default =
+  Term.(
+    const (fun () ->
+        print_endline "hetarch: HetArch paper reproduction harness";
+        print_endline "Experiments:";
+        List.iter
+          (fun e ->
+            Printf.printf "  %-8s %s\n" e.Hetarch.id e.Hetarch.title)
+          Hetarch.experiments;
+        print_endline "Run `hetarch <experiment>`; see --help.")
+    $ const ())
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group ~default (Cmd.info "hetarch" ~version:Hetarch.version) commands))

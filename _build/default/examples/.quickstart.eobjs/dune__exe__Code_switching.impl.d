@@ -1,0 +1,1 @@
+examples/code_switching.ml: Code Codes Hierarchy List Printf Rng Teleport

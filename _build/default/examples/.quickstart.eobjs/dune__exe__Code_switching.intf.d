@@ -1,0 +1,1 @@
+examples/code_switching.mli:

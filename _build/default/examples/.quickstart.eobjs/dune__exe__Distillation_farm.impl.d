@@ -1,0 +1,1 @@
+examples/distillation_farm.ml: Burden Cell Distill_module List Printf Rng Sweep

@@ -1,0 +1,1 @@
+examples/distillation_farm.mli:

@@ -1,0 +1,1 @@
+examples/memory_hierarchy.ml: Cache Code Codes Device List Printf Rng Sweep Uec

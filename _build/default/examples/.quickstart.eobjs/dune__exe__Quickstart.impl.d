@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cell Characterize Design_rules Device Distill_module Format Hierarchy List Printf Rng

@@ -1,0 +1,1 @@
+examples/repeater_network.ml: Hierarchy List Printf Repeater Rng

@@ -1,0 +1,1 @@
+examples/repeater_network.mli:

@@ -1,0 +1,45 @@
+(* Scenario: sizing a distillation farm for a networked quantum computer.
+
+   A remote microwave-to-optical link produces noisy EPs at a rate set by
+   the transducer.  We must sustain 20 distilled pairs per millisecond at
+   99.5% fidelity.  Question: what storage coherence does the distillation
+   module need, and when does a better resonator stop paying off?
+
+   Run with: dune exec examples/distillation_farm.exe *)
+
+let target_rate_per_ms = 20.
+
+let delivered ts rate_hz =
+  let cfg = Distill_module.heterogeneous ~ts ~rate_hz () in
+  let r = Distill_module.run cfg (Rng.create 11) ~horizon:5e-3 in
+  Distill_module.delivered_rate_per_ms r
+
+let () =
+  Printf.printf "target: %.0f distilled EP/ms at F >= 0.995\n\n" target_rate_per_ms;
+  let ts_points = Sweep.logspace ~lo:0.5e-3 ~hi:50e-3 ~n:7 in
+  let rates = [ 2e5; 5e5; 1e6 ] in
+  List.iter
+    (fun rate ->
+      Printf.printf "EP generation %.0f kHz:\n" (rate /. 1e3);
+      let results = Sweep.sweep ts_points ~f:(fun ts -> delivered ts rate) in
+      List.iter
+        (fun (ts, r) ->
+          Printf.printf "  Ts = %6.2f ms -> %6.1f EP/ms %s\n" (ts *. 1e3) r
+            (if r >= target_rate_per_ms then "MEETS TARGET" else ""))
+        results;
+      (match List.find_opt (fun (_, r) -> r >= target_rate_per_ms) results with
+      | Some (ts, _) ->
+          Printf.printf "  minimum storage coherence: Ts ~ %.2f ms\n" (ts *. 1e3)
+      | None -> print_endline "  target unreachable at this generation rate");
+      print_newline ())
+    rates;
+  (* Control overhead of the farm versus a homogeneous buffer of equal
+     capacity: one drive line per resonator vs one per transmon. *)
+  let module_cells = Burden.distillation_module () in
+  let capacity = Burden.module_qubits module_cells in
+  let het_lines =
+    List.fold_left (fun acc c -> acc + Cell.control_lines c) 0 module_cells
+  in
+  Printf.printf
+    "control overhead for %d stored qubits: heterogeneous %d lines, homogeneous %d lines\n"
+    capacity het_lines capacity

@@ -1,0 +1,1 @@
+lib/cell/cell.ml: Array Design_rules Device

@@ -1,0 +1,1 @@
+lib/cell/characterize.ml: Array Cell Channel Complex Device Dm Float Gate List Sv

@@ -1,0 +1,1 @@
+lib/cell/characterize.mli: Cell Device Rng

@@ -1,0 +1,1 @@
+lib/cell/design_rules.ml: Array Device Hashtbl List Printf String Union_find

@@ -1,0 +1,1 @@
+lib/cell/design_rules.mli: Device

@@ -1,0 +1,98 @@
+type kind = Register | ParCheck | SeqOp | USC | USC_EXT
+
+type t = {
+  kind : kind;
+  graph : Design_rules.t;
+  storage : Device.t option;
+  compute : Device.t;
+}
+
+let inst id device readout = { Design_rules.id; device; readout }
+
+let make kind graph storage compute =
+  Design_rules.assert_valid graph;
+  { kind; graph; storage; compute }
+
+let register ?(storage = Device.multimode_resonator_3d)
+    ?(compute = Device.fixed_frequency_qubit) () =
+  let graph =
+    { Design_rules.name = "Register";
+      instances = [| inst 0 storage false; inst 1 compute false |];
+      couplings = [ (0, 1) ];
+      ports = [ (1, 3) ];
+      readout_budget = 0 }
+  in
+  make Register graph (Some storage) compute
+
+let parcheck ?(compute = Device.fixed_frequency_qubit) () =
+  let graph =
+    { Design_rules.name = "ParCheck";
+      instances = [| inst 0 compute false; inst 1 compute true |];
+      couplings = [ (0, 1) ];
+      ports = [ (0, 3); (1, 3) ];
+      readout_budget = 1 }
+  in
+  make ParCheck graph None compute
+
+let seqop ?(storage = Device.multimode_resonator_3d)
+    ?(compute = Device.fixed_frequency_qubit) () =
+  (* Devices: 0,1 storage; 2,3 their compute; 4 parity compute w/ readout.
+     Triangle 2-3, 2-4, 3-4; up to two outward ports per register compute and
+     an optional one from the parity compute. *)
+  let graph =
+    { Design_rules.name = "SeqOp";
+      instances =
+        [| inst 0 storage false; inst 1 storage false; inst 2 compute false;
+           inst 3 compute false; inst 4 compute true |];
+      couplings = [ (0, 2); (1, 3); (2, 3); (2, 4); (3, 4) ];
+      ports = [ (2, 1); (3, 1); (4, 1) ];
+      readout_budget = 1 }
+  in
+  make SeqOp graph (Some storage) compute
+
+let usc ?(storage = Device.multimode_resonator_3d)
+    ?(compute = Device.fixed_frequency_qubit) () =
+  (* Three registers (storage 0,1,2 behind compute 3,4,5) around a central
+     readout ancilla 6; one outward port from each register compute and the
+     ancilla. *)
+  let graph =
+    { Design_rules.name = "USC";
+      instances =
+        [| inst 0 storage false; inst 1 storage false; inst 2 storage false;
+           inst 3 compute false; inst 4 compute false; inst 5 compute false;
+           inst 6 compute true |];
+      couplings = [ (0, 3); (1, 4); (2, 5); (3, 6); (4, 6); (5, 6) ];
+      ports = [ (3, 1); (4, 1); (5, 1); (6, 1) ];
+      readout_budget = 1 }
+  in
+  make USC graph (Some storage) compute
+
+let usc_ext ?(storage = Device.multimode_resonator_3d)
+    ?(compute = Device.fixed_frequency_qubit) () =
+  let graph =
+    { Design_rules.name = "USC-EXT";
+      instances =
+        [| inst 0 storage false; inst 1 storage false; inst 2 compute false;
+           inst 3 compute false; inst 4 compute true |];
+      couplings = [ (0, 2); (1, 3); (2, 4); (3, 4) ];
+      ports = [ (2, 1); (3, 1); (4, 2) ];
+      readout_budget = 1 }
+  in
+  make USC_EXT graph (Some storage) compute
+
+let all () = [ register (); parcheck (); seqop (); usc (); usc_ext () ]
+
+let name t = t.graph.Design_rules.name
+
+let capacity t =
+  Array.fold_left
+    (fun acc i -> acc + i.Design_rules.device.Device.capacity)
+    0 t.graph.Design_rules.instances
+
+let footprint_mm2 t = Design_rules.footprint_mm2 t.graph
+let control_lines t = Design_rules.control_lines t.graph
+
+let storage_exn t =
+  match t.storage with
+  | Some s -> s
+  | None -> invalid_arg (name t ^ " has no storage device")

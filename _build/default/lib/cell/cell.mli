@@ -1,0 +1,48 @@
+(** The quantum standard cells of Table 2.
+
+    Each constructor assembles Table-1 devices into a design-rule-compliant
+    cell graph.  Device choices default to the paper's: fixed-frequency
+    (transmon-like) compute devices and 10-mode multimode resonators for
+    storage — but any device can be substituted (the point of the cell layer)
+    and the design rules are re-checked at construction. *)
+
+type kind = Register | ParCheck | SeqOp | USC | USC_EXT
+
+type t = {
+  kind : kind;
+  graph : Design_rules.t;
+  storage : Device.t option;  (** the storage device used, if any *)
+  compute : Device.t;
+}
+
+val register : ?storage:Device.t -> ?compute:Device.t -> unit -> t
+(** One storage device behind one compute device; up to 3 outward ports from
+    the compute (Table 2, Register). *)
+
+val parcheck : ?compute:Device.t -> unit -> t
+(** Two coupled compute devices, one with readout; 3 outward ports each
+    (Table 2, ParCheck). *)
+
+val seqop : ?storage:Device.t -> ?compute:Device.t -> unit -> t
+(** Two Register subcells whose compute devices form a triangle with a
+    readout compute for parity checks (Table 2, SeqOp). *)
+
+val usc : ?storage:Device.t -> ?compute:Device.t -> unit -> t
+(** Three Register subcells around a central readout ancilla compute
+    (Table 2, USC). *)
+
+val usc_ext : ?storage:Device.t -> ?compute:Device.t -> unit -> t
+(** Two-Register extension cell chained to a USC (§4.2.2, USC-EXT). *)
+
+val all : unit -> t list
+(** One of each cell with default devices (Table 2 reproduction). *)
+
+val name : t -> string
+val capacity : t -> int
+(** Total qubit capacity (storage modes + compute qubits). *)
+
+val footprint_mm2 : t -> float
+val control_lines : t -> int
+
+val storage_exn : t -> Device.t
+(** The storage device; raises for cells without storage. *)

@@ -1,0 +1,203 @@
+type perf = { duration : float; error : float }
+
+let fidelity p = 1. -. p.error
+
+type gate_times = { t1q : float; t2q : float; t_readout : float }
+
+let paper_times = { t1q = 40e-9; t2q = 100e-9; t_readout = 1e-6 }
+
+let clamp01 x = max 0. (min 1. x)
+
+(* Entanglement (process) fidelity of a single-qubit process: prepare a Bell
+   pair with a noiseless reference, push one half through the process, and
+   compare against the ideal Bell state. *)
+let choi_fidelity_1q apply =
+  let dm = Dm.bell_pair () in
+  (* qubit 0 = reference (untouched), qubit 1 = system *)
+  apply dm 1;
+  clamp01 (Dm.fidelity_bell dm)
+
+let register_load ?(times = paper_times) cell =
+  ignore times;
+  let storage = Cell.storage_exn cell in
+  let compute = cell.Cell.compute in
+  let swap_time = storage.Device.gate_time in
+  let swap_error = storage.Device.gate_error in
+  let f =
+    choi_fidelity_1q (fun dm q ->
+        (* decoherence of the travelling qubit during the SWAP (limited by
+           the compute device it is leaving) plus the SWAP's own error *)
+        Dm.idle dm ~t1:compute.Device.t1 ~t2:compute.Device.t2 ~dt:swap_time [ q ];
+        Dm.apply_channel dm (Channel.depolarizing1 swap_error) [ q ])
+  in
+  { duration = swap_time; error = clamp01 (1. -. f) }
+
+let register_retention cell ~dt =
+  let storage = Cell.storage_exn cell in
+  let f =
+    choi_fidelity_1q (fun dm q ->
+        Dm.idle dm ~t1:storage.Device.t1 ~t2:storage.Device.t2 ~dt [ q ])
+  in
+  { duration = dt; error = clamp01 (1. -. f) }
+
+let compute_idle device ~dt =
+  let f =
+    choi_fidelity_1q (fun dm q ->
+        Dm.idle dm ~t1:device.Device.t1 ~t2:device.Device.t2 ~dt [ q ])
+  in
+  { duration = dt; error = clamp01 (1. -. f) }
+
+(* ParCheck: data qubits 0 and 1, readout device 2.  The ancilla accumulates
+   the parity through two CXs and is measured.  Error = 1 - average over the
+   four computational inputs of P(correct parity and data intact). *)
+let parity_check ?(times = paper_times) cell =
+  let compute = cell.Cell.compute in
+  let p2 = compute.Device.gate_error in
+  let duration = (2. *. times.t2q) +. times.t_readout in
+  let avg_ok = ref 0. in
+  for input = 0 to 3 do
+    let dm = Dm.create 3 in
+    if input land 2 <> 0 then Dm.apply_unitary dm Gate.x [ 0 ];
+    if input land 1 <> 0 then Dm.apply_unitary dm Gate.x [ 1 ];
+    let idle_step dt qs =
+      List.iter
+        (fun q -> Dm.idle dm ~t1:compute.Device.t1 ~t2:compute.Device.t2 ~dt [ q ])
+        qs
+    in
+    Dm.apply_unitary dm Gate.cx [ 0; 2 ];
+    Dm.apply_channel dm (Channel.depolarizing2 p2) [ 0; 2 ];
+    idle_step times.t2q [ 0; 1; 2 ];
+    Dm.apply_unitary dm Gate.cx [ 1; 2 ];
+    Dm.apply_channel dm (Channel.depolarizing2 p2) [ 1; 2 ];
+    idle_step times.t2q [ 0; 1; 2 ];
+    (* data idles through the readout *)
+    idle_step times.t_readout [ 0; 1 ];
+    let parity = (input lxor (input lsr 1)) land 1 in
+    (* probability that the full register reads (input, parity) *)
+    let want = (input lsl 1) lor parity in
+    let amps = Array.make 8 Complex.zero in
+    amps.(want) <- Complex.one;
+    avg_ok := !avg_ok +. Dm.fidelity_pure dm amps
+  done;
+  { duration; error = clamp01 (1. -. (!avg_ok /. 4.)) }
+
+(* SeqOp: two stored qubits are loaded into their register computes, undergo
+   [count] CX gates, and are stored back.  Process fidelity on a two-qubit
+   Choi state: qubits 0,1 reference; 2,3 system. *)
+let sequential_cnots ?(times = paper_times) cell ~count =
+  if count < 1 then invalid_arg "Characterize.sequential_cnots: count >= 1";
+  let storage = Cell.storage_exn cell in
+  let compute = cell.Cell.compute in
+  let p2 = compute.Device.gate_error in
+  let swap_err = storage.Device.gate_error and swap_t = storage.Device.gate_time in
+  let dm = Dm.create 4 in
+  (* Build two reference Bell pairs (0,2) and (1,3). *)
+  Dm.apply_unitary dm Gate.h [ 0 ];
+  Dm.apply_unitary dm Gate.cx [ 0; 2 ];
+  Dm.apply_unitary dm Gate.h [ 1 ];
+  Dm.apply_unitary dm Gate.cx [ 1; 3 ];
+  let idle_sys dt =
+    List.iter
+      (fun q -> Dm.idle dm ~t1:compute.Device.t1 ~t2:compute.Device.t2 ~dt [ q ])
+      [ 2; 3 ]
+  in
+  (* load from storage *)
+  List.iter (fun q -> Dm.apply_channel dm (Channel.depolarizing1 swap_err) [ q ]) [ 2; 3 ];
+  idle_sys swap_t;
+  for _ = 1 to count do
+    Dm.apply_unitary dm Gate.cx [ 2; 3 ];
+    Dm.apply_channel dm (Channel.depolarizing2 p2) [ 2; 3 ];
+    idle_sys times.t2q
+  done;
+  (* store back *)
+  List.iter (fun q -> Dm.apply_channel dm (Channel.depolarizing1 swap_err) [ q ]) [ 2; 3 ];
+  idle_sys swap_t;
+  (* undo the ideal CNOTs so the target is the identity channel *)
+  if count mod 2 = 1 then Dm.apply_unitary dm Gate.cx [ 2; 3 ];
+  (* fidelity against the two ideal Bell pairs *)
+  let b = 1. /. sqrt 2. in
+  let amps = Array.make 16 Complex.zero in
+  (* |phi+>_{02} |phi+>_{13}: basis q0 q1 q2 q3 *)
+  List.iter
+    (fun (q0, q1) ->
+      let idx = (q0 lsl 3) lor (q1 lsl 2) lor (q0 lsl 1) lor q1 in
+      amps.(idx) <- { Complex.re = b *. b; im = 0. })
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+  let f = clamp01 (Dm.fidelity_pure dm amps) in
+  { duration = (2. *. swap_t) +. (float_of_int count *. times.t2q);
+    error = clamp01 (1. -. f) }
+
+let stabilizer_check ?(times = paper_times) cell ~weight ~serialized =
+  if weight < 1 then invalid_arg "Characterize.stabilizer_check: weight >= 1";
+  let storage = Cell.storage_exn cell in
+  let compute = cell.Cell.compute in
+  let load = register_load ~times cell in
+  let w = float_of_int weight in
+  (* Each data qubit: swap out, CX with ancilla, swap back.  Serialized
+     execution strings these end to end; parallel execution overlaps the
+     swaps across registers (bounded by the per-register port). *)
+  let per_qubit_time = (2. *. load.duration) +. times.t2q in
+  let gate_path_time =
+    if serialized then w *. per_qubit_time else per_qubit_time +. ((w -. 1.) *. times.t2q)
+  in
+  let duration = gate_path_time +. times.t_readout in
+  (* Error composition: each touched qubit suffers two SWAPs and one CX; the
+     ancilla suffers w CXs; every stored spectator waits out the full
+     duration in storage. *)
+  let cx_err = compute.Device.gate_error in
+  let swap_err = load.error in
+  let ancilla_idle = compute_idle compute ~dt:gate_path_time in
+  let touched_err = 1. -. (((1. -. swap_err) ** 2.) *. (1. -. cx_err)) in
+  let combine acc e = acc +. e -. (acc *. e) in
+  let spectator = register_retention cell ~dt:duration in
+  ignore storage;
+  let error =
+    List.fold_left combine 0.
+      [ 1. -. ((1. -. touched_err) ** w); ancilla_idle.error; spectator.error ]
+  in
+  { duration; error = clamp01 error }
+
+let retention_with_spectators cell ~modes ~dt ~trajectories rng =
+  if modes < 1 then invalid_arg "Characterize.retention_with_spectators: modes >= 1";
+  let storage = Cell.storage_exn cell in
+  if modes > storage.Device.capacity then
+    invalid_arg "Characterize.retention_with_spectators: more modes than capacity";
+  let n = modes + 1 in
+  (* qubit 0 = noiseless reference, qubit 1 = tracked system, 2.. = spectator
+     modes in non-trivial states *)
+  let target = Sv.create n in
+  Sv.apply_unitary target Gate.h [ 0 ];
+  Sv.apply_unitary target Gate.cx [ 0; 1 ];
+  for q = 2 to n - 1 do
+    Sv.apply_unitary target (Gate.ry (0.3 +. (0.4 *. float_of_int q))) [ q ]
+  done;
+  let f =
+    Sv.average_fidelity
+      ~prepare:(fun () -> Sv.copy target)
+      ~evolve:(fun psi rng ->
+        for q = 1 to n - 1 do
+          Sv.idle_trajectory psi ~t1:storage.Device.t1 ~t2:storage.Device.t2 ~dt q rng
+        done)
+      ~target ~trajectories rng
+  in
+  (* The target includes the spectators, whose own decay reduces global
+     fidelity; project out their contribution by dividing by their survival,
+     measured the same way on a spectator-only experiment. *)
+  let spectator_target = Sv.create n in
+  for q = 2 to n - 1 do
+    Sv.apply_unitary spectator_target (Gate.ry (0.3 +. (0.4 *. float_of_int q))) [ q ]
+  done;
+  let f_spec =
+    Sv.average_fidelity
+      ~prepare:(fun () -> Sv.copy spectator_target)
+      ~evolve:(fun psi rng ->
+        for q = 2 to n - 1 do
+          Sv.idle_trajectory psi ~t1:storage.Device.t1 ~t2:storage.Device.t2 ~dt q rng
+        done)
+      ~target:spectator_target ~trajectories rng
+  in
+  let f_sys = if f_spec > 1e-9 then Float.min 1. (f /. f_spec) else 0. in
+  { duration = dt; error = clamp01 (1. -. f_sys) }
+
+let simulation_dimension cell =
+  1 lsl Cell.capacity cell

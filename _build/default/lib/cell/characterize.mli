@@ -1,0 +1,69 @@
+(** Standard-cell characterization by device-level density-matrix simulation
+    (paper §3.2: "performance of a given standard cell is characterized
+    through density matrix simulations at the device level ... then used to
+    model each standard cell as a quantum channel").
+
+    Each operation returns a {!perf} record — a channel abstraction of the
+    cell (duration plus error probability) that module-level simulators
+    consume without ever re-simulating the devices.  The number of density-
+    matrix simulations this saves is what the DSE layer accounts for. *)
+
+type perf = {
+  duration : float;  (** seconds *)
+  error : float;  (** process infidelity of the operation, in [0,1] *)
+}
+
+val fidelity : perf -> float
+(** 1 - error. *)
+
+type gate_times = {
+  t1q : float;  (** single-qubit gate time (paper: 40 ns) *)
+  t2q : float;  (** two-qubit gate and SWAP time between computes (100 ns) *)
+  t_readout : float;  (** readout time (1 us) *)
+}
+
+val paper_times : gate_times
+
+val register_load : ?times:gate_times -> Cell.t -> perf
+(** Moving one qubit from the Register's compute device into storage: the
+    storage SWAP gate's own error and duration, plus decoherence during it.
+    Simulated exactly on a Choi (reference-entangled) state. *)
+
+val register_retention : Cell.t -> dt:float -> perf
+(** Error accumulated by a qubit idling in the storage device for [dt]. *)
+
+val compute_idle : Device.t -> dt:float -> perf
+(** Idling on a compute device. *)
+
+val parity_check : ?times:gate_times -> Cell.t -> perf
+(** ParCheck operation on two data qubits already in the cell: two CX into
+    the readout device plus measurement; error is the probability the parity
+    outcome is wrong or a data qubit is corrupted, averaged over the
+    computational basis, from a 3-qubit density-matrix simulation. *)
+
+val sequential_cnots : ?times:gate_times -> Cell.t -> count:int -> perf
+(** SeqOp operation: [count] back-to-back CX gates between the two register
+    compute devices (CAT-state growth), including load/unload from storage.
+    Simulated on a 4-qubit Choi state (two system + two reference qubits). *)
+
+val stabilizer_check :
+  ?times:gate_times -> Cell.t -> weight:int -> serialized:bool -> perf
+(** USC operation: one weight-[weight] stabilizer measurement with data
+    qubits living in the registers.  With [serialized] = true each data qubit
+    is swapped out of storage, gated with the ancilla, and swapped back, one
+    after another (the UEC trade-off of §4.2.2); otherwise only the gates are
+    serialized.  Composed from simulated primitives. *)
+
+val retention_with_spectators :
+  Cell.t -> modes:int -> dt:float -> trajectories:int -> Rng.t -> perf
+(** Retention of one stored qubit while [modes - 1] other occupied modes of
+    the same resonator idle alongside it, simulated on the full
+    [modes + 1]-qubit statevector with Monte-Carlo noise trajectories.
+    Validates the factorization assumption behind {!simulation_dimension}
+    and the DSE burden accounting: the result must match
+    {!register_retention} regardless of [modes] (asserted in the test
+    suite). *)
+
+val simulation_dimension : Cell.t -> int
+(** Hilbert-space dimension a naive device-level simulation of the full cell
+    would need — the denominator of the DSE burden-reduction accounting. *)

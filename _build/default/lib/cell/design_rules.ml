@@ -1,0 +1,122 @@
+type instance = { id : int; device : Device.t; readout : bool }
+
+type t = {
+  name : string;
+  instances : instance array;
+  couplings : (int * int) list;
+  ports : (int * int) list;
+  readout_budget : int;
+}
+
+type violation = { rule : int; message : string }
+
+let find t id =
+  match Array.find_opt (fun i -> i.id = id) t.instances with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "%s: unknown device id %d" t.name id)
+
+let internal_degree t id =
+  List.fold_left
+    (fun acc (a, b) -> if a = id || b = id then acc + 1 else acc)
+    0 t.couplings
+
+let port_count t id =
+  List.fold_left (fun acc (d, n) -> if d = id then acc + n else acc) 0 t.ports
+
+let degree t id = internal_degree t id + port_count t id
+
+let check t =
+  let violations = ref [] in
+  let add rule fmt = Printf.ksprintf (fun message -> violations := { rule; message } :: !violations) fmt in
+  (* structural sanity shared by the rules *)
+  List.iter
+    (fun (a, b) ->
+      if a = b then add 3 "coupling from device %d to itself" a;
+      ignore (find t a);
+      ignore (find t b))
+    t.couplings;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let key = (min a b, max a b) in
+      if Hashtbl.mem seen key then add 3 "duplicate coupling %d-%d" a b
+      else Hashtbl.add seen key ())
+    t.couplings;
+  (* DR1: compute fan-out *)
+  Array.iter
+    (fun inst ->
+      if inst.device.Device.role = Device.Compute then begin
+        let d = degree t inst.id in
+        if d > 4 then
+          add 1 "compute device %d has degree %d > 4" inst.id d
+      end)
+    t.instances;
+  (* DR2: storage isolation *)
+  Array.iter
+    (fun inst ->
+      if inst.device.Device.role = Device.Storage then begin
+        let d = internal_degree t inst.id + port_count t inst.id in
+        if d <> 1 then add 2 "storage device %d has %d couplings (needs exactly 1)" inst.id d;
+        List.iter
+          (fun (a, b) ->
+            if a = inst.id || b = inst.id then begin
+              let other = if a = inst.id then b else a in
+              if (find t other).device.Device.role <> Device.Compute then
+                add 2 "storage device %d couples to non-compute device %d" inst.id other
+            end)
+          t.couplings;
+        if port_count t inst.id > 0 then
+          add 2 "storage device %d exposes outward ports" inst.id
+      end)
+    t.instances;
+  (* DR3: connectivity reflects use — connected graph, no isolated devices *)
+  if Array.length t.instances > 1 then begin
+    let ids = Array.map (fun i -> i.id) t.instances in
+    let idx id =
+      let r = ref (-1) in
+      Array.iteri (fun i x -> if x = id then r := i) ids;
+      !r
+    in
+    let uf = Union_find.create (Array.length ids) in
+    List.iter (fun (a, b) -> ignore (Union_find.union uf (idx a) (idx b))) t.couplings;
+    if Union_find.count_sets uf > 1 then add 3 "cell graph is disconnected";
+    Array.iter
+      (fun inst ->
+        if internal_degree t inst.id = 0 && port_count t inst.id = 0 then
+          add 3 "device %d is isolated" inst.id)
+      t.instances
+  end;
+  (* DR4: minimal readout *)
+  let readouts =
+    Array.fold_left (fun acc i -> if i.readout then acc + 1 else acc) 0 t.instances
+  in
+  if readouts > t.readout_budget then
+    add 4 "%d readout devices exceed budget %d" readouts t.readout_budget;
+  Array.iter
+    (fun inst ->
+      if inst.readout && inst.device.Device.role = Device.Storage then
+        add 4 "storage device %d has readout" inst.id)
+    t.instances;
+  List.rev !violations
+
+let assert_valid t =
+  match check t with
+  | [] -> ()
+  | vs ->
+      let msg =
+        String.concat "; "
+          (List.map (fun v -> Printf.sprintf "DR%d: %s" v.rule v.message) vs)
+      in
+      invalid_arg (Printf.sprintf "%s violates design rules: %s" t.name msg)
+
+let footprint_mm2 t =
+  Array.fold_left (fun acc i -> acc +. i.device.Device.footprint_mm2) 0. t.instances
+
+let control_lines t =
+  Array.fold_left
+    (fun acc i ->
+      acc + i.device.Device.control_lines + (if i.readout then 1 else 0)
+      (* storage devices are driven through their compute port: one shared
+         drive line per storage instance *)
+      + match i.device.Device.role with Device.Storage -> 1 | Device.Compute -> 0)
+    0 t.instances

@@ -1,0 +1,47 @@
+(** Design rules for planar superconducting standard cells (paper §3.2).
+
+    A cell is an abstract device graph: instances of Table-1 devices, the
+    couplings between them, declared outward-facing ports, and readout
+    capabilities.  The four empirically-motivated rules:
+
+    DR1: compute devices couple to at most 4 other devices (ports included).
+    DR2: storage devices couple to exactly one device, which must be compute.
+    DR3: connectivity reflects intended use — no isolated devices, no
+         coupling declared twice, and the graph is connected.
+    DR4: readout-capable compute devices are minimal: exactly the declared
+         number, and readout is never put on a storage device. *)
+
+type instance = {
+  id : int;
+  device : Device.t;
+  readout : bool;  (** coupled to a readout resonator *)
+}
+
+type t = {
+  name : string;
+  instances : instance array;
+  couplings : (int * int) list;  (** undirected device-id pairs *)
+  ports : (int * int) list;  (** (device id, number of outward connections) *)
+  readout_budget : int;  (** how many readout devices this cell's operations need *)
+}
+
+type violation = {
+  rule : int;  (** 1..4 *)
+  message : string;
+}
+
+val check : t -> violation list
+(** Empty list = compliant. *)
+
+val degree : t -> int -> int
+(** Internal couplings plus reserved outward ports of a device. *)
+
+val assert_valid : t -> unit
+(** Raise [Invalid_argument] listing violations, if any. *)
+
+val footprint_mm2 : t -> float
+(** Sum of device footprints (the cell inherits area from its devices). *)
+
+val control_lines : t -> int
+(** Total control overhead inherited from the devices plus one readout line
+    per readout-flagged instance. *)

@@ -1,0 +1,39 @@
+type t = {
+  queue : (t -> unit) Heap.t;
+  mutable clock : float;
+  mutable processed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.; processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time handler =
+  if time < t.clock -. 1e-15 then invalid_arg "Des.schedule_at: time in the past";
+  Heap.push t.queue time handler
+
+let schedule t ~delay handler =
+  if delay < 0. then invalid_arg "Des.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) handler
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, handler) ->
+      t.clock <- max t.clock time;
+      t.processed <- t.processed + 1;
+      handler t;
+      true
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some (time, _) when time <= horizon -> ignore (step t)
+    | _ -> continue := false
+  done;
+  t.clock <- max t.clock horizon
+
+let run t = while step t do () done
+let pending t = Heap.size t.queue
+let events_processed t = t.processed

@@ -1,0 +1,141 @@
+type role = Compute | Storage
+type gate_set = Arbitrary | Swap_only
+
+type t = {
+  name : string;
+  role : role;
+  t1 : float;
+  t2 : float;
+  readout_time : float option;
+  gate_set : gate_set;
+  gate_error : float;
+  gate_time : float;
+  connectivity : int;
+  capacity : int;
+  control_lines : int;
+  footprint_mm2 : float;
+  notes : string;
+}
+
+let fixed_frequency_qubit =
+  { name = "fixed-frequency qubit";
+    role = Compute;
+    t1 = 300e-6;
+    t2 = 550e-6;
+    readout_time = Some 1e-6;
+    gate_set = Arbitrary;
+    gate_error = 1e-3;
+    gate_time = 100e-9;
+    connectivity = 4;
+    capacity = 1;
+    control_lines = 1;  (* charge drive; readout line added per cell flag *)
+    footprint_mm2 = 4.;
+    notes = "e.g. transmon" }
+
+let flux_tunable_qubit =
+  { name = "flux-tunable qubit";
+    role = Compute;
+    t1 = 800e-6;
+    t2 = 200e-6;
+    readout_time = Some 1e-6;
+    gate_set = Arbitrary;
+    gate_error = 1e-3;
+    gate_time = 100e-9;
+    connectivity = 4;
+    capacity = 1;
+    control_lines = 2;  (* charge + flux; readout line added per cell flag *)
+    footprint_mm2 = 4.;
+    notes = "e.g. fluxonium" }
+
+let memory_3d =
+  { name = "3D quantum memory";
+    role = Storage;
+    t1 = 25e-3;
+    t2 = 30e-3;
+    readout_time = None;
+    gate_set = Swap_only;
+    gate_error = 1e-2;
+    gate_time = 1e-6;
+    connectivity = 1;
+    capacity = 1;
+    control_lines = 0;
+    footprint_mm2 = 50. *. 0.5;
+    notes = "requires 2D/3D integration" }
+
+let multimode_resonator_3d =
+  { name = "3D multimode resonator";
+    role = Storage;
+    t1 = 2e-3;
+    t2 = 2.5e-3;
+    readout_time = None;
+    gate_set = Swap_only;
+    gate_error = 1e-2;
+    gate_time = 400e-9;
+    connectivity = 1;
+    capacity = 10;
+    control_lines = 0;
+    footprint_mm2 = 100. *. 100.;
+    notes = "10 modes; requires 2D/3D integration" }
+
+let on_chip_resonator =
+  { name = "on-chip multimode resonator";
+    role = Storage;
+    t1 = 1e-3;
+    t2 = 1e-3;
+    readout_time = None;
+    gate_set = Swap_only;
+    gate_error = 1e-2;
+    gate_time = 100e-9;
+    connectivity = 1;
+    capacity = 10;
+    control_lines = 0;
+    footprint_mm2 = 25.;
+    notes = "projected; no demonstration yet" }
+
+let catalog =
+  [ fixed_frequency_qubit; flux_tunable_qubit; memory_3d; multimode_resonator_3d;
+    on_chip_resonator ]
+
+let compute_devices = List.filter (fun d -> d.role = Compute) catalog
+let storage_devices = List.filter (fun d -> d.role = Storage) catalog
+
+let with_coherence d ~t1 ~t2 = { d with t1; t2 }
+
+let idle_error d ~dt =
+  1. -. (exp (-.dt /. d.t1) *. exp (-.dt /. d.t2))
+
+let validate d =
+  if d.t1 <= 0. || d.t2 <= 0. then invalid_arg "Device.validate: non-positive coherence";
+  if d.t2 > 2. *. d.t1 +. 1e-12 then invalid_arg "Device.validate: T2 > 2*T1";
+  if d.gate_error < 0. || d.gate_error > 1. then invalid_arg "Device.validate: gate error";
+  if d.gate_time <= 0. then invalid_arg "Device.validate: gate time";
+  if d.connectivity < 1 then invalid_arg "Device.validate: connectivity";
+  if d.capacity < 1 then invalid_arg "Device.validate: capacity";
+  (match d.readout_time with
+  | Some t when t <= 0. -> invalid_arg "Device.validate: readout time"
+  | _ -> ());
+  if d.footprint_mm2 <= 0. then invalid_arg "Device.validate: footprint"
+
+let pp fmt d =
+  Format.fprintf fmt "%s (%s): T1=%.3gms T2=%.3gms gate %.0fns@%.0e conn=%d cap=%d"
+    d.name
+    (match d.role with Compute -> "compute" | Storage -> "storage")
+    (d.t1 *. 1e3) (d.t2 *. 1e3) (d.gate_time *. 1e9) d.gate_error d.connectivity
+    d.capacity
+
+let table_rows () =
+  List.map
+    (fun d ->
+      [ d.name;
+        Printf.sprintf "%g/%g ms" (d.t1 *. 1e3) (d.t2 *. 1e3);
+        (match d.readout_time with
+        | Some t -> Printf.sprintf "%g us" (t *. 1e6)
+        | None -> "N/A");
+        (match d.gate_set with Arbitrary -> "Arb. 1Q/2Q" | Swap_only -> "SWAP");
+        Printf.sprintf "%.0e (%gns)" d.gate_error (d.gate_time *. 1e9);
+        string_of_int d.connectivity;
+        string_of_int d.capacity;
+        string_of_int d.control_lines;
+        Printf.sprintf "%g mm^2" d.footprint_mm2;
+        d.notes ])
+    catalog

@@ -1,0 +1,67 @@
+(** Superconducting device catalog (paper Table 1).
+
+    Devices are the atomic layer of the HetArch hierarchy: each offers
+    storage and/or gate operations characterized by coherence times, gate
+    speed and fidelity, connectivity, control overhead, and footprint.
+    Standard cells are assembled from these records and inherit their costs. *)
+
+type role = Compute | Storage
+(** The paper's central grouping: compute devices have fast high-fidelity
+    gates and high connectivity; storage devices have long coherence and
+    multi-qubit capacity behind a single port. *)
+
+type gate_set = Arbitrary | Swap_only
+
+type t = {
+  name : string;
+  role : role;
+  t1 : float;  (** amplitude-damping time, seconds *)
+  t2 : float;  (** phase coherence time, seconds *)
+  readout_time : float option;  (** None: no direct readout (resonators) *)
+  gate_set : gate_set;
+  gate_error : float;  (** typical error of the native gate *)
+  gate_time : float;  (** duration of the native (1Q/2Q or SWAP) gate *)
+  connectivity : int;  (** maximum couplings (DR1/DR2 inputs) *)
+  capacity : int;  (** qubits stored (modes); 1 for planar qubits *)
+  control_lines : int;  (** control overhead: drive/flux/readout lines *)
+  footprint_mm2 : float;  (** planar footprint in mm^2 *)
+  notes : string;
+}
+
+val fixed_frequency_qubit : t
+(** Transmon-like: 300 us / 550 us, 1 us readout, 1e-3 gates @ 100 ns,
+    connectivity 4. *)
+
+val flux_tunable_qubit : t
+(** Fluxonium-like: 800 us / 200 us, extra flux line. *)
+
+val memory_3d : t
+(** 3D quantum memory: 25 ms / 30 ms, SWAP-only access. *)
+
+val multimode_resonator_3d : t
+(** 10-mode 3D resonator: 2 ms / 2.5 ms, 400 ns SWAP at 1e-2. *)
+
+val on_chip_resonator : t
+(** Projected on-chip multimode resonator: 1 ms / 1 ms, 100 ns SWAP. *)
+
+val catalog : t list
+(** The five rows of Table 1, in order. *)
+
+val compute_devices : t list
+val storage_devices : t list
+
+val with_coherence : t -> t1:float -> t2:float -> t
+(** Derived device with modified coherence (used by the DSE sweeps, which
+    vary Ts and Tc around the catalog values). *)
+
+val idle_error : t -> dt:float -> float
+(** Probability that a stored qubit decoheres (either amplitude or phase
+    channel fires) while idling for [dt]: 1 - exp(-dt/T1) * exp(-dt/T2). *)
+
+val validate : t -> unit
+(** Physicality checks (T2 <= 2 T1, non-negative fields). *)
+
+val pp : Format.formatter -> t -> unit
+
+val table_rows : unit -> string list list
+(** Rows for the Table-1 reproduction harness. *)

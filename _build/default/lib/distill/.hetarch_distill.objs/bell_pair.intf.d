@@ -1,0 +1,1 @@
+lib/distill/bell_pair.mli:

@@ -1,0 +1,1 @@
+lib/distill/distill_module.ml: Array Bell_pair Des Ep_source List Rng

@@ -1,0 +1,1 @@
+lib/distill/distill_module.mli: Ep_source Rng

@@ -1,0 +1,1 @@
+lib/distill/ep_source.ml: Bell_pair Rng

@@ -1,0 +1,1 @@
+lib/distill/ep_source.mli: Bell_pair Rng

@@ -1,0 +1,118 @@
+type t = { phi_p : float; psi_p : float; psi_m : float; phi_m : float }
+
+let werner f =
+  if f < 0. || f > 1. then invalid_arg "Bell_pair.werner";
+  let rest = (1. -. f) /. 3. in
+  { phi_p = f; psi_p = rest; psi_m = rest; phi_m = rest }
+
+let perfect = { phi_p = 1.; psi_p = 0.; psi_m = 0.; phi_m = 0. }
+
+let fidelity t = t.phi_p
+let infidelity t = 1. -. t.phi_p
+
+let total t = t.phi_p +. t.psi_p +. t.psi_m +. t.phi_m
+
+let validate t =
+  if t.phi_p < -1e-9 || t.psi_p < -1e-9 || t.psi_m < -1e-9 || t.phi_m < -1e-9 then
+    invalid_arg "Bell_pair.validate: negative weight";
+  if Float.abs (total t -. 1.) > 1e-6 then
+    invalid_arg "Bell_pair.validate: weights do not sum to 1"
+
+let normalize t =
+  let s = total t in
+  if s <= 0. then invalid_arg "Bell_pair.normalize: zero state";
+  { phi_p = t.phi_p /. s; psi_p = t.psi_p /. s; psi_m = t.psi_m /. s; phi_m = t.phi_m /. s }
+
+(* A single-qubit Pauli on either half permutes the Bell basis:
+   X: phi+ <-> psi+, phi- <-> psi-;  Z: phi+ <-> phi-, psi+ <-> psi-;
+   Y: phi+ <-> psi-, psi+ <-> phi-. *)
+let apply_pauli_half t ~px ~py ~pz =
+  let pi = 1. -. px -. py -. pz in
+  if pi < -1e-12 then invalid_arg "Bell_pair.apply_pauli_half: probabilities exceed 1";
+  { phi_p = (pi *. t.phi_p) +. (px *. t.psi_p) +. (py *. t.psi_m) +. (pz *. t.phi_m);
+    psi_p = (pi *. t.psi_p) +. (px *. t.phi_p) +. (py *. t.phi_m) +. (pz *. t.psi_m);
+    psi_m = (pi *. t.psi_m) +. (px *. t.phi_m) +. (py *. t.phi_p) +. (pz *. t.psi_p);
+    phi_m = (pi *. t.phi_m) +. (px *. t.psi_m) +. (py *. t.psi_p) +. (pz *. t.phi_p) }
+
+let twirl_probs ~t1 ~t2 ~dt =
+  let p1 = (1. -. exp (-.dt /. t1)) /. 4. in
+  let pz = max 0. (((1. -. exp (-.dt /. t2)) /. 2.) -. p1) in
+  (p1, p1, pz)
+
+let decay t ~t1 ~t2 ~dt =
+  if dt <= 0. then t
+  else begin
+    let px, py, pz = twirl_probs ~t1 ~t2 ~dt in
+    let once = apply_pauli_half t ~px ~py ~pz in
+    apply_pauli_half once ~px ~py ~pz
+  end
+
+let decay_one_sided t ~t1 ~t2 ~dt =
+  if dt <= 0. then t
+  else begin
+    let px, py, pz = twirl_probs ~t1 ~t2 ~dt in
+    apply_pauli_half t ~px ~py ~pz
+  end
+
+let depolarize t ~p =
+  let comp = p /. 3. in
+  let once = apply_pauli_half t ~px:comp ~py:comp ~pz:comp in
+  apply_pauli_half once ~px:comp ~py:comp ~pz:comp
+
+(* (bit, phase) coordinates: phi+=(0,0), psi+=(1,0), phi-=(0,1), psi-=(1,1). *)
+let to_bp t = [| [| t.phi_p; t.phi_m |]; [| t.psi_p; t.psi_m |] |]
+
+let of_bp q =
+  { phi_p = q.(0).(0); phi_m = q.(0).(1); psi_p = q.(1).(0); psi_m = q.(1).(1) }
+
+(* The DEJMPS local rotations Rx(pi/2) (x) Rx(-pi/2) fix phi+ and psi+ and
+   exchange phi- with psi-. *)
+let rotate t = { t with phi_m = t.psi_m; psi_m = t.phi_m }
+
+let dejmps a b =
+  let a = rotate a and b = rotate b in
+  let qa = to_bp a and qb = to_bp b in
+  (* Bilateral CNOT a->b; measure pair b in ZZ; keep when the bit parities
+     agree.  Surviving pair keeps a's bit and accumulates b's phase. *)
+  let p_succ =
+    ((qa.(0).(0) +. qa.(0).(1)) *. (qb.(0).(0) +. qb.(0).(1)))
+    +. ((qa.(1).(0) +. qa.(1).(1)) *. (qb.(1).(0) +. qb.(1).(1)))
+  in
+  if p_succ <= 0. then (0., perfect)
+  else begin
+    let out = Array.make_matrix 2 2 0. in
+    for bit = 0 to 1 do
+      for p1 = 0 to 1 do
+        for p2 = 0 to 1 do
+          out.(bit).(p1 lxor p2) <-
+            out.(bit).(p1 lxor p2) +. (qa.(bit).(p1) *. qb.(bit).(p2) /. p_succ)
+        done
+      done
+    done;
+    (* No rotate-back: the protocol leaves the survivor in the rotated frame
+       (still Bell-diagonal), and the frame alternation across rounds is what
+       lets phase errors be caught as bit errors every other round — without
+       it the psi- component compounds and iteration diverges. *)
+    (p_succ, of_bp out)
+  end
+
+(* Entanglement swapping: in (bit, phase) coordinates the output error is
+   the XOR of the two links' errors. *)
+let swap a b =
+  let qa = to_bp a and qb = to_bp b in
+  let out = Array.make_matrix 2 2 0. in
+  for b1 = 0 to 1 do
+    for p1 = 0 to 1 do
+      for b2 = 0 to 1 do
+        for p2 = 0 to 1 do
+          out.(b1 lxor b2).(p1 lxor p2) <-
+            out.(b1 lxor b2).(p1 lxor p2) +. (qa.(b1).(p1) *. qb.(b2).(p2))
+        done
+      done
+    done
+  done;
+  of_bp out
+
+let dejmps_predicted_fidelity a b = fidelity (snd (dejmps a b))
+
+let to_probs t = [| t.phi_p; t.psi_p; t.psi_m; t.phi_m |]

@@ -1,0 +1,61 @@
+(** Bell-diagonal two-qubit states and the DEJMPS distillation step.
+
+    Entangled pairs that undergo Pauli-twirled noise stay Bell-diagonal, so
+    the module-level distillation simulation tracks just four probabilities —
+    the paper's channel abstraction at work.  The algebra here is verified
+    against full density-matrix simulation in the test suite. *)
+
+type t = {
+  phi_p : float;  (** weight of (|00>+|11>)/sqrt2 — the fidelity *)
+  psi_p : float;  (** (|01>+|10>)/sqrt2: a bit-flip *)
+  psi_m : float;  (** (|01>-|10>)/sqrt2: a bit+phase flip *)
+  phi_m : float;  (** (|00>-|11>)/sqrt2: a phase flip *)
+}
+
+val werner : float -> t
+(** [werner f]: fidelity [f], remaining weight split evenly. *)
+
+val perfect : t
+
+val fidelity : t -> float
+val infidelity : t -> float
+
+val validate : t -> unit
+(** Probabilities non-negative and summing to 1 (within tolerance). *)
+
+val normalize : t -> t
+
+val apply_pauli_half : t -> px:float -> py:float -> pz:float -> t
+(** Apply a single-qubit Pauli channel to one half of the pair. *)
+
+val decay : t -> t1:float -> t2:float -> dt:float -> t
+(** Both halves idle for [dt] on devices with the given coherence times
+    (Pauli-twirled thermal noise). *)
+
+val decay_one_sided : t -> t1:float -> t2:float -> dt:float -> t
+(** Only one half decays (e.g. the remote half is already consumed). *)
+
+val depolarize : t -> p:float -> t
+(** Two-sided local depolarizing with total strength [p] per half — the gate
+    error model for the local operations of a distillation round. *)
+
+val dejmps : t -> t -> float * t
+(** [dejmps a b] = (success probability, output pair given success).  The
+    DEJMPS step: both pairs are rotated (phi- <-> psi-), a bilateral CNOT
+    from [a] to [b] is applied, and [b] is measured in Z on both sides and
+    kept on even parity.  The survivor is left in the rotated frame (still
+    Bell-diagonal); the frame alternation across rounds is what makes the
+    iteration converge. *)
+
+val dejmps_predicted_fidelity : t -> t -> float
+(** Fidelity of the success branch (scheduler's improvement test). *)
+
+val swap : t -> t -> t
+(** Entanglement swapping: a Bell measurement on the middle node of two
+    chained pairs teleports the correlations, XOR-ing the error coordinates
+    of the two inputs (deterministic up to the Pauli correction, which is
+    tracked classically).  Verified against the exact BSM circuit in the
+    test suite. *)
+
+val to_probs : t -> float array
+(** [phi_p; psi_p; psi_m; phi_m] as an array (testing). *)

@@ -1,0 +1,238 @@
+type config = {
+  ts : float;
+  tc : float;
+  input_capacity : int;
+  output_capacity : int;
+  swap_time : float;
+  swap_error : float;
+  gate_time_2q : float;
+  gate_error_2q : float;
+  gate_time_1q : float;
+  readout_time : float;
+  target_fidelity : float;
+  source : Ep_source.t;
+}
+
+(* §4 settings: all gates coherence-limited (their error is the decoherence
+   over their duration — no extra depolarizing), two-qubit gates and SWAPs
+   100 ns, single-qubit 40 ns, error-free 1 us readout. *)
+let heterogeneous ?(ts = 12.5e-3) ~rate_hz () =
+  { ts;
+    tc = 0.5e-3;
+    input_capacity = 6;
+    output_capacity = 3;
+    swap_time = 100e-9;
+    swap_error = 0.;
+    gate_time_2q = 100e-9;
+    gate_error_2q = 0.;
+    gate_time_1q = 40e-9;
+    readout_time = 1e-6;
+    target_fidelity = 0.995;
+    source = Ep_source.create ~rate_hz () }
+
+let homogeneous ~rate_hz () =
+  let het = heterogeneous ~rate_hz () in
+  { het with ts = het.tc }
+
+type sample = { time : float; best_output_infidelity : float option }
+
+type result = {
+  delivered : int;
+  distill_attempts : int;
+  distill_successes : int;
+  horizon : float;
+  trace : sample list;
+}
+
+type stored = {
+  mutable state : Bell_pair.t;
+  mutable since : float;
+  rounds : int;  (* how many distillation rounds produced this pair *)
+}
+
+type sim = {
+  cfg : config;
+  rng : Rng.t;
+  mutable input : stored list;
+  mutable output : stored list;
+  mutable parcheck_busy : bool;
+  mutable delivered : int;
+  mutable attempts : int;
+  mutable successes : int;
+  mutable trace : sample list;
+}
+
+let refresh sim now p =
+  let dt = now -. p.since in
+  if dt > 0. then begin
+    p.state <- Bell_pair.decay p.state ~t1:sim.cfg.ts ~t2:sim.cfg.ts ~dt;
+    p.since <- now
+  end
+
+let worst pairs =
+  match pairs with
+  | [] -> None
+  | hd :: tl ->
+      Some
+        (List.fold_left
+           (fun acc p ->
+             if Bell_pair.fidelity p.state < Bell_pair.fidelity acc.state then p else acc)
+           hd tl)
+
+let remove_phys pairs p = List.filter (fun q -> q != p) pairs
+
+(* Swap the two local halves out of storage, rotate, bilateral CNOT, read one
+   pair out, move the survivor onward. *)
+let op_duration cfg =
+  (2. *. cfg.swap_time) +. cfg.gate_time_1q +. cfg.gate_time_2q +. cfg.readout_time
+
+(* Noisy DEJMPS: the pairs sit on compute qubits through the gate phase
+   (swap in + rotation + CNOT), taking coherence-limited decay plus any
+   configured extra gate/swap depolarizing.  The survivor is swapped onward
+   immediately — it waits out the 1 us parity readout in memory, not on
+   compute (classical communication is neglected, so keep/discard is applied
+   retroactively). *)
+let noisy_dejmps cfg a b =
+  let gate_phase = cfg.swap_time +. cfg.gate_time_1q +. cfg.gate_time_2q in
+  let prep p =
+    let p = Bell_pair.decay p ~t1:cfg.tc ~t2:cfg.tc ~dt:gate_phase in
+    let p = if cfg.swap_error > 0. then Bell_pair.depolarize p ~p:cfg.swap_error else p in
+    if cfg.gate_error_2q > 0. then Bell_pair.depolarize p ~p:cfg.gate_error_2q else p
+  in
+  let a = prep a and b = prep b in
+  let p_succ, out = Bell_pair.dejmps a b in
+  let out = Bell_pair.decay out ~t1:cfg.tc ~t2:cfg.tc ~dt:cfg.swap_time in
+  let out = if cfg.swap_error > 0. then Bell_pair.depolarize out ~p:cfg.swap_error else out in
+  (p_succ, out)
+
+let rec try_start_distill sim des =
+  if not sim.parcheck_busy then begin
+    let now = Des.now des in
+    List.iter (refresh sim now) sim.input;
+    (* Priorities 1 and 3: pair only same-round pairs (entanglement
+       pumping): re-distilling two distilled pairs catches the phase errors
+       their previous round left unchecked, whereas pairing a distilled pair
+       with a fresh one re-injects the fresh pair's unchecked errors and
+       never converges.  Among same-round pairings (at most C(6,2) = 15),
+       take the one whose success branch is best. *)
+    let best_pairing =
+      let arr = Array.of_list sim.input in
+      let best = ref None in
+      for i = 0 to Array.length arr - 1 do
+        for j = i + 1 to Array.length arr - 1 do
+          if arr.(i).rounds = arr.(j).rounds then begin
+            let pred = Bell_pair.dejmps_predicted_fidelity arr.(i).state arr.(j).state in
+            match !best with
+            | Some (p, _, _) when p >= pred -> ()
+            | _ -> best := Some (pred, arr.(i), arr.(j))
+          end
+        done
+      done;
+      !best
+    in
+    match best_pairing with
+    | Some (pred, a, b) when
+        pred > max (Bell_pair.fidelity a.state) (Bell_pair.fidelity b.state) ->
+        sim.input <- remove_phys (remove_phys sim.input a) b;
+        sim.parcheck_busy <- true;
+        sim.attempts <- sim.attempts + 1;
+        let sa = a.state and sb = b.state in
+        let rounds = max a.rounds b.rounds + 1 in
+        Des.schedule des ~delay:(op_duration sim.cfg) (fun des ->
+            finish_distill sim des sa sb rounds)
+    | _ -> ()
+  end
+
+and finish_distill sim des sa sb rounds =
+  sim.parcheck_busy <- false;
+  let now = Des.now des in
+  let p_succ, out = noisy_dejmps sim.cfg sa sb in
+  if Rng.bernoulli sim.rng p_succ then begin
+    sim.successes <- sim.successes + 1;
+    let pair = { state = out; since = now; rounds } in
+    if Bell_pair.fidelity out >= sim.cfg.target_fidelity then begin
+      (* Priority 2: promote to output memory. *)
+      List.iter (refresh sim now) sim.output;
+      if List.length sim.output >= sim.cfg.output_capacity then begin
+        match worst sim.output with
+        | Some w -> sim.output <- remove_phys sim.output w
+        | None -> ()
+      end;
+      sim.output <- pair :: sim.output;
+      sim.delivered <- sim.delivered + 1
+    end
+    else begin
+      (* Below target: back to input memory for re-distillation, evicting a
+         least-distilled pair when full — the survivor embodies two consumed
+         raw pairs and must not be thrown away under arrival pressure. *)
+      if List.length sim.input >= sim.cfg.input_capacity then begin
+        let min_rounds = List.fold_left (fun acc p -> min acc p.rounds) max_int sim.input in
+        let evictable = List.filter (fun p -> p.rounds = min_rounds) sim.input in
+        match worst evictable with
+        | Some w -> sim.input <- remove_phys sim.input w
+        | None -> ()
+      end;
+      sim.input <- pair :: sim.input
+    end
+  end;
+  try_start_distill sim des
+
+let store_arrival sim des pair =
+  let now = Des.now des in
+  (* Priority 4: store the incoming pair, evicting the worst stored pair if
+     the memory is full and the newcomer is better. *)
+  List.iter (refresh sim now) sim.input;
+  let fresh = { state = pair; since = now; rounds = 0 } in
+  if List.length sim.input < sim.cfg.input_capacity then sim.input <- fresh :: sim.input
+  else begin
+    (* Evict the globally worst pair when the newcomer beats it: decayed
+       intermediates are worth no more than their current fidelity, and
+       holding them can deadlock the same-round pairing rule. *)
+    match worst sim.input with
+    | Some w when Bell_pair.fidelity w.state < Bell_pair.fidelity pair ->
+        sim.input <- fresh :: remove_phys sim.input w
+    | _ -> ()
+  end;
+  try_start_distill sim des
+
+let run ?(trace_dt = 1e-6) cfg rng ~horizon =
+  if horizon <= 0. then invalid_arg "Distill_module.run: horizon must be positive";
+  let des = Des.create () in
+  let sim =
+    { cfg; rng; input = []; output = []; parcheck_busy = false; delivered = 0;
+      attempts = 0; successes = 0; trace = [] }
+  in
+  let rec arrival des =
+    if Des.now des <= horizon then begin
+      store_arrival sim des (Ep_source.sample_pair cfg.source sim.rng);
+      Des.schedule des ~delay:(Ep_source.next_gap cfg.source sim.rng) arrival
+    end
+  in
+  let rec observe des =
+    let now = Des.now des in
+    if now <= horizon then begin
+      List.iter (refresh sim now) sim.output;
+      let best =
+        match sim.output with
+        | [] -> None
+        | pairs ->
+            Some
+              (List.fold_left
+                 (fun acc p -> min acc (Bell_pair.infidelity p.state))
+                 1. pairs)
+      in
+      sim.trace <- { time = now; best_output_infidelity = best } :: sim.trace;
+      Des.schedule des ~delay:trace_dt observe
+    end
+  in
+  Des.schedule des ~delay:(Ep_source.next_gap cfg.source sim.rng) arrival;
+  Des.schedule des ~delay:0. observe;
+  Des.run_until des horizon;
+  { delivered = sim.delivered;
+    distill_attempts = sim.attempts;
+    distill_successes = sim.successes;
+    horizon;
+    trace = List.rev sim.trace }
+
+let delivered_rate_per_ms (r : result) =
+  float_of_int r.delivered /. (r.horizon *. 1e3)

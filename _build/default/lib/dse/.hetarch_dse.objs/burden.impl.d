@@ -1,0 +1,1 @@
+lib/dse/burden.ml: Cell List

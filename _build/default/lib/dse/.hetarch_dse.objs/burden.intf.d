@@ -1,0 +1,1 @@
+lib/dse/burden.mli: Cell

@@ -1,0 +1,1 @@
+lib/dse/cache.ml: Hashtbl

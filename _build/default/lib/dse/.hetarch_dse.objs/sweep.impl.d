@@ -1,0 +1,1 @@
+lib/dse/sweep.ml: List

@@ -1,0 +1,1 @@
+lib/dse/sweep.mli:

@@ -1,0 +1,31 @@
+let module_qubits cells =
+  List.fold_left (fun acc c -> acc + Cell.capacity c) 0 cells
+
+let cube x = x *. x *. x
+
+let flat_cost cells = cube (2. ** float_of_int (module_qubits cells))
+
+(* Characterizing a cell only ever simulates its *active* operation subspace
+   (moving qubit + reference, gate participants, ancilla); idle storage modes
+   factor out of the density matrix exactly. *)
+let active_qubits (c : Cell.t) =
+  match c.Cell.kind with
+  | Cell.Register -> 2  (* moving qubit + Choi reference *)
+  | Cell.ParCheck -> 3  (* two data + readout ancilla *)
+  | Cell.SeqOp -> 4  (* two data + two Choi references *)
+  | Cell.USC | Cell.USC_EXT -> 5  (* active data qubit, ancilla, references *)
+
+let hierarchical_cost cells =
+  List.fold_left
+    (fun acc c -> acc +. cube (2. ** float_of_int (active_qubits c)))
+    0. cells
+
+let reduction cells = flat_cost cells /. hierarchical_cost cells
+
+let distillation_module () =
+  [ Cell.register (); Cell.register (); Cell.parcheck (); Cell.register () ]
+
+let uec_module () = [ Cell.usc () ]
+
+let ct_module () =
+  distillation_module () @ [ Cell.seqop (); Cell.seqop () ] @ [ Cell.usc (); Cell.usc () ]

@@ -1,0 +1,33 @@
+(** Hierarchical-vs-flat simulation burden accounting (paper §1/§2: the DSE
+    framework "reduces the simulation burden by a factor of 10^4 or more").
+
+    A flat device-level density-matrix simulation of a module costs
+    (2^n)^3 in its total qubit count n; the hierarchical methodology pays
+    only the sum of per-cell characterizations plus a module-level model
+    whose cost is negligible in comparison. *)
+
+val module_qubits : Cell.t list -> int
+(** Total qubit capacity of a module's cells. *)
+
+val flat_cost : Cell.t list -> float
+(** (2^n)^3 for the whole module. *)
+
+val active_qubits : Cell.t -> int
+(** Dimension actually simulated when characterizing the cell: gate
+    participants and Choi references; idle storage modes factor out. *)
+
+val hierarchical_cost : Cell.t list -> float
+(** Sum over cells of (2^active)^3 — one characterization each. *)
+
+val reduction : Cell.t list -> float
+(** flat / hierarchical. *)
+
+val distillation_module : unit -> Cell.t list
+(** The §4.1 module: two input Registers, one ParCheck, one output
+    Register. *)
+
+val uec_module : unit -> Cell.t list
+(** The §4.2.2 module: one USC. *)
+
+val ct_module : unit -> Cell.t list
+(** The §4.3 module: distillation + two CAT generators (SeqOp) + two UECs. *)

@@ -1,0 +1,32 @@
+type 'v t = {
+  table : (string, 'v) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable paid : float;
+  mutable avoided : float;
+}
+
+let create () = { table = Hashtbl.create 64; hits = 0; misses = 0; paid = 0.; avoided = 0. }
+
+let cube dim = float_of_int dim ** 3.
+
+let find_or_compute t ~key ~dim f =
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      t.avoided <- t.avoided +. cube dim;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      t.paid <- t.paid +. cube dim;
+      let v = f () in
+      Hashtbl.add t.table key v;
+      v
+
+let hits t = t.hits
+let misses t = t.misses
+let cost_paid t = t.paid
+let cost_avoided t = t.avoided
+
+let burden_reduction ~naive_dim t =
+  if t.paid <= 0. then infinity else cube naive_dim /. t.paid

@@ -1,0 +1,30 @@
+(** Memoized standard-cell characterization with simulation-cost accounting.
+
+    The HetArch methodology characterizes each cell once by density-matrix
+    simulation and reuses the resulting channel everywhere; this cache
+    implements the reuse and tracks how much device-level simulation was
+    avoided, reproducing the paper's >= 10^4 burden-reduction estimate. *)
+
+type 'v t
+
+val create : unit -> 'v t
+
+val find_or_compute : 'v t -> key:string -> dim:int -> (unit -> 'v) -> 'v
+(** [find_or_compute t ~key ~dim f] returns the cached value for [key] or
+    computes it with [f].  [dim] is the Hilbert-space dimension a device-
+    level simulation of this characterization needs; its cube is the cost
+    unit accounted (dense density-matrix update cost). *)
+
+val hits : 'v t -> int
+val misses : 'v t -> int
+
+val cost_paid : 'v t -> float
+(** Total dim^3 cost actually simulated (misses only). *)
+
+val cost_avoided : 'v t -> float
+(** dim^3 cost that cache hits would otherwise have re-simulated. *)
+
+val burden_reduction : naive_dim:int -> 'v t -> float
+(** The paper's headline accounting: cost of one naive device-level
+    simulation of the whole module (dimension [naive_dim]) divided by the
+    hierarchical cost actually paid. *)

@@ -1,0 +1,30 @@
+let linspace ~lo ~hi ~n =
+  if n < 2 then invalid_arg "Sweep.linspace: need n >= 2";
+  List.init n (fun i -> lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+
+let logspace ~lo ~hi ~n =
+  if lo <= 0. || hi <= 0. then invalid_arg "Sweep.logspace: positive bounds required";
+  List.map exp (linspace ~lo:(log lo) ~hi:(log hi) ~n)
+
+let sweep points ~f = List.map (fun x -> (x, f x)) points
+
+let grid xs ys ~f =
+  List.concat_map (fun x -> List.map (fun y -> (x, y, f x y)) ys) xs
+
+let argmin = function
+  | [] -> invalid_arg "Sweep.argmin: empty"
+  | hd :: tl ->
+      List.fold_left (fun (bx, bv) (x, v) -> if v < bv then (x, v) else (bx, bv)) hd tl
+
+let argmax = function
+  | [] -> invalid_arg "Sweep.argmax: empty"
+  | hd :: tl ->
+      List.fold_left (fun (bx, bv) (x, v) -> if v > bv then (x, v) else (bx, bv)) hd tl
+
+let pareto points =
+  let dominated (_, a1, a2) =
+    List.exists
+      (fun (_, b1, b2) -> b1 <= a1 && b2 <= a2 && (b1 < a1 || b2 < a2))
+      points
+  in
+  List.filter (fun p -> not (dominated p)) points

@@ -1,0 +1,22 @@
+(** Parameter-sweep combinators for design-space exploration. *)
+
+val linspace : lo:float -> hi:float -> n:int -> float list
+(** [n] evenly spaced points including both endpoints ([n >= 2]). *)
+
+val logspace : lo:float -> hi:float -> n:int -> float list
+(** Log-spaced points; [lo], [hi] must be positive. *)
+
+val sweep : 'a list -> f:('a -> 'b) -> ('a * 'b) list
+(** Evaluate [f] at every point. *)
+
+val grid : 'a list -> 'b list -> f:('a -> 'b -> 'c) -> ('a * 'b * 'c) list
+(** Cartesian product sweep, row-major. *)
+
+val argmin : ('a * float) list -> 'a * float
+(** Point with the smallest objective; raises on empty input. *)
+
+val argmax : ('a * float) list -> 'a * float
+
+val pareto : ('a * float * float) list -> ('a * float * float) list
+(** Pareto-minimal points of a 2-objective sweep (both minimized), in input
+    order. *)

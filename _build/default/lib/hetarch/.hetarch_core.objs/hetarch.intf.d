@@ -1,0 +1,1 @@
+lib/hetarch/hetarch.mli:

@@ -1,0 +1,1 @@
+lib/hetarch/hierarchy.ml: Array Buffer Cell Design_rules List Printf

@@ -1,0 +1,69 @@
+type node = Module of { name : string; children : node list } | Cell_of of Cell.t
+
+let distillation () =
+  Module
+    { name = "entanglement-distillation";
+      children =
+        [ Module
+            { name = "input-memory";
+              children = [ Cell_of (Cell.register ()); Cell_of (Cell.register ()) ] };
+          Module { name = "distill"; children = [ Cell_of (Cell.parcheck ()) ] };
+          Module { name = "output-memory"; children = [ Cell_of (Cell.register ()) ] } ] }
+
+let surface_code_memory d =
+  if d < 2 then invalid_arg "Hierarchy.surface_code_memory: d >= 2";
+  let pairs = (d * d) - 1 in
+  Module
+    { name = Printf.sprintf "surface-code-memory-d%d" d;
+      children =
+        List.init pairs (fun _ -> Cell_of (Cell.parcheck ())) }
+
+let universal_error_correction () =
+  Module
+    { name = "universal-error-correction";
+      children = [ Cell_of (Cell.usc ()); Cell_of (Cell.usc_ext ()) ] }
+
+let code_teleportation () =
+  Module
+    { name = "code-teleportation";
+      children =
+        [ distillation ();
+          Module { name = "cat-generator-a"; children = [ Cell_of (Cell.seqop ()) ] };
+          Module { name = "cat-generator-b"; children = [ Cell_of (Cell.seqop ()) ] };
+          Module { name = "uec-a"; children = [ Cell_of (Cell.usc ()) ] };
+          Module { name = "uec-b"; children = [ Cell_of (Cell.usc ()) ] } ] }
+
+let rec cells = function
+  | Cell_of c -> [ c ]
+  | Module { children; _ } -> List.concat_map cells children
+
+let device_count node =
+  List.fold_left
+    (fun acc c -> acc + Array.length c.Cell.graph.Design_rules.instances)
+    0 (cells node)
+
+let qubit_capacity node =
+  List.fold_left (fun acc c -> acc + Cell.capacity c) 0 (cells node)
+
+let footprint_mm2 node =
+  List.fold_left (fun acc c -> acc +. Cell.footprint_mm2 c) 0. (cells node)
+
+let control_lines node =
+  List.fold_left (fun acc c -> acc + Cell.control_lines c) 0 (cells node)
+
+let validate node =
+  List.iter (fun c -> Design_rules.assert_valid c.Cell.graph) (cells node)
+
+let render node =
+  let buf = Buffer.create 256 in
+  let rec go indent = function
+    | Cell_of c ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s- cell %s (capacity %d, %.0f mm^2)\n" indent (Cell.name c)
+             (Cell.capacity c) (Cell.footprint_mm2 c))
+    | Module { name; children } ->
+        Buffer.add_string buf (Printf.sprintf "%s+ module %s\n" indent name);
+        List.iter (go (indent ^ "  ")) children
+  in
+  go "" node;
+  Buffer.contents buf

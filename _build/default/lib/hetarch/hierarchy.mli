@@ -1,0 +1,36 @@
+(** The HetArch design hierarchy (paper §2, Fig. 2): modules execute
+    subroutines, standard cells execute operations, devices hold qubits.
+    Modules may nest (sub-modules), and the three example architectures of
+    §4 are provided as constructed trees. *)
+
+type node =
+  | Module of { name : string; children : node list }
+  | Cell_of of Cell.t
+
+val distillation : unit -> node
+(** Fig. 1: input memory (2 Registers), distillation (ParCheck), output
+    memory (1 Register). *)
+
+val surface_code_memory : int -> node
+(** Fig. 5: a distance-d planar surface code tiled from ParCheck cells. *)
+
+val universal_error_correction : unit -> node
+(** Fig. 8: a USC with one USC-EXT extension. *)
+
+val code_teleportation : unit -> node
+(** Fig. 11: entanglement distillation + two CAT generators (SeqOp) + two
+    UEC sub-modules. *)
+
+val cells : node -> Cell.t list
+(** All cells in the tree, depth-first. *)
+
+val device_count : node -> int
+val qubit_capacity : node -> int
+val footprint_mm2 : node -> float
+val control_lines : node -> int
+
+val validate : node -> unit
+(** Re-check every cell's design rules. *)
+
+val render : node -> string
+(** ASCII tree for documentation and the quickstart example. *)

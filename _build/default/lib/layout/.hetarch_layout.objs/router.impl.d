@@ -1,0 +1,1 @@
+lib/layout/router.ml: Array Grid List

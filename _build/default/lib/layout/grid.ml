@@ -1,0 +1,50 @@
+type t = { side : int }
+
+let create side =
+  if side < 1 then invalid_arg "Grid.create: side >= 1";
+  { side }
+
+let side t = t.side
+let size t = t.side * t.side
+
+let of_min_qubits n =
+  if n < 1 then invalid_arg "Grid.of_min_qubits";
+  let s = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  create s
+
+let coords t i =
+  if i < 0 || i >= size t then invalid_arg "Grid.coords: out of range";
+  (i / t.side, i mod t.side)
+
+let index t (r, c) =
+  if r < 0 || r >= t.side || c < 0 || c >= t.side then
+    invalid_arg "Grid.index: out of range";
+  (r * t.side) + c
+
+let manhattan t a b =
+  let ra, ca = coords t a and rb, cb = coords t b in
+  abs (ra - rb) + abs (ca - cb)
+
+let neighbors t i =
+  let r, c = coords t i in
+  List.filter_map
+    (fun (rr, cc) ->
+      if rr >= 0 && rr < t.side && cc >= 0 && cc < t.side then Some (index t (rr, cc))
+      else None)
+    [ (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ]
+
+let path t a b =
+  let ra, ca = coords t a and rb, cb = coords t b in
+  (* Walk rows first, then columns. *)
+  let acc = ref [] in
+  let r = ref ra and c = ref ca in
+  acc := index t (!r, !c) :: !acc;
+  while !r <> rb do
+    r := !r + compare rb !r;
+    acc := index t (!r, !c) :: !acc
+  done;
+  while !c <> cb do
+    c := !c + compare cb !c;
+    acc := index t (!r, !c) :: !acc
+  done;
+  List.rev !acc

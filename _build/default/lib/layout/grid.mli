@@ -1,0 +1,27 @@
+(** Square lattice of compute devices — the homogeneous "sea of qubits"
+    baseline substrate (paper §4: a square lattice of compute-only devices,
+    as large as needed for efficient transpilation). *)
+
+type t
+
+val create : int -> t
+(** [create side] is a side x side lattice. *)
+
+val side : t -> int
+val size : t -> int
+
+val of_min_qubits : int -> t
+(** Smallest square lattice holding at least this many qubits. *)
+
+val coords : t -> int -> int * int
+(** Node index to (row, col). *)
+
+val index : t -> int * int -> int
+
+val manhattan : t -> int -> int -> int
+
+val neighbors : t -> int -> int list
+(** Degree <= 4 lattice adjacency (design rule DR1 holds by construction). *)
+
+val path : t -> int -> int -> int list
+(** An L-shaped shortest path between two nodes, inclusive of endpoints. *)

@@ -1,0 +1,279 @@
+type t = { rows : int; cols : int; re : float array; im : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Cmat.create: negative dimension";
+  { rows; cols; re = Array.make (rows * cols) 0.; im = Array.make (rows * cols) 0. }
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.re.((i * n) + i) <- 1.
+  done;
+  m
+
+let idx m i j = (i * m.cols) + j
+
+let check_bounds m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Cmat: index out of bounds"
+
+let get m i j =
+  check_bounds m i j;
+  { Complex.re = m.re.(idx m i j); im = m.im.(idx m i j) }
+
+let set m i j (z : Complex.t) =
+  check_bounds m i j;
+  m.re.(idx m i j) <- z.re;
+  m.im.(idx m i j) <- z.im
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let z = f i j in
+      m.re.(idx m i j) <- z.Complex.re;
+      m.im.(idx m i j) <- z.Complex.im
+    done
+  done;
+  m
+
+let of_lists rows =
+  match rows with
+  | [] -> create 0 0
+  | first :: _ ->
+      let nc = List.length first in
+      let nr = List.length rows in
+      if List.exists (fun r -> List.length r <> nc) rows then
+        invalid_arg "Cmat.of_lists: ragged rows";
+      let arr = Array.of_list (List.map Array.of_list rows) in
+      init nr nc (fun i j -> arr.(i).(j))
+
+let of_real_lists rows =
+  of_lists (List.map (List.map (fun x -> { Complex.re = x; im = 0. })) rows)
+
+let copy m = { m with re = Array.copy m.re; im = Array.copy m.im }
+
+let same_shape a b = a.rows = b.rows && a.cols = b.cols
+
+let add a b =
+  if not (same_shape a b) then invalid_arg "Cmat.add: shape mismatch";
+  let m = create a.rows a.cols in
+  for k = 0 to Array.length a.re - 1 do
+    m.re.(k) <- a.re.(k) +. b.re.(k);
+    m.im.(k) <- a.im.(k) +. b.im.(k)
+  done;
+  m
+
+let sub a b =
+  if not (same_shape a b) then invalid_arg "Cmat.sub: shape mismatch";
+  let m = create a.rows a.cols in
+  for k = 0 to Array.length a.re - 1 do
+    m.re.(k) <- a.re.(k) -. b.re.(k);
+    m.im.(k) <- a.im.(k) -. b.im.(k)
+  done;
+  m
+
+let scale (z : Complex.t) a =
+  let m = create a.rows a.cols in
+  for k = 0 to Array.length a.re - 1 do
+    m.re.(k) <- (z.re *. a.re.(k)) -. (z.im *. a.im.(k));
+    m.im.(k) <- (z.re *. a.im.(k)) +. (z.im *. a.re.(k))
+  done;
+  m
+
+let scale_re x a =
+  let m = create a.rows a.cols in
+  for k = 0 to Array.length a.re - 1 do
+    m.re.(k) <- x *. a.re.(k);
+    m.im.(k) <- x *. a.im.(k)
+  done;
+  m
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Cmat.mul: dimension mismatch";
+  let m = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let are = a.re.((i * a.cols) + k) and aim = a.im.((i * a.cols) + k) in
+      if are <> 0. || aim <> 0. then begin
+        let boff = k * b.cols and moff = i * b.cols in
+        for j = 0 to b.cols - 1 do
+          let bre = b.re.(boff + j) and bim = b.im.(boff + j) in
+          m.re.(moff + j) <- m.re.(moff + j) +. ((are *. bre) -. (aim *. bim));
+          m.im.(moff + j) <- m.im.(moff + j) +. ((are *. bim) +. (aim *. bre))
+        done
+      end
+    done
+  done;
+  m
+
+let kron a b =
+  let m = create (a.rows * b.rows) (a.cols * b.cols) in
+  for ia = 0 to a.rows - 1 do
+    for ja = 0 to a.cols - 1 do
+      let are = a.re.((ia * a.cols) + ja) and aim = a.im.((ia * a.cols) + ja) in
+      if are <> 0. || aim <> 0. then
+        for ib = 0 to b.rows - 1 do
+          let row = (ia * b.rows) + ib in
+          for jb = 0 to b.cols - 1 do
+            let col = (ja * b.cols) + jb in
+            let bre = b.re.((ib * b.cols) + jb) and bim = b.im.((ib * b.cols) + jb) in
+            m.re.((row * m.cols) + col) <- (are *. bre) -. (aim *. bim);
+            m.im.((row * m.cols) + col) <- (are *. bim) +. (aim *. bre)
+          done
+        done
+    done
+  done;
+  m
+
+let transpose a =
+  let m = create a.cols a.rows in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to a.cols - 1 do
+      m.re.((j * m.cols) + i) <- a.re.((i * a.cols) + j);
+      m.im.((j * m.cols) + i) <- a.im.((i * a.cols) + j)
+    done
+  done;
+  m
+
+let conj a =
+  let m = copy a in
+  for k = 0 to Array.length m.im - 1 do
+    m.im.(k) <- -.m.im.(k)
+  done;
+  m
+
+let adjoint a = conj (transpose a)
+
+let trace a =
+  if a.rows <> a.cols then invalid_arg "Cmat.trace: non-square";
+  let re = ref 0. and im = ref 0. in
+  for i = 0 to a.rows - 1 do
+    re := !re +. a.re.((i * a.cols) + i);
+    im := !im +. a.im.((i * a.cols) + i)
+  done;
+  { Complex.re = !re; im = !im }
+
+let frobenius_norm a =
+  let acc = ref 0. in
+  for k = 0 to Array.length a.re - 1 do
+    acc := !acc +. (a.re.(k) *. a.re.(k)) +. (a.im.(k) *. a.im.(k))
+  done;
+  sqrt !acc
+
+let max_abs_diff a b =
+  if not (same_shape a b) then infinity
+  else begin
+    let m = ref 0. in
+    for k = 0 to Array.length a.re - 1 do
+      let dr = a.re.(k) -. b.re.(k) and di = a.im.(k) -. b.im.(k) in
+      let d = sqrt ((dr *. dr) +. (di *. di)) in
+      if d > !m then m := d
+    done;
+    !m
+  end
+
+let approx_equal ?(tol = 1e-9) a b = max_abs_diff a b <= tol
+
+let is_hermitian ?(tol = 1e-9) a =
+  a.rows = a.cols && max_abs_diff a (adjoint a) <= tol
+
+let sandwich u rho = mul (mul u rho) (adjoint u)
+
+(* Qubit 0 is the most significant bit: index i of a 2^n vector decomposes as
+   bits b_0 b_1 ... b_{n-1} with b_0 = i >> (n-1). *)
+let bit_of nqubits index q = (index lsr (nqubits - 1 - q)) land 1
+
+let ptrace ~keep ~nqubits rho =
+  let dim = 1 lsl nqubits in
+  if rho.rows <> dim || rho.cols <> dim then
+    invalid_arg "Cmat.ptrace: dimension does not match nqubits";
+  List.iter
+    (fun q -> if q < 0 || q >= nqubits then invalid_arg "Cmat.ptrace: bad qubit")
+    keep;
+  let keep = Array.of_list keep in
+  let k = Array.length keep in
+  let traced = List.filter (fun q -> not (Array.mem q keep)) (List.init nqubits Fun.id) in
+  let traced = Array.of_list traced in
+  let t = Array.length traced in
+  let out = create (1 lsl k) (1 lsl k) in
+  (* Reassemble a full-space index from kept-subspace and traced-subspace
+     sub-indices. *)
+  let full_index kept_idx traced_idx =
+    let acc = ref 0 in
+    Array.iteri
+      (fun pos q ->
+        let b = (kept_idx lsr (k - 1 - pos)) land 1 in
+        acc := !acc lor (b lsl (nqubits - 1 - q)))
+      keep;
+    Array.iteri
+      (fun pos q ->
+        let b = (traced_idx lsr (t - 1 - pos)) land 1 in
+        acc := !acc lor (b lsl (nqubits - 1 - q)))
+      traced;
+    !acc
+  in
+  for i = 0 to (1 lsl k) - 1 do
+    for j = 0 to (1 lsl k) - 1 do
+      let re = ref 0. and im = ref 0. in
+      for e = 0 to (1 lsl t) - 1 do
+        let fi = full_index i e and fj = full_index j e in
+        re := !re +. rho.re.((fi * dim) + fj);
+        im := !im +. rho.im.((fi * dim) + fj)
+      done;
+      out.re.((i * out.cols) + j) <- !re;
+      out.im.((i * out.cols) + j) <- !im
+    done
+  done;
+  out
+
+let embed_unitary ~nqubits ~targets u =
+  let k = List.length targets in
+  let sub = 1 lsl k in
+  if u.rows <> sub || u.cols <> sub then
+    invalid_arg "Cmat.embed_unitary: operator size does not match targets";
+  let targets = Array.of_list targets in
+  Array.iter
+    (fun q -> if q < 0 || q >= nqubits then invalid_arg "Cmat.embed_unitary: bad qubit")
+    targets;
+  let dim = 1 lsl nqubits in
+  let out = create dim dim in
+  (* For each full index pair, the operator entry is u[sub_i][sub_j] when the
+     non-target bits agree, where sub indices collect the target bits. *)
+  let sub_index full =
+    let acc = ref 0 in
+    Array.iteri
+      (fun pos q -> acc := !acc lor (bit_of nqubits full q lsl (k - 1 - pos)))
+      targets;
+    !acc
+  in
+  let rest_mask =
+    let m = ref 0 in
+    for q = 0 to nqubits - 1 do
+      if not (Array.mem q targets) then m := !m lor (1 lsl (nqubits - 1 - q))
+    done;
+    !m
+  in
+  for i = 0 to dim - 1 do
+    let si = sub_index i and ri = i land rest_mask in
+    for j = 0 to dim - 1 do
+      if j land rest_mask = ri then begin
+        let sj = sub_index j in
+        out.re.((i * dim) + j) <- u.re.((si * sub) + sj);
+        out.im.((i * dim) + j) <- u.im.((si * sub) + sj)
+      end
+    done
+  done;
+  out
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "@[<h>";
+    for j = 0 to m.cols - 1 do
+      let re = m.re.((i * m.cols) + j) and im = m.im.((i * m.cols) + j) in
+      Format.fprintf fmt "%8.4f%+8.4fi  " re im
+    done;
+    Format.fprintf fmt "@]@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,73 @@
+(** Dense complex matrices (structure-of-arrays layout).
+
+    Sized for standard-cell density matrices: a handful of qubits, i.e.
+    dimensions up to a few hundred.  All operations allocate fresh results
+    unless documented otherwise. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  re : float array;  (** row-major real parts *)
+  im : float array;  (** row-major imaginary parts *)
+}
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val identity : int -> t
+
+val init : int -> int -> (int -> int -> Complex.t) -> t
+
+val of_lists : Complex.t list list -> t
+(** Rows as lists; all rows must have equal length. *)
+
+val of_real_lists : float list list -> t
+
+val get : t -> int -> int -> Complex.t
+val set : t -> int -> int -> Complex.t -> unit
+val copy : t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Complex.t -> t -> t
+val scale_re : float -> t -> t
+val mul : t -> t -> t
+(** Matrix product; dimension mismatch raises [Invalid_argument]. *)
+
+val kron : t -> t -> t
+(** Kronecker (tensor) product. *)
+
+val adjoint : t -> t
+(** Conjugate transpose. *)
+
+val transpose : t -> t
+val conj : t -> t
+
+val trace : t -> Complex.t
+
+val frobenius_norm : t -> float
+
+val max_abs_diff : t -> t -> float
+(** Largest entrywise modulus of the difference; [infinity] on shape
+    mismatch. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Entrywise comparison with tolerance (default [1e-9]). *)
+
+val is_hermitian : ?tol:float -> t -> bool
+
+val sandwich : t -> t -> t
+(** [sandwich u rho] is [u * rho * u†] — the unitary/Kraus conjugation used
+    throughout the density-matrix simulator. *)
+
+val ptrace : keep:int list -> nqubits:int -> t -> t
+(** [ptrace ~keep ~nqubits rho] traces out all qubits not in [keep] from a
+    [2^nqubits] square density matrix.  Qubit 0 is the most significant bit of
+    the index.  The result orders the kept qubits as listed. *)
+
+val embed_unitary : nqubits:int -> targets:int list -> t -> t
+(** [embed_unitary ~nqubits ~targets u] lifts a [2^k]-dim unitary acting on
+    [targets] (in the given order; qubit 0 = most significant) to the full
+    [2^nqubits] space. *)
+
+val pp : Format.formatter -> t -> unit

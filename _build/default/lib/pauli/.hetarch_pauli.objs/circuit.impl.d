@@ -1,0 +1,1 @@
+lib/pauli/circuit.ml: Array List

@@ -1,0 +1,1 @@
+lib/pauli/dem.ml: Array Bitvec Circuit Hashtbl List String

@@ -1,0 +1,1 @@
+lib/pauli/dem.mli: Circuit

@@ -1,0 +1,1 @@
+lib/pauli/frame.ml: Array Bitvec Bytes Circuit Rng

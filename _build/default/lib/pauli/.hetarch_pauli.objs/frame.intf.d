@@ -1,0 +1,1 @@
+lib/pauli/frame.mli: Bitvec Circuit Rng

@@ -1,0 +1,1 @@
+lib/pauli/pauli.ml: Bitvec Buffer Printf String

@@ -1,0 +1,1 @@
+lib/pauli/tableau.ml: Array Bitvec Circuit Pauli Rng String

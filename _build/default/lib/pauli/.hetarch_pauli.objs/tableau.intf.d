@@ -1,0 +1,1 @@
+lib/pauli/tableau.mli: Bitvec Circuit Pauli Rng

@@ -1,0 +1,109 @@
+type mechanism = { p : float; detectors : int array; obs_mask : int }
+
+let combine p1 p2 = (p1 *. (1. -. p2)) +. (p2 *. (1. -. p1))
+
+let of_circuit (c : Circuit.t) =
+  let ndet = Array.length c.Circuit.detectors in
+  let nobs = Array.length c.Circuit.observables in
+  let width = ndet + nobs in
+  if width = 0 then []
+  else begin
+    (* Which detectors/observables contain each measurement. *)
+    let meas_sig = Array.init (max 1 c.Circuit.nmeas) (fun _ -> Bitvec.create width) in
+    Array.iteri
+      (fun di meas -> Array.iter (fun m -> Bitvec.flip meas_sig.(m) di) meas)
+      c.Circuit.detectors;
+    Array.iteri
+      (fun oi meas -> Array.iter (fun m -> Bitvec.flip meas_sig.(m) (ndet + oi)) meas)
+      c.Circuit.observables;
+    let n = c.Circuit.nqubits in
+    let sens_x = Array.init n (fun _ -> Bitvec.create width) in
+    let sens_z = Array.init n (fun _ -> Bitvec.create width) in
+    (* Accumulate raw components keyed by signature. *)
+    let table : (string, float ref) Hashtbl.t = Hashtbl.create 1024 in
+    let sigs : (string, int list * int) Hashtbl.t = Hashtbl.create 1024 in
+    let record p sig_bits =
+      if p > 0. && not (Bitvec.is_zero sig_bits) then begin
+        let dets = ref [] and obs = ref 0 in
+        Bitvec.iter_set sig_bits (fun i ->
+            if i < ndet then dets := i :: !dets else obs := !obs lor (1 lsl (i - ndet)));
+        let dets = List.rev !dets in
+        let key =
+          String.concat "," (List.map string_of_int dets) ^ "|" ^ string_of_int !obs
+        in
+        (match Hashtbl.find_opt table key with
+        | Some r -> r := combine !r p
+        | None ->
+            Hashtbl.add table key (ref p);
+            Hashtbl.add sigs key (dets, !obs))
+      end
+    in
+    let xor_of a b =
+      let v = Bitvec.copy a in
+      Bitvec.xor_into ~dst:v b;
+      v
+    in
+    let mi = ref c.Circuit.nmeas in
+    (* Backward pass: sens_x.(q) is the signature an X error at the current
+       position will flip. *)
+    for i = Array.length c.Circuit.ops - 1 downto 0 do
+      match c.Circuit.ops.(i) with
+      | Circuit.H q ->
+          let t = sens_x.(q) in
+          sens_x.(q) <- sens_z.(q);
+          sens_z.(q) <- t
+      | Circuit.S q ->
+          (* X before S acts as Y = X.Z after. *)
+          Bitvec.xor_into ~dst:sens_x.(q) sens_z.(q)
+      | Circuit.X _ | Circuit.Y _ | Circuit.Z _ -> ()
+      | Circuit.CX (a, b) ->
+          Bitvec.xor_into ~dst:sens_x.(a) sens_x.(b);
+          Bitvec.xor_into ~dst:sens_z.(b) sens_z.(a)
+      | Circuit.CZ (a, b) ->
+          Bitvec.xor_into ~dst:sens_x.(a) sens_z.(b);
+          Bitvec.xor_into ~dst:sens_x.(b) sens_z.(a)
+      | Circuit.SWAP (a, b) ->
+          let tx = sens_x.(a) and tz = sens_z.(a) in
+          sens_x.(a) <- sens_x.(b);
+          sens_z.(a) <- sens_z.(b);
+          sens_x.(b) <- tx;
+          sens_z.(b) <- tz
+      | Circuit.M q ->
+          decr mi;
+          Bitvec.xor_into ~dst:sens_x.(q) meas_sig.(!mi)
+      | Circuit.R q ->
+          Bitvec.clear sens_x.(q);
+          Bitvec.clear sens_z.(q)
+      | Circuit.Noise1 { px; py; pz; q } ->
+          record px sens_x.(q);
+          record pz sens_z.(q);
+          record py (xor_of sens_x.(q) sens_z.(q))
+      | Circuit.Depol2 { p; a; b } ->
+          let comp = p /. 15. in
+          let sigs1 q = [| None; Some sens_x.(q); Some (xor_of sens_x.(q) sens_z.(q)); Some sens_z.(q) |] in
+          let sa = sigs1 a and sb = sigs1 b in
+          for pa = 0 to 3 do
+            for pb = 0 to 3 do
+              if pa <> 0 || pb <> 0 then begin
+                let v =
+                  match (sa.(pa), sb.(pb)) with
+                  | None, None -> assert false
+                  | Some x, None -> Bitvec.copy x
+                  | None, Some y -> Bitvec.copy y
+                  | Some x, Some y -> xor_of x y
+                in
+                record comp v
+              end
+            done
+          done
+    done;
+    assert (!mi = 0);
+    Hashtbl.fold
+      (fun key pref acc ->
+        let dets, obs_mask = Hashtbl.find sigs key in
+        { p = !pref; detectors = Array.of_list dets; obs_mask } :: acc)
+      table []
+  end
+
+let check_graphlike mechanisms =
+  List.for_all (fun m -> Array.length m.detectors <= 2) mechanisms

@@ -1,0 +1,25 @@
+(** Detector error model (DEM) extraction.
+
+    Walks a noisy Clifford circuit backward, tracking for every qubit the set
+    of detectors and observables sensitive to an X or Z error at the current
+    position (Stim's detector-error-model pass).  Each stochastic noise
+    component then maps to the detector/observable sets it flips, and
+    components with identical signatures are merged by combining their
+    probabilities.
+
+    The result is the exact error hypergraph a decoder should operate on. *)
+
+type mechanism = {
+  p : float;  (** total probability of this error signature per shot *)
+  detectors : int array;  (** sorted detector indices flipped *)
+  obs_mask : int;  (** bit i set = observable i flipped *)
+}
+
+val of_circuit : Circuit.t -> mechanism list
+(** Extract and merge all error mechanisms.  Mechanisms flipping nothing are
+    dropped.  Probabilities of identical signatures combine as independent
+    XOR-ed coins: p <- p1 (1-p2) + p2 (1-p1). *)
+
+val check_graphlike : mechanism list -> bool
+(** True when every mechanism flips at most two detectors (the matching-graph
+    condition for surface-code memory experiments). *)

@@ -1,0 +1,99 @@
+type shot = { detectors : Bitvec.t; observables : Bitvec.t }
+
+(* Frame state: x.(q) / z.(q) say whether the accumulated error anticommutes
+   with Z_q / X_q.  Gates conjugate the frame; noise XORs random Paulis in;
+   a Z-basis measurement is flipped exactly when the frame has an X
+   component on the measured qubit. *)
+
+let sample_shot (c : Circuit.t) rng =
+  let n = c.Circuit.nqubits in
+  let fx = Bytes.make n '\000' and fz = Bytes.make n '\000' in
+  let getx q = Bytes.unsafe_get fx q <> '\000' in
+  let getz q = Bytes.unsafe_get fz q <> '\000' in
+  let setx q b = Bytes.unsafe_set fx q (if b then '\001' else '\000') in
+  let setz q b = Bytes.unsafe_set fz q (if b then '\001' else '\000') in
+  let flips = Bitvec.create (max 1 c.Circuit.nmeas) in
+  let mi = ref 0 in
+  Array.iter
+    (fun (gate : Circuit.gate) ->
+      match gate with
+      | Circuit.H q ->
+          let t = getx q in
+          setx q (getz q);
+          setz q t
+      | Circuit.S q -> setz q (getz q <> getx q)
+      | Circuit.X _ | Circuit.Y _ | Circuit.Z _ -> ()
+      | Circuit.CX (a, b) ->
+          setx b (getx b <> getx a);
+          setz a (getz a <> getz b)
+      | Circuit.CZ (a, b) ->
+          setz a (getz a <> getx b);
+          setz b (getz b <> getx a)
+      | Circuit.SWAP (a, b) ->
+          let xa = getx a and za = getz a in
+          setx a (getx b);
+          setz a (getz b);
+          setx b xa;
+          setz b za
+      | Circuit.M q ->
+          if getx q then Bitvec.set flips !mi true;
+          incr mi;
+          (* The reference measurement dephases the qubit; the Z frame after
+             measurement is irrelevant, randomize it as Stim does. *)
+          setz q (Rng.bool rng)
+      | Circuit.R q ->
+          setx q false;
+          setz q false
+      | Circuit.Noise1 { px; py; pz; q } ->
+          let u = Rng.uniform rng in
+          if u < px then setx q (not (getx q))
+          else if u < px +. py then begin
+            setx q (not (getx q));
+            setz q (not (getz q))
+          end
+          else if u < px +. py +. pz then setz q (not (getz q))
+      | Circuit.Depol2 { p; a; b } ->
+          if p > 0. && Rng.uniform rng < p then begin
+            let which = 1 + Rng.int rng 15 in
+            let pa = which lsr 2 and pb = which land 3 in
+            if pa land 1 <> 0 then setx a (not (getx a));
+            if pa land 2 <> 0 then setz a (not (getz a));
+            if pb land 1 <> 0 then setx b (not (getx b));
+            if pb land 2 <> 0 then setz b (not (getz b))
+          end)
+    c.Circuit.ops;
+  let parity idxs =
+    Array.fold_left (fun acc m -> acc <> Bitvec.get flips m) false idxs
+  in
+  let detectors = Bitvec.create (max 1 (Array.length c.Circuit.detectors)) in
+  Array.iteri (fun i d -> Bitvec.set detectors i (parity d)) c.Circuit.detectors;
+  let observables = Bitvec.create (max 1 (Array.length c.Circuit.observables)) in
+  Array.iteri (fun i o -> Bitvec.set observables i (parity o)) c.Circuit.observables;
+  { detectors; observables }
+
+(* Pauli index convention for Depol2: 2-bit code per qubit, bit0 = X
+   component, bit1 = Z component (1=X, 2=Z, 3=Y). *)
+
+let sample_flip_counts c rng ~shots =
+  let nobs = Array.length c.Circuit.observables in
+  let counts = Array.make nobs 0 in
+  for _ = 1 to shots do
+    let { observables; _ } = sample_shot c rng in
+    for i = 0 to nobs - 1 do
+      if Bitvec.get observables i then counts.(i) <- counts.(i) + 1
+    done
+  done;
+  counts
+
+let logical_error_count c rng ~shots ~decode =
+  let errors = ref 0 in
+  for _ = 1 to shots do
+    let { detectors; observables } = sample_shot c rng in
+    let predicted = decode detectors in
+    if not (Bitvec.equal predicted observables) then incr errors
+  done;
+  !errors
+
+let logical_error_rate c rng ~shots ~decode =
+  if shots <= 0 then invalid_arg "Frame.logical_error_rate: shots must be positive";
+  float_of_int (logical_error_count c rng ~shots ~decode) /. float_of_int shots

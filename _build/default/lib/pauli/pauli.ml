@@ -1,0 +1,113 @@
+(* Representation: value = i^phase * prod_q X_q^{x_q} Z_q^{z_q}.
+   A Y at site q is stored as x=z=1 with a +1 contribution to phase,
+   since Y = i X Z. *)
+
+type t = { x : Bitvec.t; z : Bitvec.t; mutable phase : int; n : int }
+
+let identity n = { x = Bitvec.create n; z = Bitvec.create n; phase = 0; n }
+let nqubits t = t.n
+let phase t = t.phase
+let x_bit t q = Bitvec.get t.x q
+let z_bit t q = Bitvec.get t.z q
+let set_x t q b = Bitvec.set t.x q b
+let set_z t q b = Bitvec.set t.z q b
+
+let copy t = { x = Bitvec.copy t.x; z = Bitvec.copy t.z; phase = t.phase; n = t.n }
+
+let equal a b = a.n = b.n && a.phase = b.phase && Bitvec.equal a.x b.x && Bitvec.equal a.z b.z
+
+let equal_up_to_phase a b = a.n = b.n && Bitvec.equal a.x b.x && Bitvec.equal a.z b.z
+
+let single n q p =
+  let t = identity n in
+  (match p with
+  | 'X' -> Bitvec.set t.x q true
+  | 'Z' -> Bitvec.set t.z q true
+  | 'Y' ->
+      Bitvec.set t.x q true;
+      Bitvec.set t.z q true;
+      t.phase <- 1
+  | _ -> invalid_arg "Pauli.single: expected X, Y, or Z");
+  t
+
+let of_string s =
+  let body, sign_phase =
+    if String.length s = 0 then invalid_arg "Pauli.of_string: empty"
+    else
+      match s.[0] with
+      | '+' -> (String.sub s 1 (String.length s - 1), 0)
+      | '-' -> (String.sub s 1 (String.length s - 1), 2)
+      | _ -> (s, 0)
+  in
+  let n = String.length body in
+  if n = 0 then invalid_arg "Pauli.of_string: no sites";
+  let t = identity n in
+  String.iteri
+    (fun q ch ->
+      match ch with
+      | 'I' -> ()
+      | 'X' -> Bitvec.set t.x q true
+      | 'Z' -> Bitvec.set t.z q true
+      | 'Y' ->
+          Bitvec.set t.x q true;
+          Bitvec.set t.z q true;
+          t.phase <- (t.phase + 1) mod 4
+      | _ -> invalid_arg (Printf.sprintf "Pauli.of_string: bad char %c" ch))
+    body;
+  t.phase <- (t.phase + sign_phase) mod 4;
+  t
+
+let to_string t =
+  let buf = Buffer.create (t.n + 1) in
+  let y_count = ref 0 in
+  let chars =
+    String.init t.n (fun q ->
+        match (Bitvec.get t.x q, Bitvec.get t.z q) with
+        | false, false -> 'I'
+        | true, false -> 'X'
+        | false, true -> 'Z'
+        | true, true ->
+            incr y_count;
+            'Y')
+  in
+  (* Remove the i per Y that the representation carries. *)
+  let residual = ((t.phase - !y_count) mod 4 + 4) mod 4 in
+  (match residual with
+  | 0 -> Buffer.add_char buf '+'
+  | 1 -> Buffer.add_string buf "+i"
+  | 2 -> Buffer.add_char buf '-'
+  | _ -> Buffer.add_string buf "-i");
+  Buffer.add_string buf chars;
+  Buffer.contents buf
+
+let weight t =
+  let w = ref 0 in
+  for q = 0 to t.n - 1 do
+    if Bitvec.get t.x q || Bitvec.get t.z q then incr w
+  done;
+  !w
+
+let commutes a b =
+  if a.n <> b.n then invalid_arg "Pauli.commutes: size mismatch";
+  (Bitvec.and_popcount a.x b.z + Bitvec.and_popcount a.z b.x) mod 2 = 0
+
+let mul a b =
+  if a.n <> b.n then invalid_arg "Pauli.mul: size mismatch";
+  (* Moving each Z in a past each X in b at the same site contributes -1. *)
+  let anticomm = Bitvec.and_popcount a.z b.x in
+  let x = Bitvec.copy a.x and z = Bitvec.copy a.z in
+  Bitvec.xor_into ~dst:x b.x;
+  Bitvec.xor_into ~dst:z b.z;
+  { x; z; phase = (a.phase + b.phase + (2 * anticomm)) mod 4; n = a.n }
+
+let neg t =
+  let t = copy t in
+  t.phase <- (t.phase + 2) mod 4;
+  t
+
+let support t =
+  let acc = ref [] in
+  for q = t.n - 1 downto 0 do
+    if Bitvec.get t.x q || Bitvec.get t.z q then acc := q :: !acc
+  done;
+  !acc

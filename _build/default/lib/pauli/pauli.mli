@@ -1,0 +1,46 @@
+(** Pauli operators on n qubits in symplectic (X|Z) representation.
+
+    A Pauli is a pair of bit vectors: [x] marks qubits with an X component,
+    [z] marks qubits with a Z component (both set = Y), together with a global
+    phase exponent in {0,1,2,3} counting powers of i. *)
+
+type t
+
+val identity : int -> t
+val nqubits : t -> int
+
+val of_string : string -> t
+(** Parse e.g. ["+XIZY"] or ["-ZZ"] or ["XX"] (implicit +). *)
+
+val to_string : t -> string
+
+val phase : t -> int
+(** Power of i in the global phase, 0..3. *)
+
+val x_bit : t -> int -> bool
+val z_bit : t -> int -> bool
+
+val set_x : t -> int -> bool -> unit
+val set_z : t -> int -> bool -> unit
+
+val copy : t -> t
+val equal : t -> t -> bool
+val equal_up_to_phase : t -> t -> bool
+
+val weight : t -> int
+(** Number of non-identity sites. *)
+
+val commutes : t -> t -> bool
+(** Whether the two Paulis commute (symplectic inner product = 0). *)
+
+val mul : t -> t -> t
+(** Product with correct phase tracking. *)
+
+val neg : t -> t
+
+val single : int -> int -> char -> t
+(** [single n q p] is the n-qubit Pauli with [p] in {'X','Y','Z'} at site
+    [q]. *)
+
+val support : t -> int list
+(** Indices of non-identity sites, ascending. *)

@@ -1,0 +1,48 @@
+(** Aaronson–Gottesman CHP stabilizer tableau simulator.
+
+    Exact simulation of Clifford circuits with measurement.  Used to verify
+    code constructions (stabilizer commutation, deterministic detectors) and
+    to cross-validate the Pauli-frame sampler; scales to hundreds of qubits. *)
+
+type t
+
+val create : int -> t
+(** State |0...0⟩ of n qubits. *)
+
+val nqubits : t -> int
+val copy : t -> t
+
+val h : t -> int -> unit
+val s : t -> int -> unit
+val x : t -> int -> unit
+val y : t -> int -> unit
+val z : t -> int -> unit
+val cx : t -> int -> int -> unit
+val cz : t -> int -> int -> unit
+val swap : t -> int -> int -> unit
+
+val measure : t -> Rng.t -> int -> int
+(** Projective Z measurement; returns 0/1, collapsing the state. *)
+
+val measure_deterministic : t -> int -> int option
+(** [Some v] when the Z measurement outcome of the qubit is deterministic,
+    [None] when it would be random. *)
+
+val reset : t -> Rng.t -> int -> unit
+(** Measure and flip to |0⟩ if needed. *)
+
+val apply_pauli : t -> Pauli.t -> unit
+(** Apply a (phaseless) Pauli error to the state. *)
+
+val stabilizer_expectation : t -> Pauli.t -> int option
+(** [Some 1] if the Pauli is in the stabilizer group with + sign, [Some (-1)]
+    with − sign, [None] if the observable is not deterministic.  The Pauli's
+    own phase must be ±1 (not ±i). *)
+
+val run : t -> Rng.t -> Circuit.t -> Bitvec.t
+(** Execute a circuit (sampling noise ops with the RNG) and return the raw
+    measurement record. *)
+
+val detector_values : Circuit.t -> Bitvec.t -> Bitvec.t * Bitvec.t
+(** [detector_values circuit meas] computes (detector parities, observable
+    parities) from a raw measurement record. *)

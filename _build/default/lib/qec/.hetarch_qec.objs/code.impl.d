@@ -1,0 +1,1 @@
+lib/qec/code.ml: Array List Pauli Printf

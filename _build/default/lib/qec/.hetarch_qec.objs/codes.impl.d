@@ -1,0 +1,1 @@
+lib/qec/codes.ml: Array Code Fun List Printf String

@@ -1,0 +1,1 @@
+lib/qec/codes.mli: Code

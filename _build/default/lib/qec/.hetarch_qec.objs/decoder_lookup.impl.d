@@ -1,0 +1,1 @@
+lib/qec/decoder_lookup.ml: Array Code List

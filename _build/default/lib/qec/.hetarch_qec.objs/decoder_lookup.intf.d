@@ -1,0 +1,1 @@
+lib/qec/decoder_lookup.mli: Code

@@ -1,0 +1,1 @@
+lib/qec/decoder_match.ml: Array Bitvec Decoder_uf Dem Float Hashtbl Heap List

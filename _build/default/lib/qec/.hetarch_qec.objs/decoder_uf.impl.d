@@ -1,0 +1,1 @@
+lib/qec/decoder_uf.ml: Array Bitvec Hashtbl List Union_find

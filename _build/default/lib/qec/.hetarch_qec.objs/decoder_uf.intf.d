@@ -1,0 +1,1 @@
+lib/qec/decoder_uf.mli: Bitvec

@@ -1,0 +1,1 @@
+lib/qec/dem_graph.ml: Array Decoder_uf Dem Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/qec/dem_graph.mli: Decoder_uf Dem

@@ -1,0 +1,1 @@
+lib/qec/stab_circuit.ml: Array Bitvec Circuit Code Decoder_lookup Float Frame List

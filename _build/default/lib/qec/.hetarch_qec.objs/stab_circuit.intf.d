@@ -1,0 +1,1 @@
+lib/qec/stab_circuit.mli: Circuit Code Rng

@@ -1,0 +1,1 @@
+lib/qec/surface_circuit.ml: Array Bitvec Circuit Decoder_uf Dem Dem_graph Frame List Option Rng

@@ -1,0 +1,1 @@
+lib/qec/surface_circuit.mli: Circuit Decoder_uf Rng

@@ -1,0 +1,1 @@
+lib/qec/threshold.ml: Code Decoder_lookup Rng

@@ -1,0 +1,1 @@
+lib/qec/threshold.mli: Code Decoder_lookup Rng

@@ -1,0 +1,182 @@
+type edge = { u : int; v : int; weight : int; logical : bool }
+
+type graph = {
+  n : int;  (* real nodes; vertex n is the virtual boundary *)
+  edges : edge array;
+  incident : int list array;  (* vertex -> incident edge ids *)
+}
+
+let boundary = -1
+
+let weighted_graph ~nodes ~edges =
+  if nodes <= 0 then invalid_arg "Decoder_uf.graph: need nodes";
+  let edges =
+    Array.of_list
+      (List.map
+         (fun (u, v, weight, logical) ->
+           let v = if v = boundary then nodes else v in
+           if u < 0 || u >= nodes then invalid_arg "Decoder_uf.graph: bad endpoint";
+           if v < 0 || v > nodes then invalid_arg "Decoder_uf.graph: bad endpoint";
+           if u = v then invalid_arg "Decoder_uf.graph: self-loop";
+           if weight < 1 then invalid_arg "Decoder_uf.graph: weight must be >= 1";
+           { u; v; weight; logical })
+         edges)
+  in
+  let incident = Array.make (nodes + 1) [] in
+  Array.iteri
+    (fun i e ->
+      incident.(e.u) <- i :: incident.(e.u);
+      incident.(e.v) <- i :: incident.(e.v))
+    edges;
+  { n = nodes; edges; incident }
+
+let graph ~nodes ~edges =
+  weighted_graph ~nodes ~edges:(List.map (fun (u, v, l) -> (u, v, 1, l)) edges)
+
+let num_nodes g = g.n
+let num_edges g = Array.length g.edges
+
+(* One decoding pass: grow clusters from defects until each has even parity
+   or touches the boundary, then peel a spanning forest for the correction. *)
+let correction_edges g syndrome =
+  let nv = g.n + 1 in
+  let defect = Array.make nv false in
+  let ndefects = ref 0 in
+  for i = 0 to g.n - 1 do
+    if Bitvec.get syndrome i then begin
+      defect.(i) <- true;
+      incr ndefects
+    end
+  done;
+  if !ndefects = 0 then []
+  else begin
+    let uf = Union_find.create nv in
+    let parity = Array.make nv 0 in
+    let has_boundary = Array.make nv false in
+    has_boundary.(g.n) <- true;
+    for i = 0 to g.n - 1 do
+      if defect.(i) then parity.(i) <- 1
+    done;
+    let border = Array.make nv [] in
+    for v = 0 to nv - 1 do
+      border.(v) <- g.incident.(v)
+    done;
+    let growth = Array.make (Array.length g.edges) 0 in
+    let merge a b =
+      let ra = Union_find.find uf a and rb = Union_find.find uf b in
+      if ra <> rb then begin
+        let p = parity.(ra) + parity.(rb) in
+        let hb = has_boundary.(ra) || has_boundary.(rb) in
+        let combined = List.rev_append border.(ra) border.(rb) in
+        let r = Union_find.union uf a b in
+        parity.(r) <- p mod 2;
+        has_boundary.(r) <- hb;
+        border.(r) <- combined
+      end
+    in
+    let active_roots () =
+      let seen = Hashtbl.create 16 in
+      let acc = ref [] in
+      for v = 0 to g.n - 1 do
+        if defect.(v) then begin
+          let r = Union_find.find uf v in
+          if not (Hashtbl.mem seen r) then begin
+            Hashtbl.add seen r ();
+            if parity.(r) = 1 && not has_boundary.(r) then acc := r :: !acc
+          end
+        end
+      done;
+      !acc
+    in
+    let total_weight =
+      Array.fold_left (fun acc e -> acc + e.weight) 1 g.edges
+    in
+    let rec grow_rounds guard =
+      if guard > 4 * total_weight then
+        failwith "Decoder_uf: growth failed to converge";
+      match active_roots () with
+      | [] -> ()
+      | roots ->
+          let to_merge = ref [] in
+          List.iter
+            (fun r ->
+              (* The root may have been merged by an earlier growth in this
+                 same round; re-check activity. *)
+              let r = Union_find.find uf r in
+              if parity.(r) = 1 && not has_boundary.(r) then begin
+                let remaining = ref [] in
+                List.iter
+                  (fun eid ->
+                    let full = 2 * g.edges.(eid).weight in
+                    if growth.(eid) < full then begin
+                      growth.(eid) <- growth.(eid) + 1;
+                      if growth.(eid) >= full then to_merge := eid :: !to_merge
+                      else remaining := eid :: !remaining
+                    end)
+                  border.(r);
+                border.(r) <- !remaining
+              end)
+            roots;
+          List.iter (fun eid -> merge g.edges.(eid).u g.edges.(eid).v) !to_merge;
+          grow_rounds (guard + 1)
+    in
+    grow_rounds 0;
+    (* Peel: spanning forest over full edges, boundary-first roots. *)
+    let full_adj = Array.make nv [] in
+    Array.iteri
+      (fun eid e ->
+        if growth.(eid) >= 2 * e.weight then begin
+          full_adj.(e.u) <- (eid, e.v) :: full_adj.(e.u);
+          full_adj.(e.v) <- (eid, e.u) :: full_adj.(e.v)
+        end)
+      g.edges;
+    let visited = Array.make nv false in
+    let parent_edge = Array.make nv (-1) in
+    let parent = Array.make nv (-1) in
+    let order = ref [] in
+    let dfs root =
+      let stack = ref [ root ] in
+      visited.(root) <- true;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+            stack := rest;
+            order := v :: !order;
+            List.iter
+              (fun (eid, w) ->
+                if not visited.(w) then begin
+                  visited.(w) <- true;
+                  parent.(w) <- v;
+                  parent_edge.(w) <- eid;
+                  stack := w :: !stack
+                end)
+              full_adj.(v)
+      done
+    in
+    (* Boundary vertex first so odd clusters peel into it. *)
+    dfs g.n;
+    for v = 0 to g.n - 1 do
+      if not visited.(v) then dfs v
+    done;
+    (* !order has leaves last (reverse DFS discovery is a valid
+       children-before-parents order for peeling only if we process in
+       reverse discovery order). *)
+    let correction = ref [] in
+    List.iter
+      (fun v ->
+        if v <> g.n && defect.(v) && parent.(v) >= 0 then begin
+          correction := parent_edge.(v) :: !correction;
+          defect.(v) <- false;
+          if parent.(v) <> g.n then defect.(parent.(v)) <- not defect.(parent.(v))
+        end)
+      !order;
+    !correction
+  end
+
+let decode_correction g syndrome = correction_edges g syndrome
+
+let decode g syndrome =
+  List.fold_left
+    (fun acc eid -> if g.edges.(eid).logical then not acc else acc)
+    false (correction_edges g syndrome)

@@ -1,0 +1,40 @@
+(** Union-find decoder (Delfosse–Nickerson style) over a matching graph.
+
+    Nodes are detectors; each edge is a possible error mechanism flipping its
+    two endpoint detectors (or one detector and the boundary) and carries a
+    flag saying whether that error flips the logical observable.  Clusters
+    grow from defects in half-edge steps and merge until every cluster has
+    even defect parity or touches the boundary; a spanning-forest peeling
+    then extracts a correction, whose accumulated logical flags give the
+    logical-flip prediction.
+
+    This plays the role of PyMatching in the paper's Stim-based experiments;
+    union-find achieves near-matching accuracy at near-linear cost. *)
+
+type graph
+
+val boundary : int
+(** Pseudo-endpoint representing the open boundary (pass as [v]). *)
+
+val graph : nodes:int -> edges:(int * int * bool) list -> graph
+(** [graph ~nodes ~edges]: each edge is [(u, v, flips_logical)]; [v] may be
+    {!boundary}.  Self-loops and out-of-range endpoints are rejected.  All
+    edges have unit weight. *)
+
+val weighted_graph : nodes:int -> edges:(int * int * int * bool) list -> graph
+(** [(u, v, weight, flips_logical)]: clusters must grow [weight] half-steps
+    from each side before the edge closes, so low-probability mechanisms
+    (high weight) are matched across only when nothing cheaper exists.
+    Weights must be >= 1. *)
+
+val num_nodes : graph -> int
+val num_edges : graph -> int
+
+val decode : graph -> Bitvec.t -> bool
+(** [decode g syndrome] returns the predicted logical flip for the defect
+    pattern [syndrome] (one bit per node).  The syndrome must have even total
+    parity or the excess is matched to the boundary. *)
+
+val decode_correction : graph -> Bitvec.t -> int list
+(** The chosen correction as edge indices (ordered as given to {!graph});
+    exposed for tests. *)

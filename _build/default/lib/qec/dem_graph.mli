@@ -1,0 +1,17 @@
+(** Convert a detector error model into a weighted matching graph for the
+    union-find decoder.
+
+    Mechanisms flipping two detectors become edges, one detector becomes a
+    boundary edge, and the rare >2-detector mechanisms (certain hook-error
+    configurations) are decomposed into chained pairs.  Parallel mechanisms
+    merge by probability combination, keeping the likelier mechanism's
+    logical flag.  Edge weights are quantized log-likelihoods
+    round(scale * ln((1-p)/p)). *)
+
+val build :
+  ?scale:float -> ?max_weight:int -> nodes:int -> Dem.mechanism list ->
+  Decoder_uf.graph
+(** Defaults: scale = 2.0, max_weight = 40. *)
+
+val non_graphlike_count : Dem.mechanism list -> int
+(** Number of mechanisms with more than two detectors (diagnostic). *)

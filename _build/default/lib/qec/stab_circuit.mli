@@ -1,0 +1,40 @@
+(** Circuit-level memory experiments for arbitrary CSS codes on the
+    serialized USC architecture — the detailed end of the paper's simulation
+    hierarchy, used to validate the phenomenological module model of {!Uec}.
+
+    One readout ancilla serially extracts every stabilizer each round (Z
+    checks as CX(data->anc), X checks Hadamard-conjugated), data qubits
+    idle at the storage coherence between their turns and at the compute
+    coherence while swapped out, and each CX carries the configured
+    depolarizing error.  Detectors compare consecutive ancilla readings; the
+    experiment is memory-Z (prepared |0...0>, final transversal Z
+    measurement, logical Z observable). *)
+
+type params = {
+  ts : float;  (** storage coherence while parked *)
+  tc : float;  (** compute coherence while out for a check *)
+  p2 : float;  (** CX depolarizing *)
+  t_2q : float;
+  t_swap : float;
+  t_readout : float;
+}
+
+val default : ts:float -> params
+(** Paper §4.2 settings with the given storage coherence. *)
+
+val memory_z : ?params:params -> Code.t -> rounds:int -> Circuit.t
+(** Build the full noisy circuit.  X-stabilizer ancilla readings are
+    recorded but, being random in the |0> state, only their round-to-round
+    differences form detectors; Z-stabilizer detectors start at round 0.
+    Raises for codes whose first-round X extraction would make Z detectors
+    nondeterministic only if construction fails validation. *)
+
+val logical_z_error_rate :
+  ?params:params -> Code.t -> rounds:int -> shots:int -> Rng.t -> float
+(** Monte-Carlo logical-Z error per shot: frame-sample the circuit, fold the
+    telescoping detector parities into the final-residual syndrome (ancilla
+    measurement errors cancel), decode with the code's lookup table, and
+    compare against the logical-Z observable. *)
+
+val per_round : shot_rate:float -> rounds:int -> float
+(** 1 - (1 - P)^(1/rounds). *)

@@ -1,0 +1,49 @@
+(** Circuit-level rotated-surface-code memory experiment (paper §4.2.1).
+
+    Builds the full noisy Clifford circuit for a Z-basis memory experiment —
+    the heterogeneous ParCheck standard cell tiled across the code — along
+    with the matching graph its detectors decode on.  Noise model follows the
+    paper: two-qubit depolarizing error on every CX, coherence-limited idling
+    on every qubit in every schedule slot (data and ancilla can have
+    different T1 = T2 coherence times, the paper's Tcd / Tca), 1 us
+    error-free readout during which data qubits idle. *)
+
+type params = {
+  distance : int;
+  rounds : int;
+  t_data : float;  (** data-qubit coherence Tcd (T1 = T2), seconds *)
+  t_anc : float;  (** ancilla-qubit coherence Tca, seconds *)
+  p2 : float;  (** two-qubit gate depolarizing probability (paper: 1e-2) *)
+  t_1q : float;  (** single-qubit gate time (paper: 40 ns) *)
+  t_2q : float;  (** two-qubit gate time (paper: 100 ns) *)
+  t_meas : float;  (** readout time (paper: 1 us) *)
+}
+
+val default : distance:int -> params
+(** Paper's §4.2.1 settings: rounds = distance, Tcd = Tca = 0.1 ms, 1% CX
+    error, 40 ns / 100 ns / 1 us timings. *)
+
+type experiment = {
+  circuit : Circuit.t;
+  graph : Decoder_uf.graph;
+  params : params;
+  n_qubits : int;
+  n_z_stabs : int;
+}
+
+val build : params -> experiment
+(** Construct the memory-Z experiment.  Detector i of the circuit is node i
+    of the matching graph; the single observable is logical Z. *)
+
+val build_varied : sigma:float -> Rng.t -> params -> experiment
+(** Like {!build}, but every qubit's coherence time is drawn log-normally
+    around its nominal value with log-std [sigma] — fabrication variability
+    (§5: device variability as p-cells).  The decoding graph is rebuilt from
+    the varied circuit's DEM, so the decoder knows the per-qubit rates. *)
+
+val logical_error_rate : experiment -> Rng.t -> shots:int -> float
+(** Monte-Carlo logical error rate per shot (per [rounds] cycles). *)
+
+val per_cycle_rate : shot_rate:float -> rounds:int -> float
+(** Convert a per-shot logical error probability into the per-cycle rate the
+    paper plots: 1 - (1 - P)^(1/rounds). *)

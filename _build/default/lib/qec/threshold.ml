@@ -1,0 +1,36 @@
+let logical_rate (code : Code.t) decoder ~p ~shots rng =
+  if p < 0. || p > 1. then invalid_arg "Threshold.logical_rate: bad p";
+  let errors = ref 0 in
+  for _ = 1 to shots do
+    let xerr = ref [] and zerr = ref [] in
+    for q = 0 to code.Code.n - 1 do
+      if Rng.bernoulli rng p then begin
+        match Rng.int rng 3 with
+        | 0 -> xerr := q :: !xerr
+        | 1 -> zerr := q :: !zerr
+        | _ ->
+            xerr := q :: !xerr;
+            zerr := q :: !zerr
+      end
+    done;
+    let x_fail = Decoder_lookup.logical_x_error_after_correction decoder ~actual:!xerr in
+    let z_fail = Decoder_lookup.logical_z_error_after_correction decoder ~actual:!zerr in
+    if x_fail || z_fail then incr errors
+  done;
+  float_of_int !errors /. float_of_int shots
+
+let pseudothreshold ?(lo = 1e-4) ?(hi = 0.45) ?(iters = 12) ?(shots = 20_000)
+    (code : Code.t) rng =
+  let decoder = Decoder_lookup.create code in
+  let excess p = logical_rate code decoder ~p ~shots rng -. p in
+  let lo = ref lo and hi = ref hi in
+  (* L(p) - p is negative below pseudothreshold.  If the code is never below
+     threshold the bisection collapses to lo. *)
+  if excess !lo > 0. then !lo
+  else begin
+    for _ = 1 to iters do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if excess mid < 0. then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end

@@ -1,0 +1,18 @@
+(** Pseudothreshold estimation (paper Table 3).
+
+    A code with a single distance operates "below pseudothreshold" when its
+    logical error rate is below the physical error rate of the hardware.  We
+    estimate the crossing point of L(p) = p under code-capacity depolarizing
+    noise with the code's own lookup decoder. *)
+
+val logical_rate :
+  Code.t -> Decoder_lookup.t -> p:float -> shots:int -> Rng.t -> float
+(** Monte-Carlo logical error rate under iid single-qubit depolarizing noise
+    of strength [p] (each qubit suffers X, Y or Z with probability p/3 each),
+    with perfect syndrome extraction and lookup decoding.  A shot errs when
+    either the X- or Z-type residual flips the logical qubit. *)
+
+val pseudothreshold :
+  ?lo:float -> ?hi:float -> ?iters:int -> ?shots:int -> Code.t -> Rng.t -> float
+(** Bisection solve of L(p) = p.  Defaults: lo = 1e-4, hi = 0.45, 12
+    iterations, 20_000 shots per evaluation. *)

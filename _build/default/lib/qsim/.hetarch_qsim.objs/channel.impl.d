@@ -1,0 +1,1 @@
+lib/qsim/channel.ml: Cmat Complex Float Gate List Printf

@@ -1,0 +1,1 @@
+lib/qsim/channel.mli: Cmat

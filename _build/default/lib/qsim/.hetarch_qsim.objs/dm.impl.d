@@ -1,0 +1,1 @@
+lib/qsim/dm.ml: Array Channel Cmat Complex Float Gate List Rng String

@@ -1,0 +1,1 @@
+lib/qsim/dm.mli: Channel Cmat Complex Rng

@@ -1,0 +1,1 @@
+lib/qsim/gate.ml: Cmat Complex Float Printf String

@@ -1,0 +1,1 @@
+lib/qsim/gate.mli: Cmat

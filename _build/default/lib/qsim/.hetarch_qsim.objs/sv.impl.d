@@ -1,0 +1,1 @@
+lib/qsim/sv.ml: Array Channel Cmat Complex Dm List Rng

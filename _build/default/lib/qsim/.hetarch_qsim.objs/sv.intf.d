@@ -1,0 +1,1 @@
+lib/qsim/sv.mli: Channel Cmat Complex Dm Rng

@@ -1,0 +1,121 @@
+type t = { name : string; kraus : Cmat.t list }
+
+let nqubits t =
+  match t.kraus with
+  | [] -> invalid_arg "Channel.nqubits: empty channel"
+  | k :: _ ->
+      let d = k.Cmat.rows in
+      let n = int_of_float (Float.round (Float.log2 (float_of_int d))) in
+      if 1 lsl n <> d then invalid_arg "Channel.nqubits: non-power-of-two dim";
+      n
+
+let c re im = { Complex.re; im }
+let r x = c x 0.
+let z0 = r 0.
+
+let identity n = { name = "id"; kraus = [ Cmat.identity (1 lsl n) ] }
+
+let amplitude_damping gamma =
+  if gamma < 0. || gamma > 1. then invalid_arg "Channel.amplitude_damping";
+  { name = Printf.sprintf "amp_damp(%g)" gamma;
+    kraus =
+      [ Cmat.of_lists [ [ r 1.; z0 ]; [ z0; r (sqrt (1. -. gamma)) ] ];
+        Cmat.of_lists [ [ z0; r (sqrt gamma) ]; [ z0; z0 ] ] ] }
+
+let phase_damping lambda =
+  if lambda < 0. || lambda > 1. then invalid_arg "Channel.phase_damping";
+  { name = Printf.sprintf "phase_damp(%g)" lambda;
+    kraus =
+      [ Cmat.of_lists [ [ r 1.; z0 ]; [ z0; r (sqrt (1. -. lambda)) ] ];
+        Cmat.of_lists [ [ z0; z0 ]; [ z0; r (sqrt lambda) ] ] ] }
+
+let pauli1 ~px ~py ~pz =
+  let pi = 1. -. px -. py -. pz in
+  if pi < -1e-12 || px < 0. || py < 0. || pz < 0. then invalid_arg "Channel.pauli1";
+  let pi = max 0. pi in
+  { name = Printf.sprintf "pauli(%g,%g,%g)" px py pz;
+    kraus =
+      [ Cmat.scale_re (sqrt pi) Gate.i2;
+        Cmat.scale_re (sqrt px) Gate.x;
+        Cmat.scale_re (sqrt py) Gate.y;
+        Cmat.scale_re (sqrt pz) Gate.z ] }
+
+let dephasing p = { (pauli1 ~px:0. ~py:0. ~pz:p) with name = Printf.sprintf "dephase(%g)" p }
+let bit_flip p = { (pauli1 ~px:p ~py:0. ~pz:0.) with name = Printf.sprintf "bitflip(%g)" p }
+
+let depolarizing1 p =
+  { (pauli1 ~px:(p /. 3.) ~py:(p /. 3.) ~pz:(p /. 3.)) with
+    name = Printf.sprintf "depol1(%g)" p }
+
+let depolarizing2 p =
+  if p < 0. || p > 1. then invalid_arg "Channel.depolarizing2";
+  let paulis = [ "II"; "IX"; "IY"; "IZ"; "XI"; "XX"; "XY"; "XZ";
+                 "YI"; "YX"; "YY"; "YZ"; "ZI"; "ZX"; "ZY"; "ZZ" ] in
+  let kraus =
+    List.map
+      (fun ps ->
+        let weight = if ps = "II" then 1. -. p else p /. 15. in
+        Cmat.scale_re (sqrt weight) (Gate.pauli_string ps))
+      paulis
+  in
+  { name = Printf.sprintf "depol2(%g)" p; kraus }
+
+let idle ~t1 ~t2 ~dt =
+  if t1 <= 0. || t2 <= 0. || dt < 0. then invalid_arg "Channel.idle: bad times";
+  if t2 > 2. *. t1 +. 1e-12 then
+    invalid_arg "Channel.idle: unphysical T2 > 2*T1";
+  let gamma = 1. -. exp (-.dt /. t1) in
+  (* Total off-diagonal decay must be exp(-dt/t2); amplitude damping alone
+     gives exp(-dt/(2 t1)), pure dephasing supplies the rest. *)
+  let residual = (1. /. t2) -. (1. /. (2. *. t1)) in
+  let lambda = 1. -. exp (-2. *. dt *. residual) in
+  let lambda = max 0. lambda in
+  let a = amplitude_damping gamma and p = phase_damping lambda in
+  { name = Printf.sprintf "idle(t1=%g,t2=%g,dt=%g)" t1 t2 dt;
+    kraus =
+      List.concat_map (fun ka -> List.map (fun kp -> Cmat.mul kp ka) p.kraus) a.kraus }
+
+let compose a b =
+  { name = Printf.sprintf "%s;%s" a.name b.name;
+    kraus =
+      List.concat_map (fun ka -> List.map (fun kb -> Cmat.mul kb ka) b.kraus) a.kraus }
+
+let of_unitary name u =
+  if not (Gate.is_unitary u) then invalid_arg "Channel.of_unitary: not unitary";
+  { name; kraus = [ u ] }
+
+let is_cptp ?(tol = 1e-9) t =
+  match t.kraus with
+  | [] -> false
+  | k :: _ ->
+      let d = k.Cmat.rows in
+      let acc =
+        List.fold_left
+          (fun acc ki -> Cmat.add acc (Cmat.mul (Cmat.adjoint ki) ki))
+          (Cmat.create d d) t.kraus
+      in
+      Cmat.approx_equal ~tol acc (Cmat.identity d)
+
+let apply t ~targets ~nqubits:n rho =
+  let k = nqubits t in
+  if List.length targets <> k then invalid_arg "Channel.apply: target count mismatch";
+  let dim = 1 lsl n in
+  List.fold_left
+    (fun acc ki ->
+      let full = Cmat.embed_unitary ~nqubits:n ~targets ki in
+      Cmat.add acc (Cmat.sandwich full rho))
+    (Cmat.create dim dim) t.kraus
+
+let average_gate_fidelity_vs_identity t =
+  match t.kraus with
+  | [] -> 0.
+  | k :: _ ->
+      let d = float_of_int k.Cmat.rows in
+      let sum =
+        List.fold_left
+          (fun acc ki ->
+            let tr = Cmat.trace ki in
+            acc +. (tr.Complex.re *. tr.Complex.re) +. (tr.Complex.im *. tr.Complex.im))
+          0. t.kraus
+      in
+      ((sum /. d) +. 1.) /. (d +. 1.)

@@ -1,0 +1,131 @@
+type t = { n : int; mutable rho : Cmat.t }
+
+let create n =
+  if n < 1 || n > 14 then invalid_arg "Dm.create: supported range is 1..14 qubits";
+  let dim = 1 lsl n in
+  let rho = Cmat.create dim dim in
+  Cmat.set rho 0 0 Complex.one;
+  { n; rho }
+
+let nqubits t = t.n
+let rho t = t.rho
+
+let of_ket amps =
+  let dim = Array.length amps in
+  let n = int_of_float (Float.round (Float.log2 (float_of_int dim))) in
+  if 1 lsl n <> dim then invalid_arg "Dm.of_ket: length must be a power of two";
+  let norm2 =
+    Array.fold_left
+      (fun acc (a : Complex.t) -> acc +. (a.re *. a.re) +. (a.im *. a.im))
+      0. amps
+  in
+  if norm2 <= 0. then invalid_arg "Dm.of_ket: zero vector";
+  let s = 1. /. sqrt norm2 in
+  let rho =
+    Cmat.init dim dim (fun i j ->
+        let ai = amps.(i) and aj = amps.(j) in
+        (* a_i * conj(a_j) / norm2 *)
+        { Complex.re = ((ai.re *. aj.re) +. (ai.im *. aj.im)) *. s *. s;
+          im = ((ai.im *. aj.re) -. (ai.re *. aj.im)) *. s *. s })
+  in
+  { n; rho }
+
+let bell_pair () =
+  let a = 1. /. sqrt 2. in
+  of_ket [| { Complex.re = a; im = 0. }; Complex.zero; Complex.zero; { Complex.re = a; im = 0. } |]
+
+let ghz n =
+  if n < 1 then invalid_arg "Dm.ghz";
+  let dim = 1 lsl n in
+  let amps = Array.make dim Complex.zero in
+  let a = 1. /. sqrt 2. in
+  amps.(0) <- { Complex.re = a; im = 0. };
+  amps.(dim - 1) <- { Complex.re = a; im = 0. };
+  of_ket amps
+
+let copy t = { t with rho = Cmat.copy t.rho }
+
+let apply_unitary t u targets =
+  let full = Cmat.embed_unitary ~nqubits:t.n ~targets u in
+  t.rho <- Cmat.sandwich full t.rho
+
+let apply_channel t ch targets =
+  t.rho <- Channel.apply ch ~targets ~nqubits:t.n t.rho
+
+let idle t ~t1 ~t2 ~dt qubits =
+  if dt > 0. then begin
+    let ch = Channel.idle ~t1 ~t2 ~dt in
+    List.iter (fun q -> apply_channel t ch [ q ]) qubits
+  end
+
+(* Probability that qubit q reads 1: sum of diagonal entries whose q-th bit
+   (qubit 0 = most significant) is set. *)
+let prob_one t q =
+  if q < 0 || q >= t.n then invalid_arg "Dm.prob_one: bad qubit";
+  let dim = 1 lsl t.n in
+  let bit = t.n - 1 - q in
+  let acc = ref 0. in
+  for i = 0 to dim - 1 do
+    if (i lsr bit) land 1 = 1 then acc := !acc +. (Cmat.get t.rho i i).Complex.re
+  done;
+  !acc
+
+let project t q outcome =
+  let dim = 1 lsl t.n in
+  let bit = t.n - 1 - q in
+  let proj =
+    Cmat.init dim dim (fun i j ->
+        if i = j && (i lsr bit) land 1 = outcome then Complex.one else Complex.zero)
+  in
+  Cmat.sandwich proj t.rho
+
+let postselect t q outcome =
+  if outcome <> 0 && outcome <> 1 then invalid_arg "Dm.postselect: outcome";
+  let p = if outcome = 1 then prob_one t q else 1. -. prob_one t q in
+  if p < 1e-12 then invalid_arg "Dm.postselect: branch probability ~ 0";
+  let projected = project t q outcome in
+  t.rho <- Cmat.scale_re (1. /. p) projected;
+  p
+
+let measure t rng q =
+  let p1 = prob_one t q in
+  let outcome = if Rng.uniform rng < p1 then 1 else 0 in
+  ignore (postselect t q outcome);
+  outcome
+
+let expectation t pstring =
+  if String.length pstring <> t.n then invalid_arg "Dm.expectation: length mismatch";
+  let op = Gate.pauli_string pstring in
+  (Cmat.trace (Cmat.mul op t.rho)).Complex.re
+
+let fidelity_pure t amps =
+  let dim = 1 lsl t.n in
+  if Array.length amps <> dim then invalid_arg "Dm.fidelity_pure: length mismatch";
+  (* <psi| rho |psi> = sum_ij conj(a_i) rho_ij a_j *)
+  let acc = ref 0. in
+  for i = 0 to dim - 1 do
+    for j = 0 to dim - 1 do
+      let ai = amps.(i) and aj = amps.(j) in
+      let rij = Cmat.get t.rho i j in
+      (* conj(ai) * rij * aj, real part *)
+      let bre = (ai.Complex.re *. rij.Complex.re) +. (ai.Complex.im *. rij.Complex.im) in
+      let bim = (ai.Complex.re *. rij.Complex.im) -. (ai.Complex.im *. rij.Complex.re) in
+      acc := !acc +. (bre *. aj.Complex.re) -. (bim *. aj.Complex.im)
+    done
+  done;
+  !acc
+
+let fidelity_bell t =
+  if t.n <> 2 then invalid_arg "Dm.fidelity_bell: need exactly 2 qubits";
+  let a = 1. /. sqrt 2. in
+  fidelity_pure t
+    [| { Complex.re = a; im = 0. }; Complex.zero; Complex.zero; { Complex.re = a; im = 0. } |]
+
+let purity t =
+  (Cmat.trace (Cmat.mul t.rho t.rho)).Complex.re
+
+let trace t = (Cmat.trace t.rho).Complex.re
+
+let ptrace t ~keep =
+  let reduced = Cmat.ptrace ~keep ~nqubits:t.n t.rho in
+  { n = List.length keep; rho = reduced }

@@ -1,0 +1,65 @@
+(** Density-matrix state of an n-qubit register.
+
+    This is the exact device-level simulator used to characterize standard
+    cells.  Dimensions grow as 4^n so it is intended for n up to ~8, which
+    covers every cell in the paper. *)
+
+type t
+(** Mutable simulator state. *)
+
+val create : int -> t
+(** [create n] starts in |0...0⟩⟨0...0|. *)
+
+val nqubits : t -> int
+val rho : t -> Cmat.t
+(** The current density matrix (a copy is not taken; do not mutate). *)
+
+val of_ket : Complex.t array -> t
+(** Pure state from an amplitude vector of length [2^n] (normalized
+    internally). *)
+
+val bell_pair : unit -> t
+(** Two-qubit (|00⟩+|11⟩)/√2. *)
+
+val ghz : int -> t
+(** n-qubit GHZ (CAT) state. *)
+
+val copy : t -> t
+
+val apply_unitary : t -> Cmat.t -> int list -> unit
+(** [apply_unitary t u targets] conjugates the state by [u] lifted to the
+    given qubits (first listed qubit = most significant bit of [u]). *)
+
+val apply_channel : t -> Channel.t -> int list -> unit
+
+val idle : t -> t1:float -> t2:float -> dt:float -> int list -> unit
+(** Apply the thermal idle channel to each listed qubit. *)
+
+val prob_one : t -> int -> float
+(** Probability of reading 1 on a qubit (Z basis), without collapsing. *)
+
+val measure : t -> Rng.t -> int -> int
+(** Projective Z measurement with collapse; returns 0 or 1. *)
+
+val postselect : t -> int -> int -> float
+(** [postselect t q outcome] projects qubit [q] onto [outcome] and
+    renormalizes; returns the probability of that branch.  Raises if the
+    branch has (near-)zero probability. *)
+
+val expectation : t -> string -> float
+(** Expectation value of a Pauli string over all qubits (length must equal
+    [nqubits]). *)
+
+val fidelity_pure : t -> Complex.t array -> float
+(** ⟨ψ|ρ|ψ⟩ against a pure target given as amplitudes. *)
+
+val fidelity_bell : t -> float
+(** Fidelity of a 2-qubit state against (|00⟩+|11⟩)/√2. *)
+
+val purity : t -> float
+(** Tr ρ². *)
+
+val trace : t -> float
+
+val ptrace : t -> keep:int list -> t
+(** New simulator holding the reduced state of the kept qubits. *)

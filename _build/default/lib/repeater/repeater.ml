@@ -1,0 +1,232 @@
+type config = {
+  n_links : int;
+  link_rate_hz : float;
+  link_infidelity : float * float;
+  ts : float;
+  tc : float;
+  swap_threshold : float;
+  delivery_threshold : float;
+  gate_time_2q : float;
+  gate_time_1q : float;
+  readout_time : float;
+  memory_per_link : int;
+}
+
+let default ?(ts = 12.5e-3) ~n_links ~link_rate_hz () =
+  if n_links < 1 then invalid_arg "Repeater.default: n_links >= 1";
+  { n_links;
+    link_rate_hz;
+    link_infidelity = (0.01, 0.05);
+    ts;
+    tc = 0.5e-3;
+    (* End-to-end infidelity is roughly the sum over links, so each link must
+       be distilled to its share of the delivery budget before swapping. *)
+    swap_threshold = Float.max 0.98 (1. -. (0.05 /. (float_of_int n_links +. 2.)));
+    delivery_threshold = 0.95;
+    gate_time_2q = 100e-9;
+    gate_time_1q = 40e-9;
+    readout_time = 1e-6;
+    memory_per_link = 3 }
+
+let homogeneous ~n_links ~link_rate_hz () =
+  let cfg = default ~n_links ~link_rate_hz () in
+  { cfg with ts = cfg.tc }
+
+type result = {
+  delivered : int;
+  delivered_fidelity_sum : float;
+  swaps : int;
+  link_distills : int;
+  horizon : float;
+}
+
+type stored = { mutable state : Bell_pair.t; mutable since : float; rounds : int }
+
+(* A segment is an entangled pair spanning nodes [left, right]. *)
+type segment = { left : int; right : int; mutable pair : stored }
+
+type sim = {
+  cfg : config;
+  rng : Rng.t;
+  links : stored list array;  (* per-link memory *)
+  mutable segments : segment list;
+  mutable delivered : int;
+  mutable fidelity_sum : float;
+  mutable swaps : int;
+  mutable distills : int;
+}
+
+let refresh cfg now p =
+  let dt = now -. p.since in
+  if dt > 0. then begin
+    p.state <- Bell_pair.decay p.state ~t1:cfg.ts ~t2:cfg.ts ~dt;
+    p.since <- now
+  end
+
+let remove_phys l p = List.filter (fun q -> q != p) l
+
+let worst pairs =
+  match pairs with
+  | [] -> None
+  | hd :: tl ->
+      Some
+        (List.fold_left
+           (fun acc p ->
+             if Bell_pair.fidelity p.state < Bell_pair.fidelity acc.state then p else acc)
+           hd tl)
+
+(* One DEJMPS round on the link's compute qubits: gate-phase decay at Tc
+   around the recurrence (the survivor is immediately re-stored). *)
+let noisy_dejmps cfg a b =
+  let gate_phase = cfg.gate_time_1q +. cfg.gate_time_2q +. cfg.gate_time_2q in
+  let prep p = Bell_pair.decay p ~t1:cfg.tc ~t2:cfg.tc ~dt:gate_phase in
+  Bell_pair.dejmps (prep a) (prep b)
+
+(* Entanglement swap at a node: both halves ride compute qubits through the
+   Bell measurement. *)
+let noisy_swap cfg a b =
+  let dt = cfg.gate_time_2q +. cfg.gate_time_1q +. cfg.readout_time in
+  let a = Bell_pair.decay_one_sided a ~t1:cfg.tc ~t2:cfg.tc ~dt in
+  let b = Bell_pair.decay_one_sided b ~t1:cfg.tc ~t2:cfg.tc ~dt in
+  Bell_pair.swap a b
+
+let best_same_round_pairing pairs =
+  let arr = Array.of_list pairs in
+  let best = ref None in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      if arr.(i).rounds = arr.(j).rounds then begin
+        let pred = Bell_pair.dejmps_predicted_fidelity arr.(i).state arr.(j).state in
+        match !best with
+        | Some (p, _, _) when p >= pred -> ()
+        | _ -> best := Some (pred, arr.(i), arr.(j))
+      end
+    done
+  done;
+  !best
+
+let rec process_link sim now link =
+  let cfg = sim.cfg in
+  List.iter (refresh cfg now) sim.links.(link);
+  (* Promote a threshold pair to a segment when this link has none. *)
+  let has_segment =
+    List.exists (fun s -> s.left = link && s.right = link + 1) sim.segments
+  in
+  let best =
+    List.fold_left
+      (fun acc p ->
+        match acc with
+        | Some b when Bell_pair.fidelity b.state >= Bell_pair.fidelity p.state -> acc
+        | _ -> Some p)
+      None sim.links.(link)
+  in
+  match best with
+  | Some b when (not has_segment) && Bell_pair.fidelity b.state >= cfg.swap_threshold ->
+      sim.links.(link) <- remove_phys sim.links.(link) b;
+      if cfg.n_links = 1 then begin
+        (* Single link: the distilled pair is already end to end. *)
+        if Bell_pair.fidelity b.state >= cfg.delivery_threshold then begin
+          sim.delivered <- sim.delivered + 1;
+          sim.fidelity_sum <- sim.fidelity_sum +. Bell_pair.fidelity b.state
+        end
+      end
+      else begin
+        sim.segments <- { left = link; right = link + 1; pair = b } :: sim.segments;
+        try_swaps sim now
+      end
+  | _ -> (
+      (* Distill toward threshold. *)
+      match best_same_round_pairing sim.links.(link) with
+      | Some (pred, a, b)
+        when pred > max (Bell_pair.fidelity a.state) (Bell_pair.fidelity b.state) ->
+          sim.links.(link) <- remove_phys (remove_phys sim.links.(link) a) b;
+          sim.distills <- sim.distills + 1;
+          let p_succ, out = noisy_dejmps cfg a.state b.state in
+          if Rng.bernoulli sim.rng p_succ then begin
+            let pair = { state = out; since = now; rounds = max a.rounds b.rounds + 1 } in
+            sim.links.(link) <- pair :: sim.links.(link)
+          end;
+          process_link sim now link
+      | _ -> ())
+
+and try_swaps sim now =
+  let cfg = sim.cfg in
+  (* Merge any two adjacent segments. *)
+  let rec find_adjacent = function
+    | [] -> None
+    | s :: rest -> (
+        match List.find_opt (fun t -> t.left = s.right) sim.segments with
+        | Some t -> Some (s, t)
+        | None -> find_adjacent rest)
+  in
+  match find_adjacent sim.segments with
+  | Some (s, t) ->
+      refresh cfg now s.pair;
+      refresh cfg now t.pair;
+      sim.segments <- List.filter (fun u -> u != s && u != t) sim.segments;
+      sim.swaps <- sim.swaps + 1;
+      let merged = noisy_swap cfg s.pair.state t.pair.state in
+      let seg =
+        { left = s.left; right = t.right;
+          pair = { state = merged; since = now; rounds = 0 } }
+      in
+      if seg.left = 0 && seg.right = cfg.n_links then begin
+        (* End-to-end pair. *)
+        if Bell_pair.fidelity merged >= cfg.delivery_threshold then begin
+          sim.delivered <- sim.delivered + 1;
+          sim.fidelity_sum <- sim.fidelity_sum +. Bell_pair.fidelity merged
+        end
+      end
+      else sim.segments <- seg :: sim.segments;
+      try_swaps sim now
+  | None -> ()
+
+let store_arrival sim now link pair =
+  let cfg = sim.cfg in
+  List.iter (refresh cfg now) sim.links.(link);
+  let fresh = { state = pair; since = now; rounds = 0 } in
+  if List.length sim.links.(link) < cfg.memory_per_link then
+    sim.links.(link) <- fresh :: sim.links.(link)
+  else begin
+    match worst sim.links.(link) with
+    | Some w when Bell_pair.fidelity w.state < Bell_pair.fidelity pair ->
+        sim.links.(link) <- fresh :: remove_phys sim.links.(link) w
+    | _ -> ()
+  end;
+  process_link sim now link
+
+let run cfg rng ~horizon =
+  if horizon <= 0. then invalid_arg "Repeater.run: horizon must be positive";
+  let lo, hi = cfg.link_infidelity in
+  let source = Ep_source.create ~infidelity_lo:lo ~infidelity_hi:hi ~rate_hz:cfg.link_rate_hz () in
+  let des = Des.create () in
+  let sim =
+    { cfg; rng;
+      links = Array.make cfg.n_links [];
+      segments = [];
+      delivered = 0;
+      fidelity_sum = 0.;
+      swaps = 0;
+      distills = 0 }
+  in
+  let rec arrival link des =
+    if Des.now des <= horizon then begin
+      store_arrival sim (Des.now des) link (Ep_source.sample_pair source sim.rng);
+      Des.schedule des ~delay:(Ep_source.next_gap source sim.rng) (arrival link)
+    end
+  in
+  for link = 0 to cfg.n_links - 1 do
+    Des.schedule des ~delay:(Ep_source.next_gap source sim.rng) (arrival link)
+  done;
+  Des.run_until des horizon;
+  { delivered = sim.delivered;
+    delivered_fidelity_sum = sim.fidelity_sum;
+    swaps = sim.swaps;
+    link_distills = sim.distills;
+    horizon }
+
+let delivered_rate_per_ms (r : result) =
+  float_of_int r.delivered /. (r.horizon *. 1e3)
+
+let mean_delivered_fidelity (r : result) =
+  if r.delivered = 0 then 0. else r.delivered_fidelity_sum /. float_of_int r.delivered

@@ -1,0 +1,1 @@
+lib/teleport/cat_sim.ml: Array Bitvec Circuit Frame List

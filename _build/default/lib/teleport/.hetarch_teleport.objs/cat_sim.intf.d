@@ -1,0 +1,1 @@
+lib/teleport/cat_sim.mli: Circuit Rng

@@ -1,0 +1,1 @@
+lib/teleport/ct_protocol.ml: Code Des Distill_module Rng Teleport Uec

@@ -1,0 +1,1 @@
+lib/teleport/ct_protocol.mli: Code Rng Teleport

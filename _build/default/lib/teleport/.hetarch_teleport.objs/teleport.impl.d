@@ -1,0 +1,1 @@
+lib/teleport/teleport.ml: Code Distill_module Grid List Rng Router Uec

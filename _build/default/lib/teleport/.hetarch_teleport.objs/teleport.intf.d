@@ -1,0 +1,1 @@
+lib/teleport/teleport.mli: Code Rng Uec

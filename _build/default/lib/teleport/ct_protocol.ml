@@ -1,0 +1,121 @@
+type stage_times = {
+  ep_period : float;
+  eps_needed : int;
+  cat_time : float;
+  plus_time_a : float;
+  plus_time_b : float;
+  transversal_time : float;
+  meas_time : float;
+}
+
+let characterize ?(params = Teleport.default_params) ~code_a ~code_b ~ts rng =
+  (* EP period from a short calibration run of the distillation module. *)
+  let dcfg =
+    { (Distill_module.heterogeneous ~ts ~rate_hz:params.Teleport.ep_rate_hz ()) with
+      Distill_module.target_fidelity = params.Teleport.ep_target }
+  in
+  let calib = Distill_module.run dcfg rng ~horizon:2e-3 in
+  let ep_period =
+    if calib.Distill_module.delivered = 0 then infinity
+    else calib.Distill_module.horizon /. float_of_int calib.Distill_module.delivered
+  in
+  let u = params.Teleport.uec in
+  let n_cat = code_a.Code.n + code_b.Code.n in
+  let cat_time =
+    (float_of_int (n_cat - 1) *. (u.Uec.t_2q +. (2. *. u.Uec.t_swap)))
+    +. (float_of_int params.Teleport.cat_verify_checks
+       *. ((2. *. u.Uec.t_2q) +. u.Uec.t_readout))
+  in
+  let round_time code =
+    let prof = Uec.profile ~params:u (Uec.Het { ts }) code in
+    prof.Uec.round_time
+  in
+  let plus_time code = 2. *. round_time code in
+  let transversal_time =
+    float_of_int n_cat *. ((2. *. u.Uec.t_swap) +. u.Uec.t_2q)
+  in
+  { ep_period;
+    eps_needed = 1 + params.Teleport.cat_verify_checks;
+    cat_time;
+    plus_time_a = plus_time code_a;
+    plus_time_b = plus_time code_b;
+    transversal_time;
+    meas_time = round_time code_a }
+
+type result = {
+  produced : int;
+  mean_latency : float;
+  max_latency : float;
+  horizon : float;
+}
+
+(* Pipeline state per in-flight preparation. *)
+type prep = {
+  started : float;
+  mutable eps : int;
+  mutable cat_done : bool;
+  mutable plus_a_done : bool;
+  mutable plus_b_done : bool;
+}
+
+let run st rng ~horizon =
+  if horizon <= 0. then invalid_arg "Ct_protocol.run: horizon must be positive";
+  if st.ep_period = infinity then
+    { produced = 0; mean_latency = 0.; max_latency = 0.; horizon }
+  else begin
+    let des = Des.create () in
+    let produced = ref 0 in
+    let latency_sum = ref 0. and latency_max = ref 0. in
+    (* Module-set resources gate the pipeline: one CAT generator pair, one
+       UEC pair, one transversal/measurement path. *)
+    let rec start_prep des =
+      if Des.now des <= horizon then begin
+        let p =
+          { started = Des.now des; eps = 0; cat_done = false; plus_a_done = false;
+            plus_b_done = false }
+        in
+        (* Step 1: collect EPs (serial on the distillation module). *)
+        let rec collect des =
+          p.eps <- p.eps + 1;
+          if p.eps < st.eps_needed then
+            Des.schedule des ~delay:(Rng.exponential rng (1. /. st.ep_period)) collect
+          else begin
+            (* Steps 2-3 proceed in parallel: CAT growth (consuming the EPs
+               via remote gates) and the two logical |+> preparations. *)
+            Des.schedule des ~delay:st.cat_time (fun des ->
+                p.cat_done <- true;
+                join des);
+            Des.schedule des ~delay:st.plus_time_a (fun des ->
+                p.plus_a_done <- true;
+                join des);
+            Des.schedule des ~delay:st.plus_time_b (fun des ->
+                p.plus_b_done <- true;
+                join des);
+            (* the distillation module is free again: pipeline the next
+               preparation's EP collection *)
+            Des.schedule des ~delay:(Rng.exponential rng (1. /. st.ep_period)) (fun des ->
+                start_prep des)
+          end
+        and join des =
+          (* Steps 4-6 once CAT and both |+> states exist. *)
+          if p.cat_done && p.plus_a_done && p.plus_b_done then
+            Des.schedule des ~delay:(st.transversal_time +. st.meas_time) (fun des ->
+                let latency = Des.now des -. p.started in
+                if Des.now des <= horizon then begin
+                  incr produced;
+                  latency_sum := !latency_sum +. latency;
+                  if latency > !latency_max then latency_max := latency
+                end)
+        in
+        Des.schedule des ~delay:(Rng.exponential rng (1. /. st.ep_period)) collect
+      end
+    in
+    start_prep des;
+    Des.run_until des horizon;
+    { produced = !produced;
+      mean_latency = (if !produced = 0 then 0. else !latency_sum /. float_of_int !produced);
+      max_latency = !latency_max;
+      horizon }
+  end
+
+let throughput_per_ms r = float_of_int r.produced /. (r.horizon *. 1e3)

@@ -1,0 +1,42 @@
+(** Timed execution of the six-step code-teleportation protocol (Fig. 10).
+
+    {!Teleport} composes the CT state's *error*; this module composes its
+    *time*: EPs arrive stochastically from the distillation sub-module, the
+    CAT generators, the two UEC modules (logical |+> preparation) and the
+    transversal/measurement stages each occupy their hardware for a
+    characterized duration, and successive CT preparations pipeline through
+    the module set.  Output: CT-state throughput and latency — the
+    module-level performance metrics (execution time, concurrency) the
+    paper's §2 says every module must expose. *)
+
+type stage_times = {
+  ep_period : float;  (** mean seconds between distilled-EP deliveries *)
+  eps_needed : int;  (** EPs consumed per CT state (remote gate + verify) *)
+  cat_time : float;  (** CAT growth + verification in the SeqOp cells *)
+  plus_time_a : float;  (** logical |+> preparation on UEC A (2 rounds) *)
+  plus_time_b : float;
+  transversal_time : float;  (** CAT-to-code transversal CNOT stage *)
+  meas_time : float;  (** logical measurement (one UEC round) *)
+}
+
+val characterize :
+  ?params:Teleport.params -> code_a:Code.t -> code_b:Code.t -> ts:float ->
+  Rng.t -> stage_times
+(** Characterize each sub-module once (the DSE pattern): the EP period from
+    a short calibration run of the distillation DES, everything else from
+    the UEC schedule model. *)
+
+type result = {
+  produced : int;  (** CT states completed within the horizon *)
+  mean_latency : float;  (** seconds from first EP request to completion *)
+  max_latency : float;
+  horizon : float;
+}
+
+val run : stage_times -> Rng.t -> horizon:float -> result
+(** Pipelined discrete-event execution: a new preparation starts whenever
+    the EP collector is idle; CAT generation and the two |+> preparations
+    proceed in parallel once resources free up; the transversal stage joins
+    them; measurement completes the state. *)
+
+val throughput_per_ms : result -> float

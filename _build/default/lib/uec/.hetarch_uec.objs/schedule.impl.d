@@ -1,0 +1,1 @@
+lib/uec/schedule.ml: Array Buffer Bytes Code Hashtbl List Option Printf String Tableio Uec

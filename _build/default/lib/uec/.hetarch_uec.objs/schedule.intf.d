@@ -1,0 +1,1 @@
+lib/uec/schedule.mli: Code Uec

@@ -1,0 +1,1 @@
+lib/uec/uec.ml: Array Code Decoder_lookup Grid Hashtbl List Option Printf Rng Router

@@ -1,0 +1,1 @@
+lib/uec/uec.mli: Code Rng

@@ -1,0 +1,190 @@
+type op_kind = Swap_out of int | Swap_in of int | Cx of int | Readout
+
+type op = {
+  kind : op_kind;
+  start : float;
+  finish : float;
+  resources : string list;
+  label : string;
+}
+
+type t = { ops : op list; makespan : float }
+
+let validate t =
+  List.iter
+    (fun op ->
+      if op.finish <= op.start then
+        invalid_arg (Printf.sprintf "Schedule.validate: op %s has no duration" op.label))
+    t.ops;
+  let by_resource = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun r ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_resource r) in
+          Hashtbl.replace by_resource r (op :: prev))
+        op.resources)
+    t.ops;
+  Hashtbl.iter
+    (fun r ops ->
+      let sorted = List.sort (fun a b -> compare a.start b.start) ops in
+      let rec scan = function
+        | a :: (b :: _ as rest) ->
+            if b.start < a.finish -. 1e-15 then
+              invalid_arg
+                (Printf.sprintf "Schedule.validate: %s and %s overlap on %s" a.label
+                   b.label r);
+            scan rest
+        | _ -> ()
+      in
+      scan sorted)
+    by_resource
+
+(* Interleave a check's qubits across registers: repeatedly take one qubit
+   from the register with the most remaining, avoiding the previous register
+   when possible — the ordering the closed-form pipelining model assumes. *)
+let interleave assignment supp =
+  let pools = Hashtbl.create 4 in
+  Array.iter
+    (fun q ->
+      let r = assignment.(q) in
+      Hashtbl.replace pools r (q :: Option.value ~default:[] (Hashtbl.find_opt pools r)))
+    supp;
+  let order = ref [] in
+  let prev = ref (-1) in
+  let remaining () = Hashtbl.fold (fun r l acc -> (List.length l, r) :: acc) pools [] in
+  let total = Array.length supp in
+  for _ = 1 to total do
+    let candidates = List.sort (fun a b -> compare b a) (remaining ()) in
+    let pick =
+      match List.find_opt (fun (n, r) -> n > 0 && r <> !prev) candidates with
+      | Some (_, r) -> r
+      | None -> snd (List.hd (List.filter (fun (n, _) -> n > 0) candidates))
+    in
+    (match Hashtbl.find_opt pools pick with
+    | Some (q :: rest) ->
+        order := q :: !order;
+        Hashtbl.replace pools pick rest;
+        prev := pick
+    | _ -> assert false)
+  done;
+  List.rev !order
+
+let of_uec_round ?(params = Uec.default_params) (code : Code.t) ~assignment =
+  if Array.length assignment <> code.Code.n then
+    invalid_arg "Schedule.of_uec_round: assignment length mismatch";
+  let reg q = Printf.sprintf "reg%d" assignment.(q) in
+  let free : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let avail r = Option.value ~default:0. (Hashtbl.find_opt free r) in
+  let occupy r until = Hashtbl.replace free r until in
+  let ops = ref [] in
+  let emit kind start finish resources label =
+    ops := { kind; start; finish; resources; label } :: !ops;
+    List.iter (fun r -> occupy r finish) resources
+  in
+  let stabs =
+    Array.to_list
+      (Array.append
+         (Array.mapi (fun i s -> (Printf.sprintf "Z%d" i, s)) code.Code.z_stabs)
+         (Array.mapi (fun i s -> (Printf.sprintf "X%d" i, s)) code.Code.x_stabs))
+  in
+  List.iter
+    (fun (label, supp) ->
+      let order = interleave assignment supp in
+      List.iter
+        (fun q ->
+          let r = reg q in
+          (* swap the qubit out as soon as its port is free *)
+          let so_start = avail r in
+          let so_finish = so_start +. params.Uec.t_swap in
+          emit (Swap_out q) so_start so_finish [ r ] label;
+          (* CX when both the qubit is out and the ancilla is free *)
+          let cx_start = max so_finish (avail "anc") in
+          let cx_finish = cx_start +. params.Uec.t_2q in
+          emit (Cx q) cx_start cx_finish [ r; "anc" ] label;
+          (* swap straight back in *)
+          emit (Swap_in q) cx_finish (cx_finish +. params.Uec.t_swap) [ r ] label)
+        order;
+      (* read the ancilla once every support qubit has been gated *)
+      let ro_start = avail "anc" in
+      emit Readout ro_start (ro_start +. params.Uec.t_readout) [ "anc" ] label)
+    stabs;
+  let ops = List.sort (fun a b -> compare (a.start, a.label) (b.start, b.label)) (List.rev !ops) in
+  let makespan = List.fold_left (fun acc op -> max acc op.finish) 0. ops in
+  let t = { ops; makespan } in
+  validate t;
+  t
+
+let resources t =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem seen r) then begin
+            Hashtbl.add seen r ();
+            order := r :: !order
+          end)
+        op.resources)
+    t.ops;
+  List.rev !order
+
+let busy_fraction t r =
+  if t.makespan <= 0. then 0.
+  else begin
+    let busy =
+      List.fold_left
+        (fun acc op -> if List.mem r op.resources then acc +. (op.finish -. op.start) else acc)
+        0. t.ops
+    in
+    busy /. t.makespan
+  end
+
+let glyph_of = function
+  | Swap_out _ -> 'o'
+  | Swap_in _ -> 'i'
+  | Cx _ -> 'X'
+  | Readout -> 'M'
+
+let render ?(width = 72) t =
+  let rs = resources t in
+  let buf = Buffer.create 1024 in
+  let scale = float_of_int (width - 1) /. max 1e-12 t.makespan in
+  List.iter
+    (fun r ->
+      let row = Bytes.make width ' ' in
+      List.iter
+        (fun op ->
+          if List.mem r op.resources then begin
+            let a = int_of_float (op.start *. scale) in
+            let b = max a (int_of_float (op.finish *. scale) - 1) in
+            for c = a to min (width - 1) b do
+              Bytes.set row c (glyph_of op.kind)
+            done
+          end)
+        t.ops;
+      Buffer.add_string buf (Printf.sprintf "%6s |%s|\n" r (Bytes.to_string row)))
+    rs;
+  Buffer.add_string buf
+    (Printf.sprintf "%6s  o=swap-out i=swap-in X=cx M=readout; makespan %.2f us\n" ""
+       (t.makespan *. 1e6));
+  Buffer.contents buf
+
+let to_csv t =
+  let kind_str = function
+    | Swap_out q -> Printf.sprintf "swap_out:%d" q
+    | Swap_in q -> Printf.sprintf "swap_in:%d" q
+    | Cx q -> Printf.sprintf "cx:%d" q
+    | Readout -> "readout"
+  in
+  Tableio.csv
+    ~header:[ "start"; "finish"; "kind"; "resources"; "label" ]
+    (List.map
+       (fun op ->
+         [ Printf.sprintf "%.9f" op.start;
+           Printf.sprintf "%.9f" op.finish;
+           kind_str op.kind;
+           String.concat "+" op.resources;
+           op.label ])
+       t.ops)

@@ -1,0 +1,48 @@
+(** Explicit timed operation schedules for the serialized UEC round.
+
+    {!Uec.profile}'s round time comes from a closed-form pipelining model;
+    this module materializes the actual timeline — every SWAP, CX and
+    readout with start/finish times and the devices it occupies — validated
+    for resource conflicts (one register port, one ancilla) and renderable
+    as a Gantt chart.  It is the quantum analogue of the timed netlist a
+    VLSI flow hands to verification: the test suite asserts the closed form
+    tracks this exact schedule to within one swap per check. *)
+
+type op_kind =
+  | Swap_out of int  (** data qubit leaves storage through its register port *)
+  | Swap_in of int
+  | Cx of int  (** data qubit gated with the central ancilla *)
+  | Readout  (** ancilla measurement + reset *)
+
+type op = {
+  kind : op_kind;
+  start : float;
+  finish : float;
+  resources : string list;  (** e.g. ["reg0"]; CX uses ["reg0"; "anc"] *)
+  label : string;  (** the stabilizer this op serves, e.g. "Z3" *)
+}
+
+type t = { ops : op list; makespan : float }
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on overlapping use of a resource or an op with
+    [finish <= start]. *)
+
+val of_uec_round : ?params:Uec.params -> Code.t -> assignment:int array -> t
+(** One serialized round: for every stabilizer (Z checks then X checks),
+    each support qubit is swapped out of its register, gated with the
+    ancilla, and swapped back, greedily pipelining against port and ancilla
+    availability; the check ends with an ancilla readout.  Qubits inside a
+    check are ordered register-interleaved, mirroring the closed-form
+    model's assumption. *)
+
+val resources : t -> string list
+(** Distinct resource names in first-use order. *)
+
+val busy_fraction : t -> string -> float
+(** Fraction of the makespan the resource is occupied. *)
+
+val render : ?width:int -> t -> string
+(** ASCII Gantt chart, one row per resource. *)
+
+val to_csv : t -> string

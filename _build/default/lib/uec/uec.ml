@@ -1,0 +1,385 @@
+type arch = Het of { ts : float } | Hom
+
+type params = {
+  tc : float;
+  p2 : float;
+  t_2q : float;
+  t_swap : float;
+  t_readout : float;
+  register_capacity : int;
+  eta : float;
+}
+
+let default_params =
+  { tc = 0.5e-3;
+    p2 = 1e-2;
+    t_2q = 100e-9;
+    t_swap = 100e-9;
+    t_readout = 1e-6;
+    register_capacity = 10;
+    eta = 1. }
+
+type profile = {
+  arch : arch;
+  code : Code.t;
+  round_time : float;
+  storage_time : float array;
+  compute_time : float array;
+  gates_2q : int array;
+  meas_flip : float array array;
+  assignment : int array;
+}
+
+let all_stabs (code : Code.t) = Array.append code.Code.z_stabs code.Code.x_stabs
+
+(* Serialized check duration for one stabilizer given a register assignment:
+   first swap-out and last swap-in are exposed, swaps pipeline behind the
+   ancilla CXs when consecutive qubits sit in different registers, and every
+   forced same-register adjacency exposes one swap-in + swap-out pair.  With
+   free ordering inside the check, the adjacencies are minimized by
+   interleaving: max(0, majority - minority - 1). *)
+let stab_time p assignment supp =
+  let w = Array.length supp in
+  let counts = Hashtbl.create 4 in
+  Array.iter
+    (fun q ->
+      let r = assignment.(q) in
+      Hashtbl.replace counts r (1 + Option.value ~default:0 (Hashtbl.find_opt counts r)))
+    supp;
+  let majority = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  let exposed = max 0 ((2 * majority) - w - 1) in
+  (2. *. p.t_swap)
+  +. (float_of_int w *. p.t_2q)
+  +. (float_of_int exposed *. 2. *. p.t_swap)
+  +. p.t_readout
+
+let round_time_of p assignment stabs =
+  Array.fold_left (fun acc s -> acc +. stab_time p assignment s) 0. stabs
+
+(* Data-to-register assignment: brute force over balanced 2-register splits
+   for n <= 20, greedy alternation beyond.  Results are memoized per
+   (code, capacity, timing) — the DSE cache pattern: the assignment depends
+   only on the schedule geometry, not on coherence times, so every Ts sweep
+   point reuses it. *)
+let assignment_memo : (string, int array) Hashtbl.t = Hashtbl.create 16
+
+let compute_assignment p (code : Code.t) =
+  let n = code.Code.n in
+  let cap = p.register_capacity in
+  let registers = max 2 ((n + cap - 1) / cap) in
+  let stabs = all_stabs code in
+  if registers > 2 || n > 20 then begin
+    (* Greedy: alternate qubits across registers in index order. *)
+    Array.init n (fun q -> q mod registers)
+  end
+  else begin
+    let best = ref None in
+    for mask = 0 to (1 lsl n) - 1 do
+      let ones =
+        let c = ref 0 and x = ref mask in
+        while !x <> 0 do
+          x := !x land (!x - 1);
+          incr c
+        done;
+        !c
+      in
+      if ones <= cap && n - ones <= cap then begin
+        let assignment = Array.init n (fun q -> (mask lsr q) land 1) in
+        let t = round_time_of p assignment stabs in
+        match !best with
+        | Some (bt, _) when bt <= t -> ()
+        | _ -> best := Some (t, assignment)
+      end
+    done;
+    match !best with
+    | Some (_, a) -> a
+    | None -> invalid_arg "Uec.optimize_assignment: code does not fit the registers"
+  end
+
+let optimize_assignment p (code : Code.t) =
+  let memo_key =
+    Printf.sprintf "%s/%d/%g/%g/%g" code.Code.name p.register_capacity p.t_swap
+      p.t_2q p.t_readout
+  in
+  match Hashtbl.find_opt assignment_memo memo_key with
+  | Some a -> Array.copy a
+  | None ->
+      let a = compute_assignment p code in
+      Hashtbl.add assignment_memo memo_key (Array.copy a);
+      a
+
+let meas_flip_of p supp = 1. -. ((1. -. (8. /. 15. *. p.p2)) ** float_of_int (Array.length supp))
+
+let het_profile p ts (code : Code.t) =
+  let n = code.Code.n in
+  let assignment = optimize_assignment p code in
+  let stabs = all_stabs code in
+  let round_time = round_time_of p assignment stabs in
+  let compute_time = Array.make n 0. in
+  let gates = Array.make n 0 in
+  Array.iter
+    (fun supp ->
+      Array.iter
+        (fun q ->
+          compute_time.(q) <- compute_time.(q) +. (2. *. p.t_swap) +. p.t_2q;
+          (* storage-access SWAPs are coherence-limited (their idle cost is in
+             compute_time); only the ancilla CX carries the 1% gate error *)
+          gates.(q) <- gates.(q) + 1)
+        supp)
+    stabs;
+  let storage_time = Array.init n (fun q -> round_time -. compute_time.(q)) in
+  { arch = Het { ts };
+    code;
+    round_time;
+    storage_time;
+    compute_time;
+    gates_2q = gates;
+    meas_flip =
+      [| Array.map (meas_flip_of p) code.Code.z_stabs;
+         Array.map (meas_flip_of p) code.Code.x_stabs |];
+    assignment }
+
+let hom_profile p (code : Code.t) =
+  let n = code.Code.n in
+  let nstabs = Code.num_stabs code in
+  let gates = Array.make n 0 in
+  let round_time, data_extra =
+    if code.Code.planar then begin
+      (* Lattice-native: four interleaved CX layers, no routing. *)
+      Array.iter
+        (fun supp -> Array.iter (fun q -> gates.(q) <- gates.(q) + 1) supp)
+        (all_stabs code);
+      ((4. *. p.t_2q) +. p.t_readout, fun _ -> ())
+    end
+    else begin
+      (* Route every (data, ancilla) op on a shared lattice. *)
+      let grid = Grid.of_min_qubits (n + nstabs) in
+      let data_pos q = q in
+      let anc_pos i = n + i in
+      let ops = ref [] in
+      let attribution = ref [] in
+      Array.iteri
+        (fun i supp ->
+          Array.iter
+            (fun q ->
+              ops := { Router.a = data_pos q; b = anc_pos i } :: !ops;
+              attribution := q :: !attribution)
+            supp)
+        (all_stabs code);
+      let ops = List.rev !ops and attribution = List.rev !attribution in
+      let sched = Router.schedule grid ops in
+      List.iteri
+        (fun idx q ->
+          let op = List.nth ops idx in
+          gates.(q) <- gates.(q) + Router.route_cost grid op)
+        attribution;
+      ((float_of_int sched.Router.makespan *. p.t_2q) +. p.t_readout, fun _ -> ())
+    end
+  in
+  ignore data_extra;
+  { arch = Hom;
+    code;
+    round_time;
+    storage_time = Array.make n 0.;
+    compute_time = Array.make n round_time;
+    gates_2q = gates;
+    meas_flip =
+      [| Array.map (meas_flip_of p) code.Code.z_stabs;
+         Array.map (meas_flip_of p) code.Code.x_stabs |];
+    assignment = Array.make n 0 }
+
+let profile ?(params = default_params) arch code =
+  match arch with
+  | Het { ts } -> het_profile params ts code
+  | Hom -> hom_profile params code
+
+(* Pauli-channel composition in (x,z) bit coordinates: I=0, X=1, Z=2, Y=3. *)
+let compose_pauli a b =
+  let out = Array.make 4 0. in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      out.(i lxor j) <- out.(i lxor j) +. (a.(i) *. b.(j))
+    done
+  done;
+  out
+
+(* Split a total Pauli probability with Z-bias eta: px = py = P/(2+eta),
+   pz = eta P/(2+eta); eta = 1 recovers the unbiased split. *)
+let biased_split ~eta total =
+  let share = total /. (2. +. eta) in
+  [| 1. -. total; share; eta *. share; share |]
+
+let idle_probs ?(eta = 1.) ~t ~dt () =
+  if dt <= 0. then [| 1.; 0.; 0.; 0. |]
+  else begin
+    let q = 1. -. exp (-.dt /. t) in
+    biased_split ~eta (3. *. q /. 4.)
+  end
+
+let gate_probs ?(eta = 1.) p2 = biased_split ~eta (0.8 *. p2)
+
+(* Per-qubit per-round effective Pauli channel. *)
+let effective_channels ?(params = default_params) prof =
+  let ts = match prof.arch with Het { ts } -> ts | Hom -> params.tc in
+  Array.init prof.code.Code.n (fun q ->
+      let acc = ref (idle_probs ~eta:params.eta ~t:ts ~dt:prof.storage_time.(q) ()) in
+      acc :=
+        compose_pauli !acc
+          (idle_probs ~eta:params.eta ~t:params.tc ~dt:prof.compute_time.(q) ());
+      let g = gate_probs ~eta:params.eta params.p2 in
+      for _ = 1 to prof.gates_2q.(q) do
+        acc := compose_pauli !acc g
+      done;
+      !acc)
+
+let logical_error_rate ?(params = default_params) prof ~rounds ~shots rng =
+  if rounds < 1 || shots < 1 then invalid_arg "Uec.logical_error_rate";
+  let code = prof.code in
+  let n = code.Code.n in
+  let decoder = Decoder_lookup.create code in
+  let failures = ref 0 in
+  let xerr = Array.make n false and zerr = Array.make n false in
+  let rest_t = match prof.arch with Het { ts } -> ts | Hom -> params.tc in
+  (* Checks are extracted at distinct times within a round (fully serialized
+     on the USC; a single parallel step on the lattice), so noise is injected
+     per extraction step — mid-round errors leave the serial syndrome
+     internally inconsistent, which is the real cost of serialization. *)
+  let nz = Array.length code.Code.z_stabs in
+  let steps =
+    match prof.arch with
+    | Het _ ->
+        Array.map
+          (fun supp ->
+            ( idle_probs ~eta:params.eta ~t:rest_t
+                ~dt:(stab_time params prof.assignment supp) (),
+              supp ))
+          (all_stabs code)
+    | Hom ->
+        Array.map
+          (fun supp ->
+            ( idle_probs ~eta:params.eta ~t:rest_t
+                ~dt:(prof.round_time /. float_of_int (Code.num_stabs code)) (),
+              supp ))
+          (all_stabs code)
+  in
+  (* Per-check extras for the touched qubits: compute-idle during the swaps
+     and CX, plus the CX depolarizing marginal. *)
+  let touch_probs =
+    compose_pauli
+      (idle_probs ~eta:params.eta ~t:params.tc
+         ~dt:((2. *. params.t_swap) +. params.t_2q) ())
+      (gate_probs ~eta:params.eta params.p2)
+  in
+  let hom_channels =
+    match prof.arch with Hom -> effective_channels ~params prof | Het _ -> [||]
+  in
+  let inject c q =
+    let u = Rng.uniform rng in
+    if u < c.(1) then xerr.(q) <- not xerr.(q)
+    else if u < c.(1) +. c.(2) then zerr.(q) <- not zerr.(q)
+    else if u < c.(1) +. c.(2) +. c.(3) then begin
+      xerr.(q) <- not xerr.(q);
+      zerr.(q) <- not zerr.(q)
+    end
+  in
+  for _ = 1 to shots do
+    Array.fill xerr 0 n false;
+    Array.fill zerr 0 n false;
+    let prev_sz = ref None and prev_sx = ref None in
+    for _ = 1 to rounds do
+      let sz = Array.make nz 0 in
+      let sx = Array.make (Array.length code.Code.x_stabs) 0 in
+      let read k supp =
+        let is_z = k < nz in
+        let err = if is_z then xerr else zerr in
+        let parity =
+          Array.fold_left (fun acc q -> if err.(q) then 1 - acc else acc) 0 supp
+        in
+        let flip_p = if is_z then prof.meas_flip.(0).(k) else prof.meas_flip.(1).(k - nz) in
+        let bit = if Rng.bernoulli rng flip_p then 1 - parity else parity in
+        if is_z then sz.(k) <- bit else sx.(k - nz) <- bit
+      in
+      (match prof.arch with
+      | Het _ ->
+          (* Serial: idle interval, read the check, then its gate noise. *)
+          Array.iteri
+            (fun k (interval_probs, supp) ->
+              for q = 0 to n - 1 do
+                inject interval_probs q
+              done;
+              read k supp;
+              Array.iter (fun q -> inject touch_probs q) supp)
+            steps
+      | Hom ->
+          (* Parallel: all of the round's noise (idle plus every routed 2q
+             gate) lands, then every check reads the same error state. *)
+          for q = 0 to n - 1 do
+            inject hom_channels.(q) q
+          done;
+          Array.iteri (fun k (_, supp) -> read k supp) steps);
+      (* Repeat-until-agree: apply a correction only when two consecutive
+         extractions agree, suppressing syndrome noise to second order. *)
+      if !prev_sz <> None && !prev_sz = Some sz then
+        List.iter (fun q -> xerr.(q) <- not xerr.(q)) (Decoder_lookup.decode_x decoder sz);
+      prev_sz := Some sz;
+      if !prev_sx <> None && !prev_sx = Some sx then
+        List.iter (fun q -> zerr.(q) <- not zerr.(q)) (Decoder_lookup.decode_z decoder sx);
+      prev_sx := Some sx
+    done;
+    (* End-of-experiment evaluation with a final ideal recovery (noiseless
+       syndrome, perfect decode) — the standard memory-experiment semantics;
+       judging the transient state every round would count correctable
+       weight-2 patterns as failures. *)
+    let flipped support err =
+      Array.fold_left (fun acc q -> if err.(q) then not acc else acc) false support
+    in
+    let ideal_residual err stabs decode =
+      let syn =
+        Array.map
+          (fun supp ->
+            Array.fold_left (fun acc q -> if err.(q) then 1 - acc else acc) 0 supp)
+          stabs
+      in
+      let corr = decode syn in
+      let copy = Array.copy err in
+      List.iter (fun q -> copy.(q) <- not copy.(q)) corr;
+      copy
+    in
+    let x_fail =
+      flipped code.Code.logical_z.(0)
+        (ideal_residual xerr code.Code.z_stabs (Decoder_lookup.decode_x decoder))
+    in
+    let z_fail =
+      flipped code.Code.logical_x.(0)
+        (ideal_residual zerr code.Code.x_stabs (Decoder_lookup.decode_z decoder))
+    in
+    if x_fail || z_fail then incr failures
+  done;
+  let per_shot = float_of_int !failures /. float_of_int shots in
+  (* Per-round (per-cycle) rate. *)
+  if per_shot >= 1. then 1.
+  else 1. -. ((1. -. per_shot) ** (1. /. float_of_int rounds))
+
+(* Ablation helper: serialized round time when all data shares one register
+   (no swap pipelining) versus the optimized two-register assignment. *)
+let round_time_with_registers ?(params = default_params) (code : Code.t) ~registers =
+  let stabs = all_stabs code in
+  match registers with
+  | 1 -> round_time_of params (Array.make code.Code.n 0) stabs
+  | 2 -> round_time_of params (optimize_assignment params code) stabs
+  | _ -> invalid_arg "Uec.round_time_with_registers: 1 or 2 registers"
+
+let fig9_point ?(params = default_params) ~code ~ts ~shots rng =
+  let prof = profile ~params (Het { ts }) code in
+  (* 3 rounds keeps the per-shot failure probability out of saturation even
+     for the noisiest configurations while still exercising the
+     repeat-until-agree syndrome handling. *)
+  logical_error_rate ~params prof ~rounds:3 ~shots rng
+
+let table3_row ?(params = default_params) ~code ~ts ~shots rng =
+  let het = profile ~params (Het { ts }) code in
+  let hom = profile ~params Hom code in
+  let het_rate = logical_error_rate ~params het ~rounds:3 ~shots rng in
+  let hom_rate = logical_error_rate ~params hom ~rounds:3 ~shots rng in
+  let reduction = if het_rate > 0. then hom_rate /. het_rate else infinity in
+  (het_rate, hom_rate, reduction)

@@ -1,0 +1,1 @@
+lib/util/tableio.ml: Array Buffer List Printf String

@@ -1,0 +1,71 @@
+type t = { bits : int array; n : int }
+
+let wordsize = 63
+let words n = (n + wordsize - 1) / wordsize
+let create n = { bits = Array.make (max 1 (words n)) 0; n }
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitvec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.bits.(i / wordsize) land (1 lsl (i mod wordsize)) <> 0
+
+let set t i b =
+  check t i;
+  let w = i / wordsize and m = 1 lsl (i mod wordsize) in
+  if b then t.bits.(w) <- t.bits.(w) lor m else t.bits.(w) <- t.bits.(w) land lnot m
+
+let flip t i =
+  check t i;
+  let w = i / wordsize in
+  t.bits.(w) <- t.bits.(w) lxor (1 lsl (i mod wordsize))
+
+let clear t = Array.fill t.bits 0 (Array.length t.bits) 0
+let copy t = { bits = Array.copy t.bits; n = t.n }
+
+let xor_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Bitvec.xor_into: length mismatch";
+  for w = 0 to Array.length dst.bits - 1 do
+    dst.bits.(w) <- dst.bits.(w) lxor src.bits.(w)
+  done
+
+(* Kernighan popcount: words are sparse in our workloads, and OCaml has no
+   portable hardware popcount without C stubs. *)
+let popcount_word w =
+  let c = ref 0 and x = ref w in
+  while !x <> 0 do
+    x := !x land (!x - 1);
+    incr c
+  done;
+  !c
+
+let popcount t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.bits
+
+let and_popcount a b =
+  if a.n <> b.n then invalid_arg "Bitvec.and_popcount: length mismatch";
+  let acc = ref 0 in
+  for w = 0 to Array.length a.bits - 1 do
+    acc := !acc + popcount_word (a.bits.(w) land b.bits.(w))
+  done;
+  !acc
+
+let is_zero t = Array.for_all (fun w -> w = 0) t.bits
+
+let equal a b =
+  a.n = b.n && Array.for_all2 (fun x y -> x = y) a.bits b.bits
+
+let iter_set t f =
+  for w = 0 to Array.length t.bits - 1 do
+    let word = t.bits.(w) in
+    if word <> 0 then
+      for b = 0 to wordsize - 1 do
+        if word land (1 lsl b) <> 0 then begin
+          let i = (w * wordsize) + b in
+          if i < t.n then f i
+        end
+      done
+  done
+
+let to_string t = String.init t.n (fun i -> if get t i then '1' else '0')

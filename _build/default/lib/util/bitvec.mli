@@ -1,0 +1,32 @@
+(** Packed bit vectors over 63-bit words.
+
+    The stabilizer tableau and Pauli-frame simulators store Pauli supports as
+    bit vectors; xor-accumulation over whole words is the hot loop. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of [n] bits. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+val flip : t -> int -> unit
+val clear : t -> unit
+val copy : t -> t
+
+val xor_into : dst:t -> t -> unit
+(** [xor_into ~dst src] sets [dst <- dst xor src].  Lengths must match. *)
+
+val and_popcount : t -> t -> int
+(** Number of positions set in both vectors. *)
+
+val popcount : t -> int
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val iter_set : t -> (int -> unit) -> unit
+(** Iterate indices of set bits in increasing order. *)
+
+val to_string : t -> string
+(** "0110..." rendering, index 0 first. *)

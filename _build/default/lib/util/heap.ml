@@ -1,0 +1,60 @@
+type 'a entry = { prio : float; value : 'a }
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let is_empty h = h.len = 0
+let size h = h.len
+
+let grow h e =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap e in
+    Array.blit h.data 0 nd 0 h.len;
+    h.data <- nd
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i).prio < h.data.(parent).prio then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.data.(l).prio < h.data.(!smallest).prio then smallest := l;
+  if r < h.len && h.data.(r).prio < h.data.(!smallest).prio then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h prio value =
+  let e = { prio; value } in
+  grow h e;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek h = if h.len = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
+let clear h = h.len <- 0

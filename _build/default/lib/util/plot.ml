@@ -1,0 +1,80 @@
+let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let spark values =
+  match values with
+  | [] -> ""
+  | _ ->
+      let lo = List.fold_left min infinity values in
+      let hi = List.fold_left max neg_infinity values in
+      let range = if hi -. lo <= 0. then 1. else hi -. lo in
+      String.concat ""
+        (List.map
+           (fun v ->
+             let level = int_of_float ((v -. lo) /. range *. 8.) in
+             blocks.(max 0 (min 8 level)))
+           values)
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let lines ?(width = 64) ?(height = 16) ?(logy = false) ~series () =
+  let clean =
+    List.map
+      (fun (name, pts) ->
+        ( name,
+          List.filter_map
+            (fun (x, y) ->
+              if Float.is_finite x && Float.is_finite y then
+                if logy then if y > 0. then Some (x, log10 y) else None
+                else Some (x, y)
+              else None)
+            pts ))
+      series
+  in
+  let all = List.concat_map snd clean in
+  match all with
+  | [] -> "(no data)"
+  | _ ->
+      let xs = List.map fst all and ys = List.map snd all in
+      let xlo = List.fold_left min infinity xs and xhi = List.fold_left max neg_infinity xs in
+      let ylo = List.fold_left min infinity ys and yhi = List.fold_left max neg_infinity ys in
+      let xr = if xhi -. xlo <= 0. then 1. else xhi -. xlo in
+      let yr = if yhi -. ylo <= 0. then 1. else yhi -. ylo in
+      let canvas = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si (_, pts) ->
+          let glyph = glyphs.(si mod Array.length glyphs) in
+          List.iter
+            (fun (x, y) ->
+              let col = int_of_float ((x -. xlo) /. xr *. float_of_int (width - 1)) in
+              let row =
+                height - 1
+                - int_of_float ((y -. ylo) /. yr *. float_of_int (height - 1))
+              in
+              let col = max 0 (min (width - 1) col) in
+              let row = max 0 (min (height - 1) row) in
+              canvas.(row).(col) <- glyph)
+            pts)
+        clean;
+      let buf = Buffer.create ((width + 4) * (height + 4)) in
+      let ylabel v = if logy then Printf.sprintf "1e%.1f" v else Printf.sprintf "%.3g" v in
+      Array.iteri
+        (fun r row ->
+          Buffer.add_string buf
+            (if r = 0 then Printf.sprintf "%8s |" (ylabel yhi)
+             else if r = height - 1 then Printf.sprintf "%8s |" (ylabel ylo)
+             else Printf.sprintf "%8s |" "");
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_char buf '\n')
+        canvas;
+      Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+      let left = Printf.sprintf "%.3g" xlo and right = Printf.sprintf "%.3g" xhi in
+      let gap = max 1 (width - String.length left - String.length right) in
+      Buffer.add_string buf
+        (Printf.sprintf "%8s  %s%s%s\n" "" left (String.make gap ' ') right);
+      List.iteri
+        (fun si (name, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%8s  %c = %s\n" "" glyphs.(si mod Array.length glyphs) name))
+        clean;
+      Buffer.contents buf

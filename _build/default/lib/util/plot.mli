@@ -1,0 +1,16 @@
+(** Terminal plots for the figure-regeneration harness.
+
+    The paper's figures are line charts; these helpers render the same
+    series as unicode/ASCII art so `hetarch figN` output is readable without
+    leaving the terminal. *)
+
+val spark : float list -> string
+(** One-line sparkline using block characters; empty input gives "". *)
+
+val lines :
+  ?width:int -> ?height:int -> ?logy:bool ->
+  series:(string * (float * float) list) list -> unit -> string
+(** Multi-series scatter/line chart on a character canvas (default 64x16).
+    Each series gets a distinct glyph; a legend, y-range and x-range are
+    appended.  Points with non-finite coordinates are skipped; [logy] plots
+    log10 of positive y values. *)

@@ -1,0 +1,109 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: seed expander recommended by the xoshiro authors. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) land max_int in
+  create seed
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: 62 uniform bits mod n has negligible
+     bias for n far below 2^62.  The mask keeps the OCaml int non-negative
+     after the truncating Int64.to_int. *)
+  let v = Int64.to_int (bits64 t) land max_int in
+  v mod n
+
+let uniform t =
+  (* 53-bit mantissa from the top bits. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v *. 0x1.0p-53
+
+let float t x = uniform t *. x
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = uniform t < p
+
+let exponential t rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1. -. uniform t) /. rate
+
+let gaussian t =
+  let u1 = 1. -. uniform t and u2 = uniform t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let poisson t lambda =
+  if lambda < 0. then invalid_arg "Rng.poisson: negative mean";
+  if lambda > 500. then
+    let x = (lambda +. (sqrt lambda *. gaussian t)) +. 0.5 in
+    max 0 (int_of_float x)
+  else begin
+    (* Inversion by sequential search. *)
+    let l = exp (-.lambda) in
+    let k = ref 0 and p = ref 1.0 in
+    let continue = ref true in
+    while !continue do
+      p := !p *. uniform t;
+      if !p <= l then continue := false else incr k
+    done;
+    !k
+  end
+
+let categorical t w =
+  let total = Array.fold_left ( +. ) 0. w in
+  if total <= 0. then invalid_arg "Rng.categorical: weights must sum > 0";
+  let x = float t total in
+  let acc = ref 0. and idx = ref (Array.length w - 1) in
+  (try
+     Array.iteri
+       (fun i wi ->
+         acc := !acc +. wi;
+         if x < !acc then begin
+           idx := i;
+           raise Exit
+         end)
+       w
+   with Exit -> ());
+  !idx
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,35 @@
+(** Small statistics helpers used by Monte-Carlo experiment harnesses. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 with fewer than two samples. *)
+
+val stddev : float array -> float
+
+val stderr_of_mean : float array -> float
+(** Standard error of the mean. *)
+
+val wilson_interval : successes:int -> trials:int -> z:float -> float * float
+(** Wilson score confidence interval for a binomial proportion.  [z] is the
+    normal quantile (1.96 for 95%). *)
+
+val binomial_stderr : successes:int -> trials:int -> float
+(** Gaussian-approximation standard error of an estimated proportion. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]; linear interpolation; input need
+    not be sorted.  Raises [Invalid_argument] on empty input. *)
+
+val histogram : lo:float -> hi:float -> bins:int -> float array -> int array
+(** Fixed-width histogram; out-of-range samples clamp to the edge bins. *)
+
+type running
+(** Streaming mean/variance accumulator (Welford). *)
+
+val running_create : unit -> running
+val running_add : running -> float -> unit
+val running_count : running -> int
+val running_mean : running -> float
+val running_variance : running -> float

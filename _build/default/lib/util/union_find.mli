@@ -1,0 +1,18 @@
+(** Disjoint-set forest with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> int
+(** Merge two sets; returns the representative of the merged set. *)
+
+val same : t -> int -> int -> bool
+val size : t -> int -> int
+(** Number of elements in the set containing the element. *)
+
+val count_sets : t -> int

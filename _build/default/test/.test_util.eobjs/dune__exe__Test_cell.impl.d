@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array Cell Characterize Design_rules Device Float List Printf Rng

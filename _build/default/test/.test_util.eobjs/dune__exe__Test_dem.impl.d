@@ -1,0 +1,1 @@
+test/test_dem.ml: Alcotest Array Bitvec Circuit Dem Dem_graph Float Frame List Printf Rng Surface_circuit

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Device Float List Printf

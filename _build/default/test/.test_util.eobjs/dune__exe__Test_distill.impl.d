@@ -1,0 +1,1 @@
+test/test_distill.ml: Alcotest Array Bell_pair Channel Cmat Complex Distill_module Dm Ep_source Float Gate List Printf QCheck QCheck_alcotest Rng

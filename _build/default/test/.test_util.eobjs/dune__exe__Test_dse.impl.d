@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Burden Cache Cell Float List QCheck QCheck_alcotest Sweep

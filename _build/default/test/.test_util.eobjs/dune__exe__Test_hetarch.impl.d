@@ -1,0 +1,1 @@
+test/test_hetarch.ml: Alcotest Hetarch Hierarchy List String

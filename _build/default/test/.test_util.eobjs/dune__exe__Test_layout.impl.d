@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Grid List QCheck QCheck_alcotest Router

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Cmat Complex Float Gate List QCheck QCheck_alcotest

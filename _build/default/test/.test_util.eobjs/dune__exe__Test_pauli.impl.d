@@ -1,0 +1,1 @@
+test/test_pauli.ml: Alcotest Array Bitvec Circuit Cmat Complex Dm Float Frame Gate List Pauli Printf QCheck QCheck_alcotest Rng String Tableau

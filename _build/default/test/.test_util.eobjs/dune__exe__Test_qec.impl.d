@@ -1,0 +1,1 @@
+test/test_qec.ml: Alcotest Array Bitvec Circuit Code Codes Decoder_lookup Decoder_match Decoder_uf Dem Float Frame List Pauli Printf Rng Stab_circuit String Surface_circuit Tableau Threshold Uec

@@ -1,0 +1,1 @@
+test/test_qsim.ml: Alcotest Channel Cmat Complex Dm Float Gate List Printf QCheck QCheck_alcotest Rng Sv

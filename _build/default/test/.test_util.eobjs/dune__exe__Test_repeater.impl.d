@@ -1,0 +1,1 @@
+test/test_repeater.ml: Alcotest Array Bell_pair Cmat Complex Dm Gate List Printf Repeater Rng

@@ -1,0 +1,1 @@
+test/test_teleport.ml: Alcotest Cat_sim Codes Ct_protocol Float List Printf Rng Teleport

@@ -1,0 +1,1 @@
+test/test_uec.ml: Alcotest Array Code Codes Float List Printf Rng Schedule String Uec

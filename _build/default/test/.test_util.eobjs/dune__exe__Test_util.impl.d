@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitvec Float Fun Gen Heap List Plot Printf QCheck QCheck_alcotest Rng Stats String Tableio Union_find

@@ -1,0 +1,234 @@
+(* Tests for design rules, the standard-cell catalog, and cell
+   characterization. *)
+
+let test_all_cells_compliant () =
+  List.iter
+    (fun c ->
+      Alcotest.(check (list Alcotest.reject))
+        (Cell.name c ^ " DRC")
+        []
+        (List.map (fun _ -> ()) (Design_rules.check c.Cell.graph)))
+    (Cell.all ())
+
+let inst id device readout = { Design_rules.id; device; readout }
+
+let test_dr1_overloaded_compute () =
+  let compute = Device.fixed_frequency_qubit in
+  let g =
+    { Design_rules.name = "bad-dr1";
+      instances = Array.init 6 (fun i -> inst i compute false);
+      couplings = [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5) ];
+      ports = [];
+      readout_budget = 0 }
+  in
+  let vs = Design_rules.check g in
+  Alcotest.(check bool) "DR1 violation found" true
+    (List.exists (fun v -> v.Design_rules.rule = 1) vs)
+
+let test_dr1_counts_ports () =
+  let compute = Device.fixed_frequency_qubit in
+  let g =
+    { Design_rules.name = "ports-count";
+      instances = [| inst 0 compute false; inst 1 compute false |];
+      couplings = [ (0, 1) ];
+      ports = [ (0, 4) ];
+      readout_budget = 0 }
+  in
+  Alcotest.(check bool) "internal + ports > 4 flagged" true
+    (List.exists (fun v -> v.Design_rules.rule = 1) (Design_rules.check g))
+
+let test_dr2_storage_isolation () =
+  let s = Device.multimode_resonator_3d and c = Device.fixed_frequency_qubit in
+  let two_links =
+    { Design_rules.name = "bad-dr2";
+      instances = [| inst 0 s false; inst 1 c false; inst 2 c false |];
+      couplings = [ (0, 1); (0, 2); (1, 2) ];
+      ports = [];
+      readout_budget = 0 }
+  in
+  Alcotest.(check bool) "storage with 2 couplings flagged" true
+    (List.exists (fun v -> v.Design_rules.rule = 2) (Design_rules.check two_links));
+  let to_storage =
+    { Design_rules.name = "bad-dr2b";
+      instances = [| inst 0 s false; inst 1 s false; inst 2 c false |];
+      couplings = [ (0, 1); (1, 2) ];
+      ports = [];
+      readout_budget = 0 }
+  in
+  Alcotest.(check bool) "storage-storage coupling flagged" true
+    (List.exists (fun v -> v.Design_rules.rule = 2) (Design_rules.check to_storage))
+
+let test_dr3_disconnected () =
+  let c = Device.fixed_frequency_qubit in
+  let g =
+    { Design_rules.name = "bad-dr3";
+      instances = [| inst 0 c false; inst 1 c false; inst 2 c false; inst 3 c false |];
+      couplings = [ (0, 1); (2, 3) ];
+      ports = [];
+      readout_budget = 0 }
+  in
+  Alcotest.(check bool) "disconnected graph flagged" true
+    (List.exists (fun v -> v.Design_rules.rule = 3) (Design_rules.check g))
+
+let test_dr4_excess_readout () =
+  let c = Device.fixed_frequency_qubit in
+  let g =
+    { Design_rules.name = "bad-dr4";
+      instances = [| inst 0 c true; inst 1 c true |];
+      couplings = [ (0, 1) ];
+      ports = [];
+      readout_budget = 1 }
+  in
+  Alcotest.(check bool) "excess readout flagged" true
+    (List.exists (fun v -> v.Design_rules.rule = 4) (Design_rules.check g))
+
+let test_assert_valid_raises () =
+  let c = Device.fixed_frequency_qubit in
+  let g =
+    { Design_rules.name = "invalid";
+      instances = [| inst 0 c true; inst 1 c true |];
+      couplings = [ (0, 1) ];
+      ports = [];
+      readout_budget = 0 }
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       Design_rules.assert_valid g;
+       false
+     with Invalid_argument _ -> true)
+
+let test_cell_shapes () =
+  let check cell devices capacity =
+    Alcotest.(check int)
+      (Cell.name cell ^ " devices")
+      devices
+      (Array.length cell.Cell.graph.Design_rules.instances);
+    Alcotest.(check int) (Cell.name cell ^ " capacity") capacity (Cell.capacity cell)
+  in
+  check (Cell.register ()) 2 11;
+  check (Cell.parcheck ()) 2 2;
+  check (Cell.seqop ()) 5 23;
+  check (Cell.usc ()) 7 34;
+  check (Cell.usc_ext ()) 5 23
+
+let test_cell_device_substitution () =
+  (* The point of the cell layer: swap the storage device and stay valid. *)
+  let c = Cell.register ~storage:Device.memory_3d () in
+  Alcotest.(check int) "capacity drops to 2" 2 (Cell.capacity c);
+  let c2 = Cell.usc ~storage:Device.on_chip_resonator () in
+  Alcotest.(check int) "still 34 modes" 34 (Cell.capacity c2)
+
+let test_footprint_positive () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Cell.name c ^ " footprint") true (Cell.footprint_mm2 c > 0.);
+      Alcotest.(check bool) (Cell.name c ^ " control") true (Cell.control_lines c > 0))
+    (Cell.all ())
+
+let test_storage_exn () =
+  Alcotest.(check bool) "parcheck has no storage" true
+    (try
+       ignore (Cell.storage_exn (Cell.parcheck ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------------------------------------------- characterization *)
+
+let test_register_load_perf () =
+  let p = Characterize.register_load (Cell.register ()) in
+  Alcotest.(check bool) "duration = swap time" true
+    (Float.abs (p.Characterize.duration -. 400e-9) < 1e-12);
+  (* dominated by the 1e-2 swap depolarizing *)
+  Alcotest.(check bool) "error near swap error" true
+    (p.Characterize.error > 0.004 && p.Characterize.error < 0.02)
+
+let test_retention_matches_coherence () =
+  let cell = Cell.register () in
+  let dt = 100e-6 in
+  let p = Characterize.register_retention cell ~dt in
+  (* entanglement fidelity of twirled idle at T1=2ms,T2=2.5ms for 100us:
+     error ~ (1/2)(1-e^-dt/T1)/2 + ... just bound it *)
+  Alcotest.(check bool) "small but nonzero" true
+    (p.Characterize.error > 1e-3 && p.Characterize.error < 0.1);
+  let p2 = Characterize.register_retention cell ~dt:(2. *. dt) in
+  Alcotest.(check bool) "monotone" true (p2.Characterize.error > p.Characterize.error)
+
+let test_retention_beats_compute_idle () =
+  let cell = Cell.register () in
+  let dt = 50e-6 in
+  let stored = Characterize.register_retention cell ~dt in
+  let on_compute = Characterize.compute_idle Device.fixed_frequency_qubit ~dt in
+  Alcotest.(check bool) "storage wins" true
+    (stored.Characterize.error < on_compute.Characterize.error)
+
+let test_parity_check_perf () =
+  let p = Characterize.parity_check (Cell.parcheck ()) in
+  Alcotest.(check bool) "duration includes readout" true (p.Characterize.duration >= 1e-6);
+  Alcotest.(check bool) "error small" true
+    (p.Characterize.error > 0. && p.Characterize.error < 0.05)
+
+let test_sequential_cnots_scaling () =
+  let cell = Cell.seqop () in
+  let p1 = Characterize.sequential_cnots cell ~count:1 in
+  let p5 = Characterize.sequential_cnots cell ~count:5 in
+  Alcotest.(check bool) "error grows with count" true
+    (p5.Characterize.error > p1.Characterize.error);
+  Alcotest.(check bool) "duration grows" true
+    (p5.Characterize.duration > p1.Characterize.duration)
+
+let test_stabilizer_check_serialization_cost () =
+  let cell = Cell.usc () in
+  let serial = Characterize.stabilizer_check cell ~weight:4 ~serialized:true in
+  let parallel = Characterize.stabilizer_check cell ~weight:4 ~serialized:false in
+  Alcotest.(check bool) "serialized slower" true
+    (serial.Characterize.duration > parallel.Characterize.duration)
+
+let test_spectator_modes_factor_out () =
+  (* The DSE burden accounting assumes idle modes factor out of cell
+     characterization; verify on the full statevector that per-qubit
+     retention is independent of how many other modes are occupied. *)
+  let cell = Cell.register () in
+  let dt = 200e-6 in
+  let exact = Characterize.register_retention cell ~dt in
+  (* Monte-Carlo estimate: at 4000 trajectories the standard error is just
+     under 0.005, so a 0.02 band separates cleanly from any real mode
+     dependence (compute-grade idling would sit at ~0.3). *)
+  List.iter
+    (fun modes ->
+      let rng = Rng.create 71 in
+      let p = Characterize.retention_with_spectators cell ~modes ~dt ~trajectories:4000 rng in
+      Alcotest.(check bool)
+        (Printf.sprintf "modes=%d: %.4f vs exact %.4f" modes p.Characterize.error
+           exact.Characterize.error)
+        true
+        (Float.abs (p.Characterize.error -. exact.Characterize.error) < 0.02))
+    [ 1; 3; 6 ]
+
+let test_simulation_dimension () =
+  Alcotest.(check int) "register dim" (1 lsl 11)
+    (Characterize.simulation_dimension (Cell.register ()))
+
+let () =
+  Alcotest.run "cell"
+    [ ( "design rules",
+        [ Alcotest.test_case "catalog compliant" `Quick test_all_cells_compliant;
+          Alcotest.test_case "DR1 degree" `Quick test_dr1_overloaded_compute;
+          Alcotest.test_case "DR1 ports" `Quick test_dr1_counts_ports;
+          Alcotest.test_case "DR2 storage" `Quick test_dr2_storage_isolation;
+          Alcotest.test_case "DR3 connectivity" `Quick test_dr3_disconnected;
+          Alcotest.test_case "DR4 readout" `Quick test_dr4_excess_readout;
+          Alcotest.test_case "assert_valid" `Quick test_assert_valid_raises ] );
+      ( "cells",
+        [ Alcotest.test_case "shapes" `Quick test_cell_shapes;
+          Alcotest.test_case "device substitution" `Quick test_cell_device_substitution;
+          Alcotest.test_case "footprint/control" `Quick test_footprint_positive;
+          Alcotest.test_case "storage_exn" `Quick test_storage_exn ] );
+      ( "characterization",
+        [ Alcotest.test_case "register load" `Quick test_register_load_perf;
+          Alcotest.test_case "retention" `Quick test_retention_matches_coherence;
+          Alcotest.test_case "storage beats compute" `Quick test_retention_beats_compute_idle;
+          Alcotest.test_case "parity check" `Quick test_parity_check_perf;
+          Alcotest.test_case "sequential cnots" `Quick test_sequential_cnots_scaling;
+          Alcotest.test_case "serialization cost" `Quick test_stabilizer_check_serialization_cost;
+          Alcotest.test_case "simulation dimension" `Quick test_simulation_dimension;
+          Alcotest.test_case "spectators factor out" `Slow test_spectator_modes_factor_out ] ) ]

@@ -1,0 +1,172 @@
+(* Tests for detector-error-model extraction: mechanism signatures must match
+   both hand-derived propagation and the frame sampler's statistics. *)
+
+let find_mechanism mechanisms ~detectors ~obs =
+  List.find_opt
+    (fun m ->
+      m.Dem.detectors = Array.of_list detectors && m.Dem.obs_mask = obs)
+    mechanisms
+
+let test_single_qubit_x_before_measure () =
+  let b = Circuit.builder 1 in
+  Circuit.add b (Circuit.Noise1 { px = 0.1; py = 0.; pz = 0.; q = 0 });
+  let m = Circuit.measure b 0 in
+  Circuit.add_detector b [ m ];
+  Circuit.add_observable b [ m ];
+  let c = Circuit.finish b in
+  let dem = Dem.of_circuit c in
+  Alcotest.(check int) "one mechanism" 1 (List.length dem);
+  match dem with
+  | [ m ] ->
+      Alcotest.(check (float 1e-12)) "probability" 0.1 m.Dem.p;
+      Alcotest.(check (array int)) "flips detector 0" [| 0 |] m.Dem.detectors;
+      Alcotest.(check int) "flips observable" 1 m.Dem.obs_mask
+  | _ -> Alcotest.fail "unexpected DEM"
+
+let test_z_noise_invisible () =
+  let b = Circuit.builder 1 in
+  Circuit.add b (Circuit.Noise1 { px = 0.; py = 0.; pz = 0.3; q = 0 });
+  let m = Circuit.measure b 0 in
+  Circuit.add_detector b [ m ];
+  let c = Circuit.finish b in
+  Alcotest.(check int) "no visible mechanism" 0 (List.length (Dem.of_circuit c))
+
+let test_h_conjugation () =
+  (* Z before H acts as X at the measurement. *)
+  let b = Circuit.builder 1 in
+  Circuit.add b (Circuit.Noise1 { px = 0.; py = 0.; pz = 0.2; q = 0 });
+  Circuit.add b (Circuit.H 0);
+  let m = Circuit.measure b 0 in
+  Circuit.add_detector b [ m ];
+  let c = Circuit.finish b in
+  let dem = Dem.of_circuit c in
+  Alcotest.(check int) "one mechanism" 1 (List.length dem);
+  Alcotest.(check bool) "flips the detector" true
+    (find_mechanism dem ~detectors:[ 0 ] ~obs:0 <> None)
+
+let test_cx_propagation () =
+  (* X on the control before CX flips both final measurements. *)
+  let b = Circuit.builder 2 in
+  Circuit.add b (Circuit.Noise1 { px = 0.05; py = 0.; pz = 0.; q = 0 });
+  Circuit.add b (Circuit.CX (0, 1));
+  let m0 = Circuit.measure b 0 in
+  let m1 = Circuit.measure b 1 in
+  Circuit.add_detector b [ m0 ];
+  Circuit.add_detector b [ m1 ];
+  let c = Circuit.finish b in
+  let dem = Dem.of_circuit c in
+  Alcotest.(check bool) "double detector signature" true
+    (find_mechanism dem ~detectors:[ 0; 1 ] ~obs:0 <> None)
+
+let test_reset_erases () =
+  let b = Circuit.builder 1 in
+  Circuit.add b (Circuit.Noise1 { px = 0.4; py = 0.; pz = 0.; q = 0 });
+  Circuit.add b (Circuit.R 0);
+  let m = Circuit.measure b 0 in
+  Circuit.add_detector b [ m ];
+  let c = Circuit.finish b in
+  Alcotest.(check int) "reset erases the error" 0 (List.length (Dem.of_circuit c))
+
+let test_merging_probabilities () =
+  (* Two independent X sources on the same qubit merge into one mechanism
+     with XOR-combined probability. *)
+  let b = Circuit.builder 1 in
+  Circuit.add b (Circuit.Noise1 { px = 0.1; py = 0.; pz = 0.; q = 0 });
+  Circuit.add b (Circuit.Noise1 { px = 0.2; py = 0.; pz = 0.; q = 0 });
+  let m = Circuit.measure b 0 in
+  Circuit.add_detector b [ m ];
+  let c = Circuit.finish b in
+  let dem = Dem.of_circuit c in
+  Alcotest.(check int) "merged" 1 (List.length dem);
+  match dem with
+  | [ m ] ->
+      Alcotest.(check (float 1e-12)) "p1(1-p2)+p2(1-p1)"
+        ((0.1 *. (1. -. 0.2)) +. (0.2 *. (1. -. 0.1)))
+        m.Dem.p
+  | _ -> Alcotest.fail "unexpected"
+
+let test_depol2_components () =
+  let b = Circuit.builder 2 in
+  Circuit.add b (Circuit.Depol2 { p = 0.15; a = 0; b = 1 });
+  let m0 = Circuit.measure b 0 in
+  let m1 = Circuit.measure b 1 in
+  Circuit.add_detector b [ m0 ];
+  Circuit.add_detector b [ m1 ];
+  let c = Circuit.finish b in
+  let dem = Dem.of_circuit c in
+  (* Visible signatures: {d0}, {d1}, {d0,d1} — X/Y components on either or
+     both qubits; Z-only components are invisible. *)
+  Alcotest.(check int) "three signatures" 3 (List.length dem);
+  (* each signature collects 4 of the 15 components — e.g. {d0} gets
+     (X|Y on 0) x (I|Z on 1) — XOR-combined, not summed *)
+  let xor_combine p q = (p *. (1. -. q)) +. (q *. (1. -. p)) in
+  let expected =
+    let comp = 0.15 /. 15. in
+    List.fold_left xor_combine 0. [ comp; comp; comp; comp ]
+  in
+  List.iter
+    (fun m -> Alcotest.(check (float 1e-9)) "4 components combined" expected m.Dem.p)
+    dem
+
+let test_dem_matches_frame_statistics () =
+  (* Detector marginals predicted by the DEM must match frame sampling on a
+     small noisy circuit (single-detector mechanisms only). *)
+  let b = Circuit.builder 2 in
+  Circuit.add b (Circuit.Noise1 { px = 0.08; py = 0.; pz = 0.; q = 0 });
+  Circuit.add b (Circuit.CX (0, 1));
+  Circuit.add b (Circuit.Noise1 { px = 0.12; py = 0.; pz = 0.; q = 1 });
+  let m0 = Circuit.measure b 0 in
+  let m1 = Circuit.measure b 1 in
+  Circuit.add_detector b [ m0 ];
+  Circuit.add_detector b [ m1 ];
+  let c = Circuit.finish b in
+  let dem = Dem.of_circuit c in
+  (* detector 1 fires when: X(q0) (propagates to both) xor X(q1).
+     P(d1) = p0(1-p1) + p1(1-p0) *)
+  let p_d1_pred = (0.08 *. 0.88) +. (0.12 *. 0.92) in
+  let rng = Rng.create 9 in
+  let shots = 40_000 in
+  let fires = ref 0 in
+  for _ = 1 to shots do
+    let s = Frame.sample_shot c rng in
+    if Bitvec.get s.Frame.detectors 1 then incr fires
+  done;
+  let measured = float_of_int !fires /. float_of_int shots in
+  Alcotest.(check bool)
+    (Printf.sprintf "frame %.4f vs dem-predicted %.4f" measured p_d1_pred)
+    true
+    (Float.abs (measured -. p_d1_pred) < 0.01);
+  Alcotest.(check bool) "graphlike" true (Dem.check_graphlike dem)
+
+let test_surface_code_dem_mostly_graphlike () =
+  let exp = Surface_circuit.build (Surface_circuit.default ~distance:3) in
+  let dem = Dem.of_circuit exp.Surface_circuit.circuit in
+  let bad = Dem_graph.non_graphlike_count dem in
+  let total = List.length dem in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d of %d mechanisms non-graphlike" bad total)
+    true
+    (float_of_int bad < 0.12 *. float_of_int total)
+
+let test_surface_code_dem_probabilities_positive () =
+  let exp = Surface_circuit.build (Surface_circuit.default ~distance:3) in
+  let dem = Dem.of_circuit exp.Surface_circuit.circuit in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "p in (0, 0.5]" true (m.Dem.p > 0. && m.Dem.p <= 0.5))
+    dem
+
+let () =
+  Alcotest.run "dem"
+    [ ( "mechanisms",
+        [ Alcotest.test_case "x before measure" `Quick test_single_qubit_x_before_measure;
+          Alcotest.test_case "z invisible" `Quick test_z_noise_invisible;
+          Alcotest.test_case "h conjugation" `Quick test_h_conjugation;
+          Alcotest.test_case "cx propagation" `Quick test_cx_propagation;
+          Alcotest.test_case "reset erases" `Quick test_reset_erases;
+          Alcotest.test_case "merging" `Quick test_merging_probabilities;
+          Alcotest.test_case "depol2 components" `Quick test_depol2_components ] );
+      ( "integration",
+        [ Alcotest.test_case "matches frame stats" `Slow test_dem_matches_frame_statistics;
+          Alcotest.test_case "surface DEM graphlike" `Quick test_surface_code_dem_mostly_graphlike;
+          Alcotest.test_case "surface DEM probs" `Quick test_surface_code_dem_probabilities_positive ] ) ]

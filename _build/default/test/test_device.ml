@@ -1,0 +1,85 @@
+(* Tests for the Table-1 device catalog. *)
+
+let test_catalog_size () =
+  Alcotest.(check int) "five devices" 5 (List.length Device.catalog)
+
+let test_catalog_valid () = List.iter Device.validate Device.catalog
+
+let test_roles () =
+  Alcotest.(check int) "two compute" 2 (List.length Device.compute_devices);
+  Alcotest.(check int) "three storage" 3 (List.length Device.storage_devices)
+
+let test_transmon_values () =
+  let d = Device.fixed_frequency_qubit in
+  Alcotest.(check bool) "T1 300us" true (Float.abs (d.Device.t1 -. 300e-6) < 1e-9);
+  Alcotest.(check bool) "T2 550us" true (Float.abs (d.Device.t2 -. 550e-6) < 1e-9);
+  Alcotest.(check int) "connectivity 4" 4 d.Device.connectivity;
+  Alcotest.(check int) "capacity 1" 1 d.Device.capacity;
+  Alcotest.(check bool) "has readout" true (d.Device.readout_time <> None)
+
+let test_resonator_values () =
+  let d = Device.multimode_resonator_3d in
+  Alcotest.(check int) "10 modes" 10 d.Device.capacity;
+  Alcotest.(check int) "single port" 1 d.Device.connectivity;
+  Alcotest.(check bool) "no readout" true (d.Device.readout_time = None);
+  Alcotest.(check bool) "swap only" true (d.Device.gate_set = Device.Swap_only)
+
+let test_storage_outlives_compute () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s outlives %s" s.Device.name c.Device.name)
+            true
+            (s.Device.t1 > c.Device.t1))
+        Device.compute_devices)
+    Device.storage_devices
+
+let test_idle_error_monotone () =
+  let d = Device.fixed_frequency_qubit in
+  let e1 = Device.idle_error d ~dt:1e-6 in
+  let e2 = Device.idle_error d ~dt:10e-6 in
+  Alcotest.(check bool) "monotone in dt" true (e1 < e2);
+  Alcotest.(check bool) "small for short idles" true (e1 < 0.01);
+  Alcotest.(check bool) "zero at zero" true (Device.idle_error d ~dt:0. = 0.)
+
+let test_idle_error_storage_beats_compute () =
+  let dt = 100e-6 in
+  Alcotest.(check bool) "resonator idles better" true
+    (Device.idle_error Device.multimode_resonator_3d ~dt
+    < Device.idle_error Device.fixed_frequency_qubit ~dt)
+
+let test_with_coherence () =
+  let d = Device.with_coherence Device.fixed_frequency_qubit ~t1:1e-3 ~t2:1e-3 in
+  Alcotest.(check bool) "t1 updated" true (d.Device.t1 = 1e-3);
+  Alcotest.(check string) "name preserved" "fixed-frequency qubit" d.Device.name
+
+let test_validate_rejects_unphysical () =
+  let bad = Device.with_coherence Device.fixed_frequency_qubit ~t1:1e-6 ~t2:1e-3 in
+  Alcotest.(check bool) "T2 > 2T1 rejected" true
+    (try
+       Device.validate bad;
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_rows () =
+  let rows = Device.table_rows () in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  List.iter (fun r -> Alcotest.(check int) "ten columns" 10 (List.length r)) rows
+
+let () =
+  Alcotest.run "device"
+    [ ( "catalog",
+        [ Alcotest.test_case "size" `Quick test_catalog_size;
+          Alcotest.test_case "valid" `Quick test_catalog_valid;
+          Alcotest.test_case "roles" `Quick test_roles;
+          Alcotest.test_case "transmon" `Quick test_transmon_values;
+          Alcotest.test_case "resonator" `Quick test_resonator_values;
+          Alcotest.test_case "storage coherence" `Quick test_storage_outlives_compute;
+          Alcotest.test_case "table rows" `Quick test_table_rows ] );
+      ( "derived",
+        [ Alcotest.test_case "idle error monotone" `Quick test_idle_error_monotone;
+          Alcotest.test_case "storage idles better" `Quick test_idle_error_storage_beats_compute;
+          Alcotest.test_case "with_coherence" `Quick test_with_coherence;
+          Alcotest.test_case "unphysical rejected" `Quick test_validate_rejects_unphysical ] ) ]

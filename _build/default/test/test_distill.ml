@@ -1,0 +1,263 @@
+(* Tests for the distillation stack: Bell-diagonal algebra cross-validated
+   against the exact density-matrix simulator, the DEJMPS recurrence
+   cross-validated against the full 4-qubit protocol circuit, the EP source,
+   and the module-level discrete-event simulation. *)
+
+let bell_vec which =
+  let a = 1. /. sqrt 2. in
+  match which with
+  | 0 -> [| a; 0.; 0.; a |] (* phi+ *)
+  | 1 -> [| 0.; a; a; 0. |] (* psi+ *)
+  | 2 -> [| 0.; a; -.a; 0. |] (* psi- *)
+  | _ -> [| a; 0.; 0.; -.a |] (* phi- *)
+
+(* Density matrix of a Bell-diagonal state. *)
+let rho_of_pair (p : Bell_pair.t) =
+  let w = Bell_pair.to_probs p in
+  let acc = ref (Cmat.create 4 4) in
+  Array.iteri
+    (fun i wi ->
+      let v = bell_vec i in
+      let amps = Array.map (fun x -> { Complex.re = x; im = 0. }) v in
+      let dm = Dm.of_ket amps in
+      acc := Cmat.add !acc (Cmat.scale_re wi (Dm.rho dm)))
+    w;
+  !acc
+
+let component rho which =
+  let v = bell_vec which in
+  let acc = ref 0. in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      acc := !acc +. (v.(i) *. v.(j) *. (Cmat.get rho i j).Complex.re)
+    done
+  done;
+  !acc
+
+(* ------------------------------------------------------ algebra vs dm *)
+
+let test_werner_components () =
+  let p = Bell_pair.werner 0.85 in
+  Bell_pair.validate p;
+  Alcotest.(check (float 1e-12)) "fidelity" 0.85 (Bell_pair.fidelity p);
+  Alcotest.(check (float 1e-12)) "infidelity" 0.15 (Bell_pair.infidelity p)
+
+let test_pauli_half_against_dm () =
+  (* Apply an X channel to one half and compare all four components. *)
+  let p0 = Bell_pair.werner 0.9 in
+  let px = 0.2 in
+  let predicted = Bell_pair.apply_pauli_half p0 ~px ~py:0. ~pz:0. in
+  let rho = rho_of_pair p0 in
+  let rho' = Channel.apply (Channel.bit_flip px) ~targets:[ 1 ] ~nqubits:2 rho in
+  let pred = Bell_pair.to_probs predicted in
+  List.iteri
+    (fun i which ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "component %d" i)
+        pred.(i) (component rho' which))
+    [ 0; 1; 2; 3 ]
+
+let test_decay_against_dm () =
+  (* Two-sided thermal decay vs the exact (untwirled) idle channel on both
+     qubits.  The Bell-diagonal model is the Pauli-twirled channel, so the
+     comparison bounds the twirl approximation error: every Bell weight must
+     agree with the exact channel's to well within the total decay strength
+     (~5% here), and the dominant weight to a few permille. *)
+  let p0 = Bell_pair.werner 0.92 in
+  let t1 = 0.5e-3 and t2 = 0.5e-3 and dt = 50e-6 in
+  let predicted = Bell_pair.decay p0 ~t1 ~t2 ~dt in
+  let rho = rho_of_pair p0 in
+  let rho = Channel.apply (Channel.idle ~t1 ~t2 ~dt) ~targets:[ 0 ] ~nqubits:2 rho in
+  let rho = Channel.apply (Channel.idle ~t1 ~t2 ~dt) ~targets:[ 1 ] ~nqubits:2 rho in
+  let pred = Bell_pair.to_probs predicted in
+  List.iteri
+    (fun i which ->
+      Alcotest.(check (float 5e-3))
+        (Printf.sprintf "twirl approximation, component %d" i)
+        pred.(i) (component rho which))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check (float 3e-3)) "fidelity approximation" pred.(0) (component rho 0)
+
+let test_depolarize_reduces_fidelity () =
+  let p = Bell_pair.depolarize (Bell_pair.werner 0.98) ~p:0.03 in
+  Alcotest.(check bool) "fidelity drops" true (Bell_pair.fidelity p < 0.98);
+  Bell_pair.validate p
+
+(* -------------------------------------------- DEJMPS vs exact circuit *)
+
+let dejmps_circuit pa pb =
+  (* qubits: a1 b1 a2 b2; pair 1 on (0,1), pair 2 on (2,3) *)
+  let rho =
+    ref
+      (Cmat.kron (rho_of_pair pa) (rho_of_pair pb))
+  in
+  let apply u targets = rho := Cmat.sandwich (Cmat.embed_unitary ~nqubits:4 ~targets u) !rho in
+  apply (Gate.rx (Float.pi /. 2.)) [ 0 ];
+  apply (Gate.rx (-.Float.pi /. 2.)) [ 1 ];
+  apply (Gate.rx (Float.pi /. 2.)) [ 2 ];
+  apply (Gate.rx (-.Float.pi /. 2.)) [ 3 ];
+  apply Gate.cx [ 0; 2 ];
+  apply Gate.cx [ 1; 3 ];
+  (* keep the even-parity branch of measuring qubits 2,3 *)
+  let proj =
+    Cmat.init 16 16 (fun i j ->
+        if i = j && (i lsr 1) land 1 = i land 1 then Complex.one else Complex.zero)
+  in
+  let kept = Cmat.mul (Cmat.mul proj !rho) proj in
+  let p_succ = (Cmat.trace kept).Complex.re in
+  let red = Cmat.ptrace ~keep:[ 0; 1 ] ~nqubits:4 (Cmat.scale_re (1. /. p_succ) kept) in
+  (p_succ, red)
+
+let test_dejmps_matches_circuit () =
+  List.iter
+    (fun (pa, pb) ->
+      let p_pred, out = Bell_pair.dejmps pa pb in
+      let p_sim, red = dejmps_circuit pa pb in
+      Alcotest.(check (float 1e-9)) "success probability" p_sim p_pred;
+      let probs = Bell_pair.to_probs out in
+      List.iteri
+        (fun i which ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "output component %d" i)
+            (component red which) probs.(i))
+        [ 0; 1; 2; 3 ])
+    [ (Bell_pair.werner 0.9, Bell_pair.werner 0.85);
+      (Bell_pair.werner 0.75, Bell_pair.werner 0.75);
+      ( { Bell_pair.phi_p = 0.8; psi_p = 0.1; psi_m = 0.04; phi_m = 0.06 },
+        { Bell_pair.phi_p = 0.7; psi_p = 0.05; psi_m = 0.15; phi_m = 0.10 } ) ]
+
+let test_dejmps_iteration_converges () =
+  let p = ref (Bell_pair.werner 0.97) in
+  for _ = 1 to 5 do
+    let _, out = Bell_pair.dejmps !p !p in
+    p := out
+  done;
+  Alcotest.(check bool) "converges to near-perfect" true (Bell_pair.fidelity !p > 0.9999)
+
+let test_dejmps_improves_above_half () =
+  let p = Bell_pair.werner 0.7 in
+  let _, out = Bell_pair.dejmps p p in
+  Alcotest.(check bool) "improves" true (Bell_pair.fidelity out > 0.7)
+
+let prop_dejmps_output_normalized =
+  QCheck.Test.make ~name:"dejmps output is a valid state" ~count:200
+    QCheck.(pair (float_range 0.55 1.) (float_range 0.55 1.))
+    (fun (fa, fb) ->
+      let _, out = Bell_pair.dejmps (Bell_pair.werner fa) (Bell_pair.werner fb) in
+      Bell_pair.validate out;
+      true)
+
+let prop_decay_keeps_valid =
+  QCheck.Test.make ~name:"decay preserves validity" ~count:200
+    QCheck.(pair (float_range 0.5 1.) (float_range 1e-7 1e-3))
+    (fun (f, dt) ->
+      let p = Bell_pair.decay (Bell_pair.werner f) ~t1:0.5e-3 ~t2:0.5e-3 ~dt in
+      Bell_pair.validate p;
+      Bell_pair.fidelity p <= f +. 1e-9)
+
+(* -------------------------------------------------------------- source *)
+
+let test_source_rate () =
+  let src = Ep_source.create ~rate_hz:1e6 () in
+  let rng = Rng.create 3 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Ep_source.next_gap src rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean gap ~ 1us" true (Float.abs (mean -. 1e-6) < 5e-8)
+
+let test_source_infidelity_range () =
+  let src = Ep_source.create ~infidelity_lo:0.02 ~infidelity_hi:0.08 ~rate_hz:1e6 () in
+  let rng = Rng.create 4 in
+  for _ = 1 to 500 do
+    let p = Ep_source.sample_pair src rng in
+    let infid = Bell_pair.infidelity p in
+    Alcotest.(check bool) "in range" true (infid >= 0.0199 && infid <= 0.0801)
+  done
+
+let test_source_rejects_bad () =
+  Alcotest.(check bool) "negative rate" true
+    (try
+       ignore (Ep_source.create ~rate_hz:(-1.) ());
+       false
+     with Invalid_argument _ -> true)
+
+(* -------------------------------------------------------------- module *)
+
+let test_module_delivers_het () =
+  let cfg = Distill_module.heterogeneous ~rate_hz:1e6 () in
+  let r = Distill_module.run cfg (Rng.create 7) ~horizon:1e-3 in
+  Alcotest.(check bool) "delivers pairs" true (r.Distill_module.delivered > 50);
+  Alcotest.(check bool) "successes <= attempts" true
+    (r.Distill_module.distill_successes <= r.Distill_module.distill_attempts)
+
+let test_module_het_beats_hom_at_low_rate () =
+  let rate_hz = 2e5 in
+  let het =
+    Distill_module.run (Distill_module.heterogeneous ~rate_hz ()) (Rng.create 9)
+      ~horizon:3e-3
+  in
+  let hom =
+    Distill_module.run (Distill_module.homogeneous ~rate_hz ()) (Rng.create 9)
+      ~horizon:3e-3
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "het (%d) > 2x hom (%d)" het.Distill_module.delivered
+       hom.Distill_module.delivered)
+    true
+    (het.Distill_module.delivered > 2 * hom.Distill_module.delivered)
+
+let test_module_rate_monotone_in_ts () =
+  let rate_hz = 3e5 in
+  let run ts =
+    (Distill_module.run
+       (Distill_module.heterogeneous ~ts ~rate_hz ())
+       (Rng.create 10) ~horizon:3e-3)
+      .Distill_module.delivered
+  in
+  let r1 = run 1e-3 and r5 = run 5e-3 in
+  Alcotest.(check bool) (Printf.sprintf "Ts=5ms (%d) >= Ts=1ms (%d)" r5 r1) true (r5 >= r1)
+
+let test_module_trace_present () =
+  let cfg = Distill_module.heterogeneous ~rate_hz:1e6 () in
+  let r = Distill_module.run ~trace_dt:10e-6 cfg (Rng.create 11) ~horizon:200e-6 in
+  Alcotest.(check bool) "trace sampled" true (List.length r.Distill_module.trace >= 15);
+  let last = List.nth r.Distill_module.trace (List.length r.Distill_module.trace - 1) in
+  (match last.Distill_module.best_output_infidelity with
+  | Some i -> Alcotest.(check bool) "reaches low infidelity" true (i < 0.01)
+  | None -> Alcotest.fail "output empty after 200us at 1MHz")
+
+let test_module_output_fidelity_at_target () =
+  let cfg = Distill_module.heterogeneous ~rate_hz:1e6 () in
+  let r = Distill_module.run cfg (Rng.create 13) ~horizon:1e-3 in
+  Alcotest.(check bool) "rate conversion" true
+    (Float.abs
+       (Distill_module.delivered_rate_per_ms r
+       -. float_of_int r.Distill_module.delivered)
+    < 1e-9)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "distill"
+    [ ( "bell algebra",
+        [ Alcotest.test_case "werner" `Quick test_werner_components;
+          Alcotest.test_case "pauli half vs dm" `Quick test_pauli_half_against_dm;
+          Alcotest.test_case "decay vs dm" `Quick test_decay_against_dm;
+          Alcotest.test_case "depolarize" `Quick test_depolarize_reduces_fidelity ] );
+      ( "dejmps",
+        [ Alcotest.test_case "matches exact circuit" `Quick test_dejmps_matches_circuit;
+          Alcotest.test_case "iteration converges" `Quick test_dejmps_iteration_converges;
+          Alcotest.test_case "improves above 1/2" `Quick test_dejmps_improves_above_half ] );
+      ( "source",
+        [ Alcotest.test_case "rate" `Quick test_source_rate;
+          Alcotest.test_case "infidelity range" `Quick test_source_infidelity_range;
+          Alcotest.test_case "rejects bad" `Quick test_source_rejects_bad ] );
+      ( "module",
+        [ Alcotest.test_case "delivers" `Quick test_module_delivers_het;
+          Alcotest.test_case "het beats hom" `Slow test_module_het_beats_hom_at_low_rate;
+          Alcotest.test_case "monotone in Ts" `Slow test_module_rate_monotone_in_ts;
+          Alcotest.test_case "trace" `Quick test_module_trace_present;
+          Alcotest.test_case "rate conversion" `Quick test_module_output_fidelity_at_target ] );
+      ("properties", qc [ prop_dejmps_output_normalized; prop_decay_keeps_valid ]) ]

@@ -1,0 +1,125 @@
+(* Tests for the design-space-exploration layer: sweeps, the
+   characterization cache, and the burden accounting. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* ---------------------------------------------------------------- sweep *)
+
+let test_linspace () =
+  let xs = Sweep.linspace ~lo:0. ~hi:1. ~n:5 in
+  Alcotest.(check int) "count" 5 (List.length xs);
+  Alcotest.(check bool) "endpoints" true
+    (feq (List.hd xs) 0. && feq (List.nth xs 4) 1.);
+  Alcotest.(check bool) "spacing" true (feq (List.nth xs 1) 0.25)
+
+let test_logspace () =
+  let xs = Sweep.logspace ~lo:1. ~hi:100. ~n:3 in
+  Alcotest.(check bool) "geometric middle" true (feq ~eps:1e-9 (List.nth xs 1) 10.);
+  Alcotest.(check bool) "rejects nonpositive" true
+    (try
+       ignore (Sweep.logspace ~lo:0. ~hi:1. ~n:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sweep_and_grid () =
+  let s = Sweep.sweep [ 1; 2; 3 ] ~f:(fun x -> x * x) in
+  Alcotest.(check (list (pair int int))) "sweep" [ (1, 1); (2, 4); (3, 9) ] s;
+  let g = Sweep.grid [ 1; 2 ] [ 10; 20 ] ~f:( + ) in
+  Alcotest.(check int) "grid size" 4 (List.length g);
+  Alcotest.(check bool) "row major" true (List.hd g = (1, 10, 11))
+
+let test_argmin_argmax () =
+  let pts = [ ("a", 3.); ("b", 1.); ("c", 2.) ] in
+  Alcotest.(check string) "argmin" "b" (fst (Sweep.argmin pts));
+  Alcotest.(check string) "argmax" "a" (fst (Sweep.argmax pts));
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Sweep.argmin ([] : (int * float) list));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pareto () =
+  let pts = [ ("a", 1., 5.); ("b", 2., 2.); ("c", 5., 1.); ("d", 3., 3.) ] in
+  let front = Sweep.pareto pts in
+  let names = List.map (fun (n, _, _) -> n) front in
+  Alcotest.(check (list string)) "dominated d removed" [ "a"; "b"; "c" ] names
+
+(* ---------------------------------------------------------------- cache *)
+
+let test_cache_hit_miss () =
+  let cache = Cache.create () in
+  let calls = ref 0 in
+  let get () =
+    Cache.find_or_compute cache ~key:"register" ~dim:4 (fun () ->
+        incr calls;
+        42)
+  in
+  Alcotest.(check int) "first" 42 (get ());
+  Alcotest.(check int) "second" 42 (get ());
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "hits" 1 (Cache.hits cache);
+  Alcotest.(check int) "misses" 1 (Cache.misses cache)
+
+let test_cache_cost_accounting () =
+  let cache = Cache.create () in
+  let get key = Cache.find_or_compute cache ~key ~dim:8 (fun () -> 0) in
+  ignore (get "a");
+  ignore (get "a");
+  ignore (get "a");
+  ignore (get "b");
+  Alcotest.(check bool) "paid two cubes" true (feq (Cache.cost_paid cache) (2. *. 512.));
+  Alcotest.(check bool) "avoided two cubes" true
+    (feq (Cache.cost_avoided cache) (2. *. 512.));
+  Alcotest.(check bool) "burden reduction" true
+    (Cache.burden_reduction ~naive_dim:64 cache > 100.)
+
+(* --------------------------------------------------------------- burden *)
+
+let test_burden_modules () =
+  List.iter
+    (fun cells ->
+      Alcotest.(check bool) "reduction exceeds paper's 1e4" true
+        (Burden.reduction cells > 1e4))
+    [ Burden.distillation_module (); Burden.uec_module (); Burden.ct_module () ]
+
+let test_burden_qubits () =
+  Alcotest.(check int) "distillation module qubits" 35
+    (Burden.module_qubits (Burden.distillation_module ()));
+  Alcotest.(check int) "uec module qubits" 34
+    (Burden.module_qubits (Burden.uec_module ()))
+
+let test_active_dimensions () =
+  Alcotest.(check int) "register active" 2 (Burden.active_qubits (Cell.register ()));
+  Alcotest.(check int) "usc active" 5 (Burden.active_qubits (Cell.usc ()))
+
+let prop_pareto_front_undominated =
+  QCheck.Test.make ~name:"pareto front has no dominated points" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20)
+              (pair (float_bound_inclusive 10.) (float_bound_inclusive 10.)))
+    (fun pts ->
+      let labelled = List.mapi (fun i (a, b) -> (i, a, b)) pts in
+      let front = Sweep.pareto labelled in
+      List.for_all
+        (fun (_, a1, a2) ->
+          not
+            (List.exists
+               (fun (_, b1, b2) -> b1 <= a1 && b2 <= a2 && (b1 < a1 || b2 < a2))
+               front))
+        front)
+
+let () =
+  Alcotest.run "dse"
+    [ ( "sweep",
+        [ Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "logspace" `Quick test_logspace;
+          Alcotest.test_case "sweep/grid" `Quick test_sweep_and_grid;
+          Alcotest.test_case "argmin/argmax" `Quick test_argmin_argmax;
+          Alcotest.test_case "pareto" `Quick test_pareto ] );
+      ( "cache",
+        [ Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "cost accounting" `Quick test_cache_cost_accounting ] );
+      ( "burden",
+        [ Alcotest.test_case "paper modules" `Quick test_burden_modules;
+          Alcotest.test_case "qubit counts" `Quick test_burden_qubits;
+          Alcotest.test_case "active dims" `Quick test_active_dimensions ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_pareto_front_undominated ]) ]

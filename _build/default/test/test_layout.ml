@@ -1,0 +1,109 @@
+(* Tests for the square-lattice grid and the SWAP-routing scheduler. *)
+
+let test_grid_basics () =
+  let g = Grid.create 4 in
+  Alcotest.(check int) "size" 16 (Grid.size g);
+  Alcotest.(check int) "side" 4 (Grid.side g);
+  Alcotest.(check (pair int int)) "coords" (1, 2) (Grid.coords g 6);
+  Alcotest.(check int) "index" 6 (Grid.index g (1, 2))
+
+let test_grid_of_min_qubits () =
+  Alcotest.(check int) "9 -> 3x3" 3 (Grid.side (Grid.of_min_qubits 9));
+  Alcotest.(check int) "10 -> 4x4" 4 (Grid.side (Grid.of_min_qubits 10));
+  Alcotest.(check int) "1 -> 1x1" 1 (Grid.side (Grid.of_min_qubits 1))
+
+let test_manhattan () =
+  let g = Grid.create 5 in
+  Alcotest.(check int) "adjacent" 1 (Grid.manhattan g 0 1);
+  Alcotest.(check int) "diagonal corner" 8 (Grid.manhattan g 0 24);
+  Alcotest.(check int) "self" 0 (Grid.manhattan g 7 7)
+
+let test_neighbors_degree () =
+  let g = Grid.create 3 in
+  Alcotest.(check int) "corner degree 2" 2 (List.length (Grid.neighbors g 0));
+  Alcotest.(check int) "edge degree 3" 3 (List.length (Grid.neighbors g 1));
+  Alcotest.(check int) "center degree 4" 4 (List.length (Grid.neighbors g 4))
+
+let test_path_is_shortest () =
+  let g = Grid.create 6 in
+  let check a b =
+    let p = Grid.path g a b in
+    Alcotest.(check int) "length = dist + 1" (Grid.manhattan g a b + 1) (List.length p);
+    Alcotest.(check int) "starts at a" a (List.hd p);
+    Alcotest.(check int) "ends at b" b (List.nth p (List.length p - 1));
+    (* consecutive nodes adjacent *)
+    let rec adjacent = function
+      | x :: y :: rest ->
+          Alcotest.(check int) "step of 1" 1 (Grid.manhattan g x y);
+          adjacent (y :: rest)
+      | _ -> ()
+    in
+    adjacent p
+  in
+  check 0 35;
+  check 7 22;
+  check 3 3
+
+let test_route_cost () =
+  let g = Grid.create 5 in
+  Alcotest.(check int) "adjacent op costs 1" 1 (Router.route_cost g { Router.a = 0; b = 1 });
+  Alcotest.(check int) "distance 3 costs 5" 5 (Router.route_cost g { Router.a = 0; b = 3 })
+
+let test_schedule_serializes_conflicts () =
+  let g = Grid.create 3 in
+  (* two ops sharing qubit 1 must serialize *)
+  let s = Router.schedule g [ { Router.a = 0; b = 1 }; { Router.a = 1; b = 2 } ] in
+  Alcotest.(check int) "makespan 2" 2 s.Router.makespan;
+  Alcotest.(check int) "two gates" 2 s.Router.two_qubit_gates
+
+let test_schedule_parallel_ops () =
+  let g = Grid.create 4 in
+  (* disjoint adjacent ops run in parallel *)
+  let s = Router.schedule g [ { Router.a = 0; b = 1 }; { Router.a = 2; b = 3 } ] in
+  Alcotest.(check int) "makespan 1" 1 s.Router.makespan
+
+let test_schedule_busy_accounting () =
+  let g = Grid.create 3 in
+  let s = Router.schedule g [ { Router.a = 0; b = 2 } ] in
+  (* path 0-1-2, dist 2, cost 3 on all three nodes *)
+  Alcotest.(check int) "gates" 3 s.Router.two_qubit_gates;
+  Alcotest.(check int) "node 1 busy" 3 s.Router.busy.(1)
+
+let test_planar_code_routes_free () =
+  (* All ops adjacent -> total gates equals op count. *)
+  let g = Grid.create 4 in
+  let ops = List.init 12 (fun i -> { Router.a = i; b = i + 4 }) in
+  let s = Router.schedule g ops in
+  Alcotest.(check int) "no routing overhead" 12 s.Router.two_qubit_gates
+
+let test_nonlocal_costs_more () =
+  let g = Grid.create 6 in
+  let local = Router.schedule g [ { Router.a = 0; b = 1 } ] in
+  let remote = Router.schedule g [ { Router.a = 0; b = 35 } ] in
+  Alcotest.(check bool) "remote pays swaps" true
+    (remote.Router.two_qubit_gates > local.Router.two_qubit_gates)
+
+let prop_route_cost_symmetric =
+  QCheck.Test.make ~name:"route cost symmetric" ~count:100
+    QCheck.(pair (int_bound 24) (int_bound 24))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      let g = Grid.create 5 in
+      Router.route_cost g { Router.a; b } = Router.route_cost g { Router.a = b; b = a })
+
+let () =
+  Alcotest.run "layout"
+    [ ( "grid",
+        [ Alcotest.test_case "basics" `Quick test_grid_basics;
+          Alcotest.test_case "of_min_qubits" `Quick test_grid_of_min_qubits;
+          Alcotest.test_case "manhattan" `Quick test_manhattan;
+          Alcotest.test_case "neighbors" `Quick test_neighbors_degree;
+          Alcotest.test_case "path shortest" `Quick test_path_is_shortest ] );
+      ( "router",
+        [ Alcotest.test_case "route cost" `Quick test_route_cost;
+          Alcotest.test_case "conflicts serialize" `Quick test_schedule_serializes_conflicts;
+          Alcotest.test_case "parallel ops" `Quick test_schedule_parallel_ops;
+          Alcotest.test_case "busy accounting" `Quick test_schedule_busy_accounting;
+          Alcotest.test_case "planar free" `Quick test_planar_code_routes_free;
+          Alcotest.test_case "nonlocal cost" `Quick test_nonlocal_costs_more ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_route_cost_symmetric ]) ]

@@ -1,0 +1,225 @@
+(* Tests for the dense complex matrix substrate. *)
+
+let c re im = { Complex.re; im }
+let r x = c x 0.
+
+let mat = Alcotest.testable Cmat.pp (Cmat.approx_equal ~tol:1e-9)
+
+let test_identity_mul () =
+  let a = Cmat.of_real_lists [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  Alcotest.check mat "I*a = a" a (Cmat.mul (Cmat.identity 2) a);
+  Alcotest.check mat "a*I = a" a (Cmat.mul a (Cmat.identity 2))
+
+let test_mul_known () =
+  let a = Cmat.of_real_lists [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let b = Cmat.of_real_lists [ [ 5.; 6. ]; [ 7.; 8. ] ] in
+  let expected = Cmat.of_real_lists [ [ 19.; 22. ]; [ 43.; 50. ] ] in
+  Alcotest.check mat "2x2 product" expected (Cmat.mul a b)
+
+let test_mul_complex () =
+  (* (i) * (i) = -1 as 1x1 matrices *)
+  let i1 = Cmat.of_lists [ [ c 0. 1. ] ] in
+  let expected = Cmat.of_lists [ [ r (-1.) ] ] in
+  Alcotest.check mat "i*i = -1" expected (Cmat.mul i1 i1)
+
+let test_mul_shape_mismatch () =
+  let a = Cmat.create 2 3 and b = Cmat.create 2 3 in
+  Alcotest.check_raises "shape" (Invalid_argument "Cmat.mul: dimension mismatch")
+    (fun () -> ignore (Cmat.mul a b))
+
+let test_add_sub () =
+  let a = Cmat.of_real_lists [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let b = Cmat.of_real_lists [ [ 4.; 3. ]; [ 2.; 1. ] ] in
+  let sum = Cmat.of_real_lists [ [ 5.; 5. ]; [ 5.; 5. ] ] in
+  Alcotest.check mat "add" sum (Cmat.add a b);
+  Alcotest.check mat "sub recovers" a (Cmat.sub sum b)
+
+let test_scale () =
+  let a = Cmat.of_real_lists [ [ 1.; 0. ]; [ 0.; 1. ] ] in
+  let ia = Cmat.scale (c 0. 1.) a in
+  Alcotest.check mat "scale by i twice = -1"
+    (Cmat.scale_re (-1.) a)
+    (Cmat.scale (c 0. 1.) ia)
+
+let test_kron_dims_and_values () =
+  let a = Cmat.of_real_lists [ [ 1.; 2. ] ] in
+  let b = Cmat.of_real_lists [ [ 0.; 1. ]; [ 1.; 0. ] ] in
+  let k = Cmat.kron a b in
+  Alcotest.(check int) "rows" 2 k.Cmat.rows;
+  Alcotest.(check int) "cols" 4 k.Cmat.cols;
+  let expected = Cmat.of_real_lists [ [ 0.; 1.; 0.; 2. ]; [ 1.; 0.; 2.; 0. ] ] in
+  Alcotest.check mat "values" expected k
+
+let test_kron_mixed_product () =
+  (* (A kron B)(C kron D) = AC kron BD *)
+  let a = Cmat.of_real_lists [ [ 1.; 2. ]; [ 0.; 1. ] ] in
+  let b = Cmat.of_real_lists [ [ 0.; 1. ]; [ 1.; 0. ] ] in
+  let cm = Cmat.of_real_lists [ [ 2.; 0. ]; [ 1.; 1. ] ] in
+  let d = Cmat.of_real_lists [ [ 1.; 1. ]; [ 0.; 2. ] ] in
+  let lhs = Cmat.mul (Cmat.kron a b) (Cmat.kron cm d) in
+  let rhs = Cmat.kron (Cmat.mul a cm) (Cmat.mul b d) in
+  Alcotest.check mat "mixed product" rhs lhs
+
+let test_adjoint () =
+  let a = Cmat.of_lists [ [ c 1. 2.; c 3. 4. ]; [ c 5. 6.; c 7. 8. ] ] in
+  let adj = Cmat.adjoint a in
+  Alcotest.(check bool) "entry (0,1)" true
+    (Complex.norm (Complex.sub (Cmat.get adj 0 1) (c 5. (-6.))) < 1e-12);
+  Alcotest.check mat "double adjoint" a (Cmat.adjoint adj)
+
+let test_trace () =
+  let a = Cmat.of_lists [ [ c 1. 1.; r 9. ]; [ r 9.; c 2. (-3.) ] ] in
+  let tr = Cmat.trace a in
+  Alcotest.(check bool) "trace value" true (Complex.norm (Complex.sub tr (c 3. (-2.))) < 1e-12)
+
+let test_hermitian_check () =
+  let herm = Cmat.of_lists [ [ r 1.; c 0. 1. ]; [ c 0. (-1.); r 2. ] ] in
+  Alcotest.(check bool) "hermitian" true (Cmat.is_hermitian herm);
+  let non = Cmat.of_lists [ [ r 1.; c 0. 1. ]; [ c 0. 1.; r 2. ] ] in
+  Alcotest.(check bool) "not hermitian" false (Cmat.is_hermitian non)
+
+let test_ptrace_product_state () =
+  (* rho = |0><0| kron |1><1|; tracing out either qubit leaves the other. *)
+  let q0 = Cmat.of_real_lists [ [ 1.; 0. ]; [ 0.; 0. ] ] in
+  let q1 = Cmat.of_real_lists [ [ 0.; 0. ]; [ 0.; 1. ] ] in
+  let rho = Cmat.kron q0 q1 in
+  Alcotest.check mat "keep qubit 0" q0 (Cmat.ptrace ~keep:[ 0 ] ~nqubits:2 rho);
+  Alcotest.check mat "keep qubit 1" q1 (Cmat.ptrace ~keep:[ 1 ] ~nqubits:2 rho)
+
+let test_ptrace_bell_is_mixed () =
+  let a = 1. /. sqrt 2. in
+  let bell =
+    Cmat.init 4 4 (fun i j ->
+        let amp k = if k = 0 || k = 3 then a else 0. in
+        r (amp i *. amp j))
+  in
+  let reduced = Cmat.ptrace ~keep:[ 0 ] ~nqubits:2 bell in
+  let mixed = Cmat.scale_re 0.5 (Cmat.identity 2) in
+  Alcotest.check mat "maximally mixed" mixed reduced
+
+let test_ptrace_keep_order () =
+  (* |01>: keep [1;0] should give |10>-ordered state. *)
+  let q0 = Cmat.of_real_lists [ [ 1.; 0. ]; [ 0.; 0. ] ] in
+  let q1 = Cmat.of_real_lists [ [ 0.; 0. ]; [ 0.; 1. ] ] in
+  let rho = Cmat.kron q0 q1 in
+  let swapped = Cmat.ptrace ~keep:[ 1; 0 ] ~nqubits:2 rho in
+  Alcotest.check mat "order respected" (Cmat.kron q1 q0) swapped
+
+let test_embed_unitary_on_target () =
+  (* X on qubit 1 of 2: |00> -> |01>. *)
+  let full = Cmat.embed_unitary ~nqubits:2 ~targets:[ 1 ] Gate.x in
+  let input = Cmat.of_real_lists [ [ 1. ]; [ 0. ]; [ 0. ]; [ 0. ] ] in
+  let output = Cmat.mul full input in
+  Alcotest.(check bool) "amplitude moved to |01>" true
+    (Complex.norm (Complex.sub (Cmat.get output 1 0) Complex.one) < 1e-12)
+
+let test_embed_unitary_reversed_targets () =
+  (* CX with control=qubit1, target=qubit0: |01> -> |11>. *)
+  let full = Cmat.embed_unitary ~nqubits:2 ~targets:[ 1; 0 ] Gate.cx in
+  let input = Cmat.of_real_lists [ [ 0. ]; [ 1. ]; [ 0. ]; [ 0. ] ] in
+  let output = Cmat.mul full input in
+  Alcotest.(check bool) "flips qubit 0" true
+    (Complex.norm (Complex.sub (Cmat.get output 3 0) Complex.one) < 1e-12)
+
+let test_embed_unitary_is_unitary () =
+  let full = Cmat.embed_unitary ~nqubits:3 ~targets:[ 2; 0 ] Gate.cx in
+  Alcotest.(check bool) "lifted CX unitary" true (Gate.is_unitary full)
+
+let test_sandwich () =
+  (* X |0><0| X = |1><1| *)
+  let rho0 = Cmat.of_real_lists [ [ 1.; 0. ]; [ 0.; 0. ] ] in
+  let rho1 = Cmat.of_real_lists [ [ 0.; 0. ]; [ 0.; 1. ] ] in
+  Alcotest.check mat "X conjugation" rho1 (Cmat.sandwich Gate.x rho0)
+
+let test_frobenius () =
+  let a = Cmat.of_real_lists [ [ 3.; 0. ]; [ 0.; 4. ] ] in
+  Alcotest.(check bool) "norm 5" true (Float.abs (Cmat.frobenius_norm a -. 5.) < 1e-12)
+
+let test_of_lists_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Cmat.of_lists: ragged rows")
+    (fun () -> ignore (Cmat.of_real_lists [ [ 1. ]; [ 1.; 2. ] ]))
+
+(* Gate sanity lives here because gates are pure matrices. *)
+
+let test_gates_unitary () =
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check bool) (name ^ " unitary") true (Gate.is_unitary g))
+    [ ("x", Gate.x); ("y", Gate.y); ("z", Gate.z); ("h", Gate.h); ("s", Gate.s);
+      ("t", Gate.t); ("cx", Gate.cx); ("cz", Gate.cz); ("swap", Gate.swap);
+      ("iswap", Gate.iswap); ("rx", Gate.rx 0.7); ("ry", Gate.ry 1.1);
+      ("rz", Gate.rz 2.3); ("cphase", Gate.cphase 0.9) ]
+
+let test_gate_identities () =
+  Alcotest.check mat "HH = I" (Cmat.identity 2) (Cmat.mul Gate.h Gate.h);
+  Alcotest.check mat "SS = Z" Gate.z (Cmat.mul Gate.s Gate.s);
+  Alcotest.check mat "TT = S" Gate.s (Cmat.mul Gate.t Gate.t);
+  Alcotest.check mat "XYX = -Y" (Cmat.scale_re (-1.) Gate.y)
+    (Cmat.mul (Cmat.mul Gate.x Gate.y) Gate.x);
+  Alcotest.check mat "HXH = Z" Gate.z (Cmat.mul (Cmat.mul Gate.h Gate.x) Gate.h);
+  Alcotest.check mat "CX^2 = I" (Cmat.identity 4) (Cmat.mul Gate.cx Gate.cx);
+  Alcotest.check mat "SWAP^2 = I" (Cmat.identity 4) (Cmat.mul Gate.swap Gate.swap)
+
+let test_pauli_string () =
+  Alcotest.check mat "XZ = X kron Z" (Cmat.kron Gate.x Gate.z) (Gate.pauli_string "XZ");
+  Alcotest.check mat "single" Gate.y (Gate.pauli_string "Y")
+
+let prop_kron_associative =
+  let gen_small =
+    QCheck.Gen.(
+      map
+        (fun entries -> Cmat.of_real_lists [ [ List.nth entries 0; List.nth entries 1 ];
+                                             [ List.nth entries 2; List.nth entries 3 ] ])
+        (list_size (return 4) (float_bound_inclusive 5.)))
+  in
+  let arb = QCheck.make gen_small in
+  QCheck.Test.make ~name:"kron associativity" ~count:50 (QCheck.triple arb arb arb)
+    (fun (a, b, c) ->
+      Cmat.approx_equal ~tol:1e-6
+        (Cmat.kron (Cmat.kron a b) c)
+        (Cmat.kron a (Cmat.kron b c)))
+
+let prop_trace_cyclic =
+  let gen_small =
+    QCheck.Gen.(
+      map
+        (fun entries -> Cmat.of_real_lists [ [ List.nth entries 0; List.nth entries 1 ];
+                                             [ List.nth entries 2; List.nth entries 3 ] ])
+        (list_size (return 4) (float_bound_inclusive 3.)))
+  in
+  let arb = QCheck.make gen_small in
+  QCheck.Test.make ~name:"trace(AB) = trace(BA)" ~count:100 (QCheck.pair arb arb)
+    (fun (a, b) ->
+      let tab = Cmat.trace (Cmat.mul a b) and tba = Cmat.trace (Cmat.mul b a) in
+      Complex.norm (Complex.sub tab tba) < 1e-6)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "linalg"
+    [ ( "matrix",
+        [ Alcotest.test_case "identity mul" `Quick test_identity_mul;
+          Alcotest.test_case "known product" `Quick test_mul_known;
+          Alcotest.test_case "complex product" `Quick test_mul_complex;
+          Alcotest.test_case "shape mismatch" `Quick test_mul_shape_mismatch;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "kron" `Quick test_kron_dims_and_values;
+          Alcotest.test_case "kron mixed product" `Quick test_kron_mixed_product;
+          Alcotest.test_case "adjoint" `Quick test_adjoint;
+          Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "hermitian" `Quick test_hermitian_check;
+          Alcotest.test_case "frobenius" `Quick test_frobenius;
+          Alcotest.test_case "ragged input" `Quick test_of_lists_ragged;
+          Alcotest.test_case "sandwich" `Quick test_sandwich ] );
+      ( "ptrace/embed",
+        [ Alcotest.test_case "ptrace product" `Quick test_ptrace_product_state;
+          Alcotest.test_case "ptrace bell" `Quick test_ptrace_bell_is_mixed;
+          Alcotest.test_case "ptrace order" `Quick test_ptrace_keep_order;
+          Alcotest.test_case "embed target" `Quick test_embed_unitary_on_target;
+          Alcotest.test_case "embed reversed" `Quick test_embed_unitary_reversed_targets;
+          Alcotest.test_case "embed unitary" `Quick test_embed_unitary_is_unitary ] );
+      ( "gates",
+        [ Alcotest.test_case "unitarity" `Quick test_gates_unitary;
+          Alcotest.test_case "identities" `Quick test_gate_identities;
+          Alcotest.test_case "pauli string" `Quick test_pauli_string ] );
+      ("properties", qc [ prop_kron_associative; prop_trace_cyclic ]) ]

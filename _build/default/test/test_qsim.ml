@@ -1,0 +1,377 @@
+(* Tests for the density-matrix simulator: channels and state evolution. *)
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_close name ?(eps = 1e-9) expected actual =
+  if not (close ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected actual
+
+(* -------------------------------------------------------------- Channel *)
+
+let all_channels =
+  [ ("identity", Channel.identity 1);
+    ("amp_damp 0.3", Channel.amplitude_damping 0.3);
+    ("phase_damp 0.2", Channel.phase_damping 0.2);
+    ("dephasing 0.1", Channel.dephasing 0.1);
+    ("bitflip 0.25", Channel.bit_flip 0.25);
+    ("pauli", Channel.pauli1 ~px:0.1 ~py:0.05 ~pz:0.2);
+    ("depol1 0.15", Channel.depolarizing1 0.15);
+    ("depol2 0.1", Channel.depolarizing2 0.1);
+    ("idle", Channel.idle ~t1:100e-6 ~t2:150e-6 ~dt:1e-6);
+    ("idle t2=2t1", Channel.idle ~t1:100e-6 ~t2:200e-6 ~dt:5e-6);
+    ("composed", Channel.compose (Channel.amplitude_damping 0.1) (Channel.dephasing 0.05)) ]
+
+let test_channels_cptp () =
+  List.iter
+    (fun (name, ch) ->
+      Alcotest.(check bool) (name ^ " is CPTP") true (Channel.is_cptp ch))
+    all_channels
+
+let test_idle_unphysical () =
+  Alcotest.check_raises "T2 > 2 T1 rejected"
+    (Invalid_argument "Channel.idle: unphysical T2 > 2*T1")
+    (fun () -> ignore (Channel.idle ~t1:1e-6 ~t2:3e-6 ~dt:1e-7))
+
+let test_amplitude_damping_decay () =
+  (* |1><1| decays toward |0><0| with rate gamma. *)
+  let dm = Dm.create 1 in
+  Dm.apply_unitary dm Gate.x [ 0 ];
+  Dm.apply_channel dm (Channel.amplitude_damping 0.3) [ 0 ];
+  check_close "p1 after damping" 0.7 (Dm.prob_one dm 0)
+
+let test_idle_t1_decay_curve () =
+  (* After idling |1> for time dt, p1 = exp(-dt/T1). *)
+  let t1 = 50e-6 and t2 = 60e-6 in
+  List.iter
+    (fun dt ->
+      let dm = Dm.create 1 in
+      Dm.apply_unitary dm Gate.x [ 0 ];
+      Dm.idle dm ~t1 ~t2 ~dt [ 0 ];
+      check_close ~eps:1e-9 (Printf.sprintf "p1 at dt=%g" dt) (exp (-.dt /. t1))
+        (Dm.prob_one dm 0))
+    [ 1e-6; 10e-6; 50e-6 ]
+
+let test_idle_t2_coherence_decay () =
+  (* |+> idles: <X> = exp(-dt/T2). *)
+  let t1 = 100e-6 and t2 = 70e-6 and dt = 20e-6 in
+  let dm = Dm.create 1 in
+  Dm.apply_unitary dm Gate.h [ 0 ];
+  Dm.idle dm ~t1 ~t2 ~dt [ 0 ];
+  check_close ~eps:1e-9 "X expectation" (exp (-.dt /. t2)) (Dm.expectation dm "X")
+
+let test_depolarizing_shrinks_bloch () =
+  let p = 0.3 in
+  let dm = Dm.create 1 in
+  Dm.apply_unitary dm Gate.h [ 0 ];
+  Dm.apply_channel dm (Channel.depolarizing1 p) [ 0 ];
+  (* depolarizing: <X> -> (1 - 4p/3) <X> *)
+  check_close "bloch shrink" (1. -. (4. *. p /. 3.)) (Dm.expectation dm "X")
+
+let test_gate_fidelity_of_depolarizing () =
+  (* F_avg of 1q depolarizing with prob p: 1 - 2p/3. *)
+  let p = 0.06 in
+  let f = Channel.average_gate_fidelity_vs_identity (Channel.depolarizing1 p) in
+  check_close ~eps:1e-9 "avg fidelity" (1. -. (2. *. p /. 3.)) f
+
+let test_channel_nqubits () =
+  Alcotest.(check int) "1q" 1 (Channel.nqubits (Channel.dephasing 0.1));
+  Alcotest.(check int) "2q" 2 (Channel.nqubits (Channel.depolarizing2 0.1))
+
+(* ------------------------------------------------------------------- Dm *)
+
+let test_initial_state () =
+  let dm = Dm.create 3 in
+  check_close "trace" 1.0 (Dm.trace dm);
+  check_close "purity" 1.0 (Dm.purity dm);
+  check_close "p1 q0" 0.0 (Dm.prob_one dm 0)
+
+let test_x_flips () =
+  let dm = Dm.create 2 in
+  Dm.apply_unitary dm Gate.x [ 1 ];
+  check_close "q0 stays" 0.0 (Dm.prob_one dm 0);
+  check_close "q1 flips" 1.0 (Dm.prob_one dm 1)
+
+let test_bell_state_construction () =
+  let dm = Dm.create 2 in
+  Dm.apply_unitary dm Gate.h [ 0 ];
+  Dm.apply_unitary dm Gate.cx [ 0; 1 ];
+  check_close "fidelity with Bell" 1.0 (Dm.fidelity_bell dm);
+  check_close "ZZ correlation" 1.0 (Dm.expectation dm "ZZ");
+  check_close "XX correlation" 1.0 (Dm.expectation dm "XX")
+
+let test_bell_pair_helper () =
+  let dm = Dm.bell_pair () in
+  check_close "helper matches circuit" 1.0 (Dm.fidelity_bell dm)
+
+let test_ghz_state () =
+  let dm = Dm.ghz 3 in
+  check_close "trace" 1.0 (Dm.trace dm);
+  check_close "ZZI" 1.0 (Dm.expectation dm "ZZI");
+  check_close "IZZ" 1.0 (Dm.expectation dm "IZZ");
+  check_close "XXX" 1.0 (Dm.expectation dm "XXX");
+  (* GHZ circuit equivalent *)
+  let circ = Dm.create 3 in
+  Dm.apply_unitary circ Gate.h [ 0 ];
+  Dm.apply_unitary circ Gate.cx [ 0; 1 ];
+  Dm.apply_unitary circ Gate.cx [ 1; 2 ];
+  check_close "circuit GHZ XXX" 1.0 (Dm.expectation circ "XXX")
+
+let test_measurement_statistics () =
+  let rng = Rng.create 99 in
+  let ones = ref 0 in
+  let n = 2_000 in
+  for _ = 1 to n do
+    let dm = Dm.create 1 in
+    Dm.apply_unitary dm Gate.h [ 0 ];
+    if Dm.measure dm rng 0 = 1 then incr ones
+  done;
+  let p = float_of_int !ones /. float_of_int n in
+  Alcotest.(check bool) "~50%" true (Float.abs (p -. 0.5) < 0.03)
+
+let test_measurement_collapse () =
+  let rng = Rng.create 5 in
+  let dm = Dm.create 2 in
+  Dm.apply_unitary dm Gate.h [ 0 ];
+  Dm.apply_unitary dm Gate.cx [ 0; 1 ];
+  let m0 = Dm.measure dm rng 0 in
+  let m1 = Dm.measure dm rng 1 in
+  Alcotest.(check int) "Bell correlations" m0 m1;
+  check_close "post-measure purity" 1.0 (Dm.purity dm)
+
+let test_postselect () =
+  let dm = Dm.create 1 in
+  Dm.apply_unitary dm Gate.h [ 0 ];
+  let p = Dm.postselect dm 0 1 in
+  check_close "branch prob" 0.5 p;
+  check_close "collapsed" 1.0 (Dm.prob_one dm 0)
+
+let test_postselect_impossible () =
+  let dm = Dm.create 1 in
+  Alcotest.check_raises "zero branch"
+    (Invalid_argument "Dm.postselect: branch probability ~ 0")
+    (fun () -> ignore (Dm.postselect dm 0 1))
+
+let test_ptrace_of_bell () =
+  let dm = Dm.bell_pair () in
+  let half = Dm.ptrace dm ~keep:[ 0 ] in
+  check_close "reduced purity 1/2" 0.5 (Dm.purity half);
+  check_close "p1 = 1/2" 0.5 (Dm.prob_one half 0)
+
+let test_channel_vs_manual_kraus () =
+  (* Applying amplitude damping via channel equals the explicit Kraus sum. *)
+  let gamma = 0.2 in
+  let dm = Dm.create 1 in
+  Dm.apply_unitary dm Gate.h [ 0 ];
+  let rho = Cmat.copy (Dm.rho dm) in
+  Dm.apply_channel dm (Channel.amplitude_damping gamma) [ 0 ];
+  let ch = Channel.amplitude_damping gamma in
+  let manual =
+    List.fold_left
+      (fun acc k -> Cmat.add acc (Cmat.sandwich k rho))
+      (Cmat.create 2 2) ch.Channel.kraus
+  in
+  Alcotest.(check bool) "kraus sum matches" true
+    (Cmat.approx_equal ~tol:1e-12 manual (Dm.rho dm))
+
+let test_swap_gate_moves_state () =
+  let dm = Dm.create 2 in
+  Dm.apply_unitary dm Gate.x [ 0 ];
+  Dm.apply_unitary dm Gate.swap [ 0; 1 ];
+  check_close "q0 cleared" 0.0 (Dm.prob_one dm 0);
+  check_close "q1 set" 1.0 (Dm.prob_one dm 1)
+
+let test_noisy_bell_fidelity_decreases () =
+  let dm = Dm.bell_pair () in
+  Dm.apply_channel dm (Channel.depolarizing1 0.1) [ 0 ];
+  let f = Dm.fidelity_bell dm in
+  Alcotest.(check bool) "fidelity dropped below 1" true (f < 1.0);
+  Alcotest.(check bool) "still above mixed floor" true (f > 0.5)
+
+let test_of_ket_normalizes () =
+  let dm = Dm.of_ket [| { Complex.re = 2.; im = 0. }; { Complex.re = 0.; im = 2. } |] in
+  check_close "trace normalized" 1.0 (Dm.trace dm);
+  check_close "p1" 0.5 (Dm.prob_one dm 0)
+
+(* ------------------------------------------------------------------ Sv *)
+
+let test_sv_initial () =
+  let sv = Sv.create 3 in
+  check_close "norm" 1.0 (Sv.norm sv);
+  check_close "amp |000>" 1.0 (Complex.norm (Sv.amplitude sv 0));
+  check_close "p1" 0.0 (Sv.prob_one sv 0)
+
+let test_sv_matches_dm_on_circuit () =
+  (* Same Clifford+T circuit in both simulators; compare via to_dm. *)
+  let sv = Sv.create 3 in
+  let dm = Dm.create 3 in
+  let ops = [ (Gate.h, [ 0 ]); (Gate.cx, [ 0; 1 ]); (Gate.t, [ 1 ]);
+              (Gate.cx, [ 1; 2 ]); (Gate.ry 0.7, [ 2 ]); (Gate.swap, [ 0; 2 ]) ]
+  in
+  List.iter
+    (fun (u, targets) ->
+      Sv.apply_unitary sv u targets;
+      Dm.apply_unitary dm u targets)
+    ops;
+  Alcotest.(check bool) "density matrices agree" true
+    (Cmat.approx_equal ~tol:1e-9 (Dm.rho (Sv.to_dm sv)) (Dm.rho dm))
+
+let test_sv_ghz () =
+  let sv = Sv.create 10 in
+  Sv.apply_unitary sv Gate.h [ 0 ];
+  for q = 0 to 8 do
+    Sv.apply_unitary sv Gate.cx [ q; q + 1 ]
+  done;
+  check_close "norm" 1.0 (Sv.norm sv);
+  check_close ~eps:1e-9 "amp |0..0>" 0.5
+    (Complex.norm2 (Sv.amplitude sv 0));
+  check_close ~eps:1e-9 "amp |1..1>" 0.5
+    (Complex.norm2 (Sv.amplitude sv ((1 lsl 10) - 1)))
+
+let test_sv_measure_ghz_correlated () =
+  let rng = Rng.create 77 in
+  for _ = 1 to 30 do
+    let sv = Sv.create 4 in
+    Sv.apply_unitary sv Gate.h [ 0 ];
+    for q = 0 to 2 do
+      Sv.apply_unitary sv Gate.cx [ q; q + 1 ]
+    done;
+    let m0 = Sv.measure sv rng 0 in
+    for q = 1 to 3 do
+      Alcotest.(check int) "ghz correlated" m0 (Sv.measure sv rng q)
+    done
+  done
+
+let test_sv_trajectories_match_dm () =
+  (* Average of trajectories over amplitude damping = exact Dm evolution:
+     P(1) after damping |1> must match within Monte-Carlo error. *)
+  let rng = Rng.create 78 in
+  let gamma = 0.3 in
+  let trials = 4000 in
+  let ones = ref 0. in
+  for _ = 1 to trials do
+    let sv = Sv.create 1 in
+    Sv.apply_unitary sv Gate.x [ 0 ];
+    ignore (Sv.apply_kraus_sampled sv (Channel.amplitude_damping gamma) [ 0 ] rng);
+    ones := !ones +. Sv.prob_one sv 0
+  done;
+  let mean = !ones /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "trajectory mean %.3f ~ %.3f" mean (1. -. gamma))
+    true
+    (Float.abs (mean -. (1. -. gamma)) < 0.02)
+
+let test_sv_average_fidelity_idle () =
+  (* Channel fidelity of idling |+> for dt: exact value from Dm. *)
+  let t1 = 100e-6 and t2 = 150e-6 and dt = 30e-6 in
+  let target = Sv.create 1 in
+  Sv.apply_unitary target Gate.h [ 0 ];
+  let rng = Rng.create 79 in
+  let f =
+    Sv.average_fidelity
+      ~prepare:(fun () ->
+        let s = Sv.create 1 in
+        Sv.apply_unitary s Gate.h [ 0 ];
+        s)
+      ~evolve:(fun s rng -> Sv.idle_trajectory s ~t1 ~t2 ~dt 0 rng)
+      ~target ~trajectories:4000 rng
+  in
+  let dm = Dm.create 1 in
+  Dm.apply_unitary dm Gate.h [ 0 ];
+  Dm.idle dm ~t1 ~t2 ~dt [ 0 ];
+  let a = 1. /. sqrt 2. in
+  let exact = Dm.fidelity_pure dm [| { Complex.re = a; im = 0. }; { Complex.re = a; im = 0. } |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "trajectories %.4f ~ exact %.4f" f exact)
+    true
+    (Float.abs (f -. exact) < 0.01)
+
+let test_sv_large_register () =
+  (* An 11-qubit register cell (10 modes + compute) is out of Dm reach but
+     fine here. *)
+  let sv = Sv.create 11 in
+  Sv.apply_unitary sv Gate.h [ 10 ];
+  Sv.apply_unitary sv Gate.cx [ 10; 0 ];
+  check_close "norm" 1.0 (Sv.norm sv);
+  check_close ~eps:1e-9 "entangled" 0.5 (Sv.prob_one sv 0)
+
+(* Property tests *)
+
+let prop_trace_preserved_by_channels =
+  QCheck.Test.make ~name:"channels preserve trace" ~count:50
+    QCheck.(pair (float_bound_inclusive 1.) (int_bound 2))
+    (fun (p, which) ->
+      let dm = Dm.create 2 in
+      Dm.apply_unitary dm Gate.h [ 0 ];
+      Dm.apply_unitary dm Gate.cx [ 0; 1 ];
+      let ch =
+        match which with
+        | 0 -> Channel.depolarizing1 p
+        | 1 -> Channel.amplitude_damping p
+        | _ -> Channel.phase_damping p
+      in
+      Dm.apply_channel dm ch [ 1 ];
+      Float.abs (Dm.trace dm -. 1.0) < 1e-9)
+
+let prop_unitaries_preserve_purity =
+  QCheck.Test.make ~name:"unitaries preserve purity" ~count:50
+    QCheck.(triple (float_bound_inclusive 6.28) (float_bound_inclusive 6.28)
+              (float_bound_inclusive 6.28))
+    (fun (a, b, c) ->
+      let dm = Dm.create 2 in
+      Dm.apply_unitary dm (Gate.rx a) [ 0 ];
+      Dm.apply_unitary dm (Gate.ry b) [ 1 ];
+      Dm.apply_unitary dm Gate.cx [ 0; 1 ];
+      Dm.apply_unitary dm (Gate.rz c) [ 0 ];
+      Float.abs (Dm.purity dm -. 1.0) < 1e-9)
+
+let prop_fidelity_bounded =
+  QCheck.Test.make ~name:"fidelity in [0,1]" ~count:50
+    QCheck.(pair (float_bound_inclusive 0.5) (float_bound_inclusive 6.28))
+    (fun (p, theta) ->
+      let dm = Dm.bell_pair () in
+      Dm.apply_unitary dm (Gate.rz theta) [ 0 ];
+      Dm.apply_channel dm (Channel.depolarizing1 p) [ 1 ];
+      let f = Dm.fidelity_bell dm in
+      f >= -1e-9 && f <= 1. +. 1e-9)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "qsim"
+    [ ( "channels",
+        [ Alcotest.test_case "all CPTP" `Quick test_channels_cptp;
+          Alcotest.test_case "unphysical idle" `Quick test_idle_unphysical;
+          Alcotest.test_case "amplitude damping" `Quick test_amplitude_damping_decay;
+          Alcotest.test_case "T1 curve" `Quick test_idle_t1_decay_curve;
+          Alcotest.test_case "T2 coherence" `Quick test_idle_t2_coherence_decay;
+          Alcotest.test_case "depolarizing bloch" `Quick test_depolarizing_shrinks_bloch;
+          Alcotest.test_case "avg gate fidelity" `Quick test_gate_fidelity_of_depolarizing;
+          Alcotest.test_case "nqubits" `Quick test_channel_nqubits ] );
+      ( "states",
+        [ Alcotest.test_case "initial" `Quick test_initial_state;
+          Alcotest.test_case "x flips" `Quick test_x_flips;
+          Alcotest.test_case "bell circuit" `Quick test_bell_state_construction;
+          Alcotest.test_case "bell helper" `Quick test_bell_pair_helper;
+          Alcotest.test_case "ghz" `Quick test_ghz_state;
+          Alcotest.test_case "swap" `Quick test_swap_gate_moves_state;
+          Alcotest.test_case "of_ket" `Quick test_of_ket_normalizes;
+          Alcotest.test_case "noisy bell" `Quick test_noisy_bell_fidelity_decreases;
+          Alcotest.test_case "channel vs kraus" `Quick test_channel_vs_manual_kraus ] );
+      ( "measurement",
+        [ Alcotest.test_case "statistics" `Quick test_measurement_statistics;
+          Alcotest.test_case "collapse" `Quick test_measurement_collapse;
+          Alcotest.test_case "postselect" `Quick test_postselect;
+          Alcotest.test_case "postselect impossible" `Quick test_postselect_impossible;
+          Alcotest.test_case "ptrace bell" `Quick test_ptrace_of_bell ] );
+      ( "statevector",
+        [ Alcotest.test_case "initial" `Quick test_sv_initial;
+          Alcotest.test_case "matches dm" `Quick test_sv_matches_dm_on_circuit;
+          Alcotest.test_case "ghz 10 qubits" `Quick test_sv_ghz;
+          Alcotest.test_case "ghz measurement" `Quick test_sv_measure_ghz_correlated;
+          Alcotest.test_case "trajectories vs dm" `Slow test_sv_trajectories_match_dm;
+          Alcotest.test_case "average fidelity" `Slow test_sv_average_fidelity_idle;
+          Alcotest.test_case "11-qubit register" `Quick test_sv_large_register ] );
+      ( "properties",
+        qc
+          [ prop_trace_preserved_by_channels;
+            prop_unitaries_preserve_purity;
+            prop_fidelity_bounded ] ) ]

@@ -1,0 +1,152 @@
+(* Tests for the repeater-chain extension: entanglement swapping algebra
+   (cross-validated against the exact Bell-measurement circuit) and the
+   chain-level discrete-event simulation. *)
+
+(* ------------------------------------------------------ swap vs circuit *)
+
+let bell_vec which =
+  let a = 1. /. sqrt 2. in
+  match which with
+  | 0 -> [| a; 0.; 0.; a |]
+  | 1 -> [| 0.; a; a; 0. |]
+  | 2 -> [| 0.; a; -.a; 0. |]
+  | _ -> [| a; 0.; 0.; -.a |]
+
+let rho_of_pair (p : Bell_pair.t) =
+  let w = Bell_pair.to_probs p in
+  let acc = ref (Cmat.create 4 4) in
+  Array.iteri
+    (fun i wi ->
+      let amps = Array.map (fun x -> { Complex.re = x; im = 0. }) (bell_vec i) in
+      acc := Cmat.add !acc (Cmat.scale_re wi (Dm.rho (Dm.of_ket amps))))
+    w;
+  !acc
+
+let component rho which =
+  let v = bell_vec which in
+  let acc = ref 0. in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      acc := !acc +. (v.(i) *. v.(j) *. (Cmat.get rho i j).Complex.re)
+    done
+  done;
+  !acc
+
+(* Exact entanglement swapping: pairs (a,b1) and (b2,c); Bell-measure
+   (b1,b2); accumulate the corrected (a,c) state over all four outcomes. *)
+let swap_circuit pa pb =
+  (* qubits: a=0, b1=1, b2=2, c=3 *)
+  let rho = ref (Cmat.kron (rho_of_pair pa) (rho_of_pair pb)) in
+  let apply u targets = rho := Cmat.sandwich (Cmat.embed_unitary ~nqubits:4 ~targets u) !rho in
+  apply Gate.cx [ 1; 2 ];
+  apply Gate.h [ 1 ];
+  (* Outcome (m1, m2): correction on c: Z^m1 X^m2. *)
+  let acc = ref (Cmat.create 4 4) in
+  for m1 = 0 to 1 do
+    for m2 = 0 to 1 do
+      let proj =
+        Cmat.init 16 16 (fun i j ->
+            let b1 = (i lsr 2) land 1 and b2 = (i lsr 1) land 1 in
+            if i = j && b1 = m1 && b2 = m2 then Complex.one else Complex.zero)
+      in
+      let branch = Cmat.mul (Cmat.mul proj !rho) proj in
+      let p_branch = (Cmat.trace branch).Complex.re in
+      if p_branch > 1e-12 then begin
+        let red = Cmat.ptrace ~keep:[ 0; 3 ] ~nqubits:4 branch in
+        let fix u = Cmat.sandwich (Cmat.embed_unitary ~nqubits:2 ~targets:[ 1 ] u) in
+        let red = if m2 = 1 then fix Gate.x red else red in
+        let red = if m1 = 1 then fix Gate.z red else red in
+        acc := Cmat.add !acc red
+      end
+    done
+  done;
+  !acc
+
+let test_swap_matches_circuit () =
+  List.iter
+    (fun (pa, pb) ->
+      let predicted = Bell_pair.to_probs (Bell_pair.swap pa pb) in
+      let rho = swap_circuit pa pb in
+      List.iteri
+        (fun i which ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "component %d" i)
+            predicted.(i) (component rho which))
+        [ 0; 1; 2; 3 ])
+    [ (Bell_pair.werner 0.95, Bell_pair.werner 0.9);
+      ( { Bell_pair.phi_p = 0.85; psi_p = 0.05; psi_m = 0.02; phi_m = 0.08 },
+        Bell_pair.werner 0.97 ) ]
+
+let test_swap_perfect_inputs () =
+  let out = Bell_pair.swap Bell_pair.perfect Bell_pair.perfect in
+  Alcotest.(check (float 1e-12)) "perfect swap" 1. (Bell_pair.fidelity out)
+
+let test_swap_infidelity_accumulates () =
+  let p = Bell_pair.werner 0.98 in
+  let once = Bell_pair.swap p p in
+  Alcotest.(check bool) "worse than either input" true
+    (Bell_pair.fidelity once < 0.98);
+  Alcotest.(check bool) "roughly additive" true
+    (Bell_pair.infidelity once < 2.2 *. Bell_pair.infidelity p)
+
+(* ---------------------------------------------------------------- chain *)
+
+let test_single_link_delivers () =
+  let cfg = Repeater.default ~n_links:1 ~link_rate_hz:1e6 () in
+  let r = Repeater.run cfg (Rng.create 3) ~horizon:2e-3 in
+  Alcotest.(check bool) "delivers" true (r.Repeater.delivered > 100);
+  Alcotest.(check int) "no swaps on one link" 0 r.Repeater.swaps;
+  Alcotest.(check bool) "fidelity above threshold" true
+    (Repeater.mean_delivered_fidelity r >= cfg.Repeater.delivery_threshold)
+
+let test_chain_swaps_and_delivers () =
+  let cfg = Repeater.default ~n_links:4 ~link_rate_hz:1e6 () in
+  let r = Repeater.run cfg (Rng.create 4) ~horizon:3e-3 in
+  Alcotest.(check bool) "delivers end to end" true (r.Repeater.delivered > 20);
+  Alcotest.(check bool) "swapping happened" true (r.Repeater.swaps > r.Repeater.delivered);
+  Alcotest.(check bool) "fidelity above threshold" true
+    (Repeater.mean_delivered_fidelity r >= cfg.Repeater.delivery_threshold)
+
+let test_het_beats_hom_on_long_chain () =
+  let horizon = 3e-3 in
+  let het =
+    Repeater.run (Repeater.default ~n_links:6 ~link_rate_hz:1e6 ()) (Rng.create 5)
+      ~horizon
+  in
+  let hom =
+    Repeater.run (Repeater.homogeneous ~n_links:6 ~link_rate_hz:1e6 ()) (Rng.create 5)
+      ~horizon
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "het %d > 2x hom %d" het.Repeater.delivered hom.Repeater.delivered)
+    true
+    (het.Repeater.delivered > 2 * hom.Repeater.delivered)
+
+let test_rate_decreases_with_length () =
+  let run n =
+    (Repeater.run (Repeater.default ~n_links:n ~link_rate_hz:1e6 ()) (Rng.create 6)
+       ~horizon:2e-3)
+      .Repeater.delivered
+  in
+  let r2 = run 2 and r8 = run 8 in
+  Alcotest.(check bool) (Printf.sprintf "2 links %d >= 8 links %d" r2 r8) true (r2 >= r8)
+
+let test_rejects_bad_config () =
+  Alcotest.(check bool) "n_links >= 1" true
+    (try
+       ignore (Repeater.default ~n_links:0 ~link_rate_hz:1e6 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "repeater"
+    [ ( "swap algebra",
+        [ Alcotest.test_case "matches exact circuit" `Quick test_swap_matches_circuit;
+          Alcotest.test_case "perfect inputs" `Quick test_swap_perfect_inputs;
+          Alcotest.test_case "infidelity accumulates" `Quick test_swap_infidelity_accumulates ] );
+      ( "chain",
+        [ Alcotest.test_case "single link" `Quick test_single_link_delivers;
+          Alcotest.test_case "swaps and delivers" `Quick test_chain_swaps_and_delivers;
+          Alcotest.test_case "het beats hom" `Slow test_het_beats_hom_on_long_chain;
+          Alcotest.test_case "length penalty" `Slow test_rate_decreases_with_length;
+          Alcotest.test_case "bad config" `Quick test_rejects_bad_config ] ) ]

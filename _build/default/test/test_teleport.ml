@@ -1,0 +1,171 @@
+(* Tests for the code-teleportation module (§4.3). *)
+
+let shots = 400
+
+let test_breakdown_fields_sane () =
+  let b =
+    Teleport.heterogeneous ~code_a:(Codes.surface 3) ~code_b:Codes.steane ~ts:10e-3
+      ~shots (Rng.create 1)
+  in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " in [0,1]") true (v >= 0. && v <= 1.))
+    [ ("e_ep", b.Teleport.e_ep); ("e_cat", b.Teleport.e_cat);
+      ("e_plus_a", b.Teleport.e_plus_a); ("e_plus_b", b.Teleport.e_plus_b);
+      ("e_meas", b.Teleport.e_meas); ("total", b.Teleport.total) ];
+  Alcotest.(check bool) "total >= largest component" true
+    (b.Teleport.total >= b.Teleport.e_cat -. 1e-9)
+
+let test_ep_target_met_heterogeneous () =
+  let b =
+    Teleport.heterogeneous ~code_a:(Codes.surface 3) ~code_b:(Codes.surface 4)
+      ~ts:12.5e-3 ~shots (Rng.create 2)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "e_ep %.4f <= 0.005 at Ts=12.5ms" b.Teleport.e_ep)
+    true
+    (b.Teleport.e_ep <= 0.0051)
+
+let test_total_decreases_with_ts () =
+  let total ts =
+    (Teleport.heterogeneous ~code_a:(Codes.surface 3) ~code_b:Codes.reed_muller_15
+       ~ts ~shots (Rng.create 3))
+      .Teleport.total
+  in
+  let low = total 1e-3 and high = total 50e-3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "Ts=50ms (%.3f) < Ts=1ms (%.3f)" high low)
+    true (high < low)
+
+let test_het_beats_hom_every_pair () =
+  (* Table 4's headline: heterogeneous wins every pair studied. *)
+  let results =
+    Teleport.table4
+      ~codes:[ Codes.steane; Codes.surface 3 ]
+      ~ts:50e-3 ~shots (Rng.create 4)
+  in
+  Alcotest.(check int) "two ordered pairs" 2 (List.length results);
+  List.iter
+    (fun (a, b, het, hom) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s->%s het %.3f < hom %.3f" a b het hom)
+        true (het < hom))
+    results
+
+let test_bigger_codes_cost_more () =
+  let total code_b =
+    (Teleport.heterogeneous ~code_a:(Codes.surface 3) ~code_b ~ts:50e-3 ~shots
+       (Rng.create 5))
+      .Teleport.total
+  in
+  let small = total Codes.steane in
+  let large = total Codes.reed_muller_15 in
+  Alcotest.(check bool)
+    (Printf.sprintf "RM (%.3f) costs more than Steane (%.3f)" large small)
+    true (large > small)
+
+let test_table4_excludes_diagonal () =
+  let results =
+    Teleport.table4 ~codes:Codes.paper_codes ~ts:50e-3 ~shots:100 (Rng.create 6)
+  in
+  Alcotest.(check int) "20 ordered pairs" 20 (List.length results);
+  List.iter
+    (fun (a, b, _, _) -> Alcotest.(check bool) "no self pair" true (a <> b))
+    results
+
+let test_cat_sim_noiseless () =
+  let r = Cat_sim.run ~n:6 ~p2:0. ~t_coh:1e6 ~shots:200 (Rng.create 7) in
+  Alcotest.(check (float 1e-9)) "always accepts" 1. r.Cat_sim.accept_rate;
+  Alcotest.(check (float 1e-9)) "never errs" 0. r.Cat_sim.error_given_accept
+
+let test_cat_sim_noise_reduces_acceptance () =
+  let noisy = Cat_sim.run ~n:12 ~p2:2e-2 ~t_coh:0.5e-3 ~shots:2000 (Rng.create 8) in
+  Alcotest.(check bool) "acceptance drops" true (noisy.Cat_sim.accept_rate < 0.99);
+  Alcotest.(check bool) "undetected errors exist" true
+    (noisy.Cat_sim.error_given_accept > 0.)
+
+let test_cat_sim_verification_helps () =
+  let without = Cat_sim.run ~n:12 ~p2:1e-2 ~t_coh:0.5e-3 ~verify_checks:0 ~shots:4000 (Rng.create 9) in
+  let with_v = Cat_sim.run ~n:12 ~p2:1e-2 ~t_coh:0.5e-3 ~verify_checks:3 ~shots:4000 (Rng.create 9) in
+  Alcotest.(check bool)
+    (Printf.sprintf "verified %.4f < unverified %.4f" with_v.Cat_sim.error_given_accept
+       without.Cat_sim.error_given_accept)
+    true
+    (with_v.Cat_sim.error_given_accept < without.Cat_sim.error_given_accept)
+
+let test_cat_sim_size_scaling () =
+  let small = Cat_sim.run ~n:6 ~p2:1e-2 ~t_coh:0.5e-3 ~shots:3000 (Rng.create 10) in
+  let large = Cat_sim.run ~n:24 ~p2:1e-2 ~t_coh:0.5e-3 ~shots:3000 (Rng.create 10) in
+  Alcotest.(check bool) "bigger CAT errs more" true
+    (large.Cat_sim.error_given_accept > small.Cat_sim.error_given_accept)
+
+(* ------------------------------------------------------------- protocol *)
+
+let test_protocol_characterize () =
+  let st =
+    Ct_protocol.characterize ~code_a:(Codes.surface 3) ~code_b:Codes.steane ~ts:12.5e-3
+      (Rng.create 11)
+  in
+  Alcotest.(check bool) "ep period finite" true (st.Ct_protocol.ep_period < 1e-3);
+  Alcotest.(check bool) "cat time positive" true (st.Ct_protocol.cat_time > 0.);
+  Alcotest.(check int) "eps needed" 3 st.Ct_protocol.eps_needed;
+  Alcotest.(check bool) "plus prep slower than cat" true
+    (st.Ct_protocol.plus_time_a > st.Ct_protocol.cat_time)
+
+let test_protocol_produces () =
+  let st =
+    Ct_protocol.characterize ~code_a:(Codes.surface 3) ~code_b:Codes.steane ~ts:12.5e-3
+      (Rng.create 12)
+  in
+  let r = Ct_protocol.run st (Rng.create 13) ~horizon:5e-3 in
+  Alcotest.(check bool) (Printf.sprintf "produced %d" r.Ct_protocol.produced) true
+    (r.Ct_protocol.produced > 10);
+  Alcotest.(check bool) "latency sane" true
+    (r.Ct_protocol.mean_latency > 0. && r.Ct_protocol.mean_latency <= r.Ct_protocol.max_latency)
+
+let test_protocol_latency_exceeds_stage_sum () =
+  (* Latency must cover at least the critical path. *)
+  let st =
+    Ct_protocol.characterize ~code_a:(Codes.surface 3) ~code_b:(Codes.surface 4)
+      ~ts:12.5e-3 (Rng.create 14)
+  in
+  let r = Ct_protocol.run st (Rng.create 15) ~horizon:5e-3 in
+  let critical =
+    Float.max st.Ct_protocol.cat_time
+      (Float.max st.Ct_protocol.plus_time_a st.Ct_protocol.plus_time_b)
+    +. st.Ct_protocol.transversal_time +. st.Ct_protocol.meas_time
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean latency %.1fus >= critical path %.1fus"
+       (r.Ct_protocol.mean_latency *. 1e6) (critical *. 1e6))
+    true
+    (r.Ct_protocol.mean_latency >= critical)
+
+let test_protocol_dead_ep_source () =
+  let st =
+    { Ct_protocol.ep_period = infinity; eps_needed = 2; cat_time = 1e-6;
+      plus_time_a = 1e-6; plus_time_b = 1e-6; transversal_time = 1e-6;
+      meas_time = 1e-6 }
+  in
+  let r = Ct_protocol.run st (Rng.create 16) ~horizon:1e-3 in
+  Alcotest.(check int) "nothing produced" 0 r.Ct_protocol.produced
+
+let () =
+  Alcotest.run "teleport"
+    [ ( "module",
+        [ Alcotest.test_case "breakdown sane" `Quick test_breakdown_fields_sane;
+          Alcotest.test_case "EP target met" `Slow test_ep_target_met_heterogeneous;
+          Alcotest.test_case "Ts trend" `Slow test_total_decreases_with_ts;
+          Alcotest.test_case "het beats hom" `Slow test_het_beats_hom_every_pair;
+          Alcotest.test_case "code size cost" `Slow test_bigger_codes_cost_more;
+          Alcotest.test_case "table4 pairs" `Slow test_table4_excludes_diagonal ] );
+      ( "cat sim",
+        [ Alcotest.test_case "noiseless" `Quick test_cat_sim_noiseless;
+          Alcotest.test_case "noise reduces acceptance" `Quick test_cat_sim_noise_reduces_acceptance;
+          Alcotest.test_case "verification helps" `Slow test_cat_sim_verification_helps;
+          Alcotest.test_case "size scaling" `Slow test_cat_sim_size_scaling ] );
+      ( "protocol",
+        [ Alcotest.test_case "characterize" `Quick test_protocol_characterize;
+          Alcotest.test_case "produces" `Quick test_protocol_produces;
+          Alcotest.test_case "latency bound" `Quick test_protocol_latency_exceeds_stage_sum;
+          Alcotest.test_case "dead source" `Quick test_protocol_dead_ep_source ] ) ]
