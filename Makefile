@@ -1,0 +1,26 @@
+# Developer and CI entry points.  `make ci` is the smoke gate: full build,
+# the whole test suite, a quick bench pass, and a structural check that the
+# bench produced a well-formed BENCH_hetarch.json.
+
+DUNE ?= dune
+
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+test:
+	$(DUNE) runtest
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+ci: build test
+	$(DUNE) exec bench/main.exe -- --quick
+	$(DUNE) exec tools/check_bench.exe -- BENCH_hetarch.json
+
+clean:
+	$(DUNE) clean
+	rm -f BENCH_hetarch.json

@@ -1,9 +1,18 @@
 (* Benchmark harness: one Bechamel test per paper table/figure kernel, plus a
    headline-reproduction pass that prints the comparative numbers the paper
-   reports.  `dune exec bench/main.exe` runs both. *)
+   reports.  `dune exec bench/main.exe` runs both; `-- --quick` runs a
+   fast smoke pass (short quota, no headline).  Either way the measured
+   ns/run per kernel land in BENCH_hetarch.json together with the seed and
+   an observability snapshot, so the perf trajectory is machine-readable. *)
 
 open Bechamel
 open Toolkit
+
+(* Every kernel draws its RNG stream from this one knob so a bench run is
+   reproducible end to end and the seed can be recorded in the JSON. *)
+let seed = 2023
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
 
 (* ------------------------------------------------------- kernels ------- *)
 
@@ -16,40 +25,42 @@ let kernel_table2 () =
 
 let kernel_fig3 () =
   let cfg = Distill_module.heterogeneous ~rate_hz:1e6 () in
-  Distill_module.run cfg (Rng.create 1) ~horizon:100e-6
+  Distill_module.run cfg (Rng.create seed) ~horizon:100e-6
 
 let kernel_fig4 () =
   let cfg = Distill_module.heterogeneous ~ts:2.5e-3 ~rate_hz:1e6 () in
-  Distill_module.run cfg (Rng.create 2) ~horizon:500e-6
+  Distill_module.run cfg (Rng.create seed) ~horizon:500e-6
 
 let fig6_exp =
   lazy (Surface_circuit.build { (Surface_circuit.default ~distance:7) with t_data = 5e-4 })
 
 let kernel_fig6 () =
-  Surface_circuit.logical_error_rate (Lazy.force fig6_exp) (Rng.create 3) ~shots:10
+  Surface_circuit.logical_error_rate (Lazy.force fig6_exp) (Rng.create seed) ~shots:10
 
 let fig7_exp = lazy (Surface_circuit.build (Surface_circuit.default ~distance:5))
 
 let kernel_fig7 () =
-  Surface_circuit.logical_error_rate (Lazy.force fig7_exp) (Rng.create 4) ~shots:10
+  Surface_circuit.logical_error_rate (Lazy.force fig7_exp) (Rng.create seed) ~shots:10
 
-let kernel_fig9 () = Uec.fig9_point ~code:Codes.steane ~ts:10e-3 ~shots:100 (Rng.create 5)
+let kernel_fig9 () =
+  Uec.fig9_point ~code:Codes.steane ~ts:10e-3 ~shots:100 (Rng.create seed)
 
-let kernel_table3 () = Uec.table3_row ~code:Codes.steane ~ts:50e-3 ~shots:100 (Rng.create 6)
+let kernel_table3 () =
+  Uec.table3_row ~code:Codes.steane ~ts:50e-3 ~shots:100 (Rng.create seed)
 
 let kernel_fig12 () =
   Teleport.fig12_point ~code_a:(Codes.surface 3) ~code_b:(Codes.surface 4) ~ts:10e-3
-    ~shots:50 (Rng.create 7)
+    ~shots:50 (Rng.create seed)
 
 let kernel_table4 () =
   let b =
     Teleport.homogeneous ~code_a:Codes.steane ~code_b:(Codes.surface 3) ~shots:50
-      (Rng.create 8)
+      (Rng.create seed)
   in
   b.Teleport.total
 
 let kernel_repeater () =
-  Repeater.run (Repeater.default ~n_links:4 ~link_rate_hz:1e6 ()) (Rng.create 9)
+  Repeater.run (Repeater.default ~n_links:4 ~link_rate_hz:1e6 ()) (Rng.create seed)
     ~horizon:200e-6
 
 let kernel_burden () =
@@ -78,14 +89,16 @@ let run_benchmarks () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000)
-      ~stabilize:false ()
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.02 else 0.5))
+      ~kde:(Some 1000) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances tests in
   let results =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let results = Analyze.merge ols instances results in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun measure tbl ->
       if measure = Measure.label Instance.monotonic_clock then
@@ -93,10 +106,37 @@ let run_benchmarks () =
           (fun name ols_result ->
             match Analyze.OLS.estimates ols_result with
             | Some (est :: _) ->
+                estimates := (name, est) :: !estimates;
                 Printf.printf "%-32s %12.3f us/run\n" name (est /. 1e3)
             | _ -> Printf.printf "%-32s (no estimate)\n" name)
           tbl)
-    results
+    results;
+  List.sort compare !estimates
+
+(* One JSON document per bench run: kernel name -> ns/run, the seed every
+   kernel drew its RNG from, and the observability snapshot accumulated
+   while measuring (DES events, shots, cache traffic, ...). *)
+let write_bench_json kernels =
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.String "hetarch.bench/1");
+        ("seed", Obs.Json.Int seed);
+        ("quick", Obs.Json.Bool quick);
+        ( "kernels",
+          Obs.Json.List
+            (List.map
+               (fun (name, ns) ->
+                 Obs.Json.Obj
+                   [ ("name", Obs.Json.String name);
+                     ("ns_per_run", Obs.Json.Float ns);
+                     ("seed", Obs.Json.Int seed) ])
+               kernels) );
+        ("metrics", Obs.Report.to_json ()) ]
+  in
+  let oc = open_out "BENCH_hetarch.json" in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc
 
 (* ------------------------------------------ headline reproduction ------ *)
 
@@ -109,11 +149,11 @@ let headline () =
   Printf.printf "\n=== Headline reproduction (shots=%d; HETARCH_SHOTS to scale) ===\n" shots;
   (* Fig 3/4: distillation *)
   let het =
-    Distill_module.run (Distill_module.heterogeneous ~rate_hz:3e5 ()) (Rng.create 42)
+    Distill_module.run (Distill_module.heterogeneous ~rate_hz:3e5 ()) (Rng.create seed)
       ~horizon:5e-3
   in
   let hom =
-    Distill_module.run (Distill_module.homogeneous ~rate_hz:3e5 ()) (Rng.create 42)
+    Distill_module.run (Distill_module.homogeneous ~rate_hz:3e5 ()) (Rng.create seed)
       ~horizon:5e-3
   in
   let rh = Distill_module.delivered_rate_per_ms het in
@@ -124,7 +164,7 @@ let headline () =
   (* Fig 6: d=13 heterogeneous surface code *)
   let d13 t_data t_anc =
     let exp = Surface_circuit.build { (Surface_circuit.default ~distance:13) with t_data; t_anc } in
-    let r = Surface_circuit.logical_error_rate exp (Rng.create 1) ~shots:(max 200 (shots / 2)) in
+    let r = Surface_circuit.logical_error_rate exp (Rng.create seed) ~shots:(max 200 (shots / 2)) in
     Surface_circuit.per_cycle_rate ~shot_rate:r ~rounds:13
   in
   let hom13 = d13 1e-4 1e-4 in
@@ -136,7 +176,7 @@ let headline () =
   (* Table 3: UEC *)
   List.iter
     (fun code ->
-      let h, m, red = Uec.table3_row ~code ~ts:50e-3 ~shots (Rng.create 11) in
+      let h, m, red = Uec.table3_row ~code ~ts:50e-3 ~shots (Rng.create seed) in
       Printf.printf "UEC %-6s het %.4f hom %.4f -> %.1fx (paper: RM 4.7x, 17QCC 3.5x, ST 10.7x; SC favors hom)\n"
         code.Code.name h m red)
     Codes.paper_codes;
@@ -144,7 +184,7 @@ let headline () =
   let ct =
     Teleport.table4
       ~codes:[ Codes.reed_muller_15; Codes.steane; Codes.surface 3 ]
-      ~ts:50e-3 ~shots:(max 200 (shots / 2)) (Rng.create 12)
+      ~ts:50e-3 ~shots:(max 200 (shots / 2)) (Rng.create seed)
   in
   let ratios = List.map (fun (_, _, h, m) -> m /. h) ct in
   Printf.printf "CT pairs: mean reduction %.2fx, max %.2fx (paper: mean 2.33x, max 2.96x)\n"
@@ -156,5 +196,8 @@ let headline () =
     (Burden.reduction (Burden.uec_module ()))
 
 let () =
-  run_benchmarks ();
-  headline ()
+  let kernels = run_benchmarks () in
+  if not quick then headline ();
+  write_bench_json kernels;
+  Printf.printf "\nwrote BENCH_hetarch.json (%d kernels, seed %d)\n"
+    (List.length kernels) seed

@@ -419,32 +419,65 @@ let shots_arg =
 let seed_arg = Arg.(value & opt int 2023 & info [ "seed" ] ~doc:"RNG seed")
 let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Run the full (slow) sweep")
 
-let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a JSON metrics/run-manifest snapshot to $(docv) on exit")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write Chrome-trace-compatible JSONL spans to $(docv) on exit")
+
+(* Every subcommand runs under a root span; the exporters only fire when the
+   flags are given, so the stdout of an uninstrumented invocation is
+   untouched. *)
+let cmd name doc term =
+  let wrap metrics trace f =
+    Obs.Trace.with_span ("cmd." ^ name) f;
+    try
+      Option.iter (fun path -> Obs.Report.write ~path) metrics;
+      Option.iter (fun path -> Obs.Trace.export ~path) trace
+    with Sys_error msg ->
+      Printf.eprintf "hetarch: cannot write observability output: %s\n" msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const wrap $ metrics_arg $ trace_arg $ term)
 
 let commands =
-  [ cmd "devices" "Table 1: device catalog" Term.(const run_devices $ const ());
+  [ cmd "devices" "Table 1: device catalog" Term.(const run_devices);
     cmd "cells" "Table 2: standard cells and characterization"
-      Term.(const run_cells $ const ());
-    cmd "fig3" "Fig 3: distillation fidelity over time" Term.(const run_fig3 $ seed_arg);
-    cmd "fig4" "Fig 4: distilled-EP rate sweep" Term.(const run_fig4 $ seed_arg);
+      Term.(const run_cells);
+    cmd "fig3" "Fig 3: distillation fidelity over time"
+      Term.(const (fun seed () -> run_fig3 seed) $ seed_arg);
+    cmd "fig4" "Fig 4: distilled-EP rate sweep"
+      Term.(const (fun seed () -> run_fig4 seed) $ seed_arg);
     cmd "fig6" "Fig 6: d=13 surface code coherence scaling"
-      Term.(const run_fig6 $ shots_arg $ seed_arg);
+      Term.(const (fun shots seed () -> run_fig6 shots seed) $ shots_arg $ seed_arg);
     cmd "fig7" "Fig 7: distance sweep vs Tcd/Tca"
-      Term.(const run_fig7 $ shots_arg $ seed_arg $ full_arg);
-    cmd "fig9" "Fig 9: UEC vs storage coherence" Term.(const run_fig9 $ shots_arg $ seed_arg);
-    cmd "table3" "Table 3: UEC het vs hom" Term.(const run_table3 $ shots_arg $ seed_arg);
+      Term.(
+        const (fun shots seed full () -> run_fig7 shots seed full)
+        $ shots_arg $ seed_arg $ full_arg);
+    cmd "fig9" "Fig 9: UEC vs storage coherence"
+      Term.(const (fun shots seed () -> run_fig9 shots seed) $ shots_arg $ seed_arg);
+    cmd "table3" "Table 3: UEC het vs hom"
+      Term.(const (fun shots seed () -> run_table3 shots seed) $ shots_arg $ seed_arg);
     cmd "fig12" "Fig 12: code teleportation vs Ts"
-      Term.(const run_fig12 $ shots_arg $ seed_arg);
+      Term.(const (fun shots seed () -> run_fig12 shots seed) $ shots_arg $ seed_arg);
     cmd "table4" "Table 4: CT for all code pairs"
-      Term.(const run_table4 $ shots_arg $ seed_arg);
+      Term.(const (fun shots seed () -> run_table4 shots seed) $ shots_arg $ seed_arg);
     cmd "ablations" "Design-choice ablations (decoder, registers, variability, CAT model)"
-      Term.(const run_ablations $ shots_arg $ seed_arg);
+      Term.(const (fun shots seed () -> run_ablations shots seed) $ shots_arg $ seed_arg);
     cmd "schedule" "Explicit timed UEC round schedules (Gantt)"
-      Term.(const run_schedule $ const ());
+      Term.(const run_schedule);
     cmd "protocol" "Timed six-step CT protocol: throughput and latency"
-      Term.(const run_protocol $ const ());
-    cmd "burden" "DSE simulation-burden accounting" Term.(const run_burden $ const ());
-    cmd "hierarchy" "Module hierarchy trees" Term.(const run_hierarchy $ const ()) ]
+      Term.(const run_protocol);
+    cmd "burden" "DSE simulation-burden accounting" Term.(const run_burden);
+    cmd "hierarchy" "Module hierarchy trees" Term.(const run_hierarchy) ]
 
 let default =
   Term.(

@@ -4,13 +4,18 @@ type t = {
   mutable processed : int;
 }
 
+let events_total = Obs.Counter.create "des.events_total"
+let queue_high_water = Obs.Gauge.create "des.queue_high_water"
+let handler_seconds = Obs.Histogram.create "des.handler_seconds"
+
 let create () = { queue = Heap.create (); clock = 0.; processed = 0 }
 
 let now t = t.clock
 
 let schedule_at t ~time handler =
   if time < t.clock -. 1e-15 then invalid_arg "Des.schedule_at: time in the past";
-  Heap.push t.queue time handler
+  Heap.push t.queue time handler;
+  Obs.Gauge.set_max queue_high_water (float_of_int (Heap.size t.queue))
 
 let schedule t ~delay handler =
   if delay < 0. then invalid_arg "Des.schedule: negative delay";
@@ -22,7 +27,11 @@ let step t =
   | Some (time, handler) ->
       t.clock <- max t.clock time;
       t.processed <- t.processed + 1;
+      Obs.Counter.incr events_total;
+      let start = Obs.now_ns () in
       handler t;
+      Obs.Histogram.observe handler_seconds
+        (Int64.to_float (Int64.sub (Obs.now_ns ()) start) *. 1e-9);
       true
 
 let run_until t horizon =

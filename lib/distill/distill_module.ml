@@ -195,7 +195,11 @@ let store_arrival sim des pair =
   end;
   try_start_distill sim des
 
-let run ?(trace_dt = 1e-6) cfg rng ~horizon =
+let attempts_total = Obs.Counter.create "distill.attempts_total"
+let successes_total = Obs.Counter.create "distill.successes_total"
+let delivered_total = Obs.Counter.create "distill.delivered_total"
+
+let run_impl ?(trace_dt = 1e-6) cfg rng ~horizon =
   if horizon <= 0. then invalid_arg "Distill_module.run: horizon must be positive";
   let des = Des.create () in
   let sim =
@@ -228,11 +232,19 @@ let run ?(trace_dt = 1e-6) cfg rng ~horizon =
   Des.schedule des ~delay:(Ep_source.next_gap cfg.source sim.rng) arrival;
   Des.schedule des ~delay:0. observe;
   Des.run_until des horizon;
+  Obs.Counter.add attempts_total sim.attempts;
+  Obs.Counter.add successes_total sim.successes;
+  Obs.Counter.add delivered_total sim.delivered;
   { delivered = sim.delivered;
     distill_attempts = sim.attempts;
     distill_successes = sim.successes;
     horizon;
     trace = List.rev sim.trace }
+
+let run ?trace_dt cfg rng ~horizon =
+  Obs.Trace.with_span "distill.run"
+    ~attrs:[ ("ts", Printf.sprintf "%g" cfg.ts) ]
+    (fun () -> run_impl ?trace_dt cfg rng ~horizon)
 
 let delivered_rate_per_ms (r : result) =
   float_of_int r.delivered /. (r.horizon *. 1e3)

@@ -15,9 +15,19 @@ let active_qubits (c : Cell.t) =
   | Cell.SeqOp -> 4  (* two data + two Choi references *)
   | Cell.USC | Cell.USC_EXT -> 5  (* active data qubit, ancilla, references *)
 
+(* One characterization per distinct cell kind, process-wide: repeated cells
+   hit the cache, which is what turns the summed per-cell cost into the
+   paper's reuse accounting (hits/misses and cost paid/avoided are exported
+   as the dse.cache_* gauges).  The returned cost per cell is unchanged. *)
+let characterization_cache : float Cache.t = Cache.create ()
+
 let hierarchical_cost cells =
   List.fold_left
-    (fun acc c -> acc +. cube (2. ** float_of_int (active_qubits c)))
+    (fun acc c ->
+      let active = active_qubits c in
+      acc
+      +. Cache.find_or_compute characterization_cache ~key:(Cell.name c)
+           ~dim:(1 lsl active) (fun () -> cube (2. ** float_of_int active)))
     0. cells
 
 let reduction cells = flat_cost cells /. hierarchical_cost cells

@@ -6,6 +6,13 @@ type 'v t = {
   mutable avoided : float;
 }
 
+(* Process-wide gauges aggregate over every cache instance; the per-instance
+   accessors below stay the source of truth for a single cache. *)
+let g_hits = Obs.Gauge.create "dse.cache_hits"
+let g_misses = Obs.Gauge.create "dse.cache_misses"
+let g_paid = Obs.Gauge.create "dse.cache_cost_paid"
+let g_avoided = Obs.Gauge.create "dse.cache_cost_avoided"
+
 let create () = { table = Hashtbl.create 64; hits = 0; misses = 0; paid = 0.; avoided = 0. }
 
 let cube dim = float_of_int dim ** 3.
@@ -15,10 +22,14 @@ let find_or_compute t ~key ~dim f =
   | Some v ->
       t.hits <- t.hits + 1;
       t.avoided <- t.avoided +. cube dim;
+      Obs.Gauge.add g_hits 1.;
+      Obs.Gauge.add g_avoided (cube dim);
       v
   | None ->
       t.misses <- t.misses + 1;
       t.paid <- t.paid +. cube dim;
+      Obs.Gauge.add g_misses 1.;
+      Obs.Gauge.add g_paid (cube dim);
       let v = f () in
       Hashtbl.add t.table key v;
       v
@@ -27,6 +38,22 @@ let hits t = t.hits
 let misses t = t.misses
 let cost_paid t = t.paid
 let cost_avoided t = t.avoided
+
+let reset t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.paid <- 0.;
+  t.avoided <- 0.
+
+let stats t =
+  let total = t.hits + t.misses in
+  let rate =
+    if total = 0 then 0. else 100. *. float_of_int t.hits /. float_of_int total
+  in
+  Printf.sprintf
+    "cache: %d hits / %d misses (%.1f%% hit rate), cost paid %.3g, avoided %.3g"
+    t.hits t.misses rate t.paid t.avoided
 
 let burden_reduction ~naive_dim t =
   if t.paid <= 0. then infinity else cube naive_dim /. t.paid

@@ -18,6 +18,15 @@ val find_or_compute : 'v t -> key:string -> dim:int -> (unit -> 'v) -> 'v
 val hits : 'v t -> int
 val misses : 'v t -> int
 
+val reset : 'v t -> unit
+(** Drop every cached entry and zero the hit/miss/cost statistics, so a
+    multi-phase sweep can report per-phase cache effectiveness instead of
+    only cumulative totals.  The process-wide [dse.cache_*] gauges are
+    cumulative and unaffected. *)
+
+val stats : 'v t -> string
+(** One-line summary: hits, misses, hit rate, cost paid/avoided. *)
+
 val cost_paid : 'v t -> float
 (** Total dim^3 cost actually simulated (misses only). *)
 

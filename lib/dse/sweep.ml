@@ -6,10 +6,18 @@ let logspace ~lo ~hi ~n =
   if lo <= 0. || hi <= 0. then invalid_arg "Sweep.logspace: positive bounds required";
   List.map exp (linspace ~lo:(log lo) ~hi:(log hi) ~n)
 
-let sweep points ~f = List.map (fun x -> (x, f x)) points
+let points_total = Obs.Counter.create "dse.sweep_points_total"
+
+let point_span f x =
+  Obs.Counter.incr points_total;
+  Obs.Trace.with_span "dse.sweep_point" (fun () -> f x)
+
+let sweep points ~f = List.map (fun x -> (x, point_span f x)) points
 
 let grid xs ys ~f =
-  List.concat_map (fun x -> List.map (fun y -> (x, y, f x y)) ys) xs
+  List.concat_map
+    (fun x -> List.map (fun y -> (x, y, point_span (f x) y)) ys)
+    xs
 
 let argmin = function
   | [] -> invalid_arg "Sweep.argmin: empty"

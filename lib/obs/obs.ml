@@ -1,0 +1,508 @@
+let now_ns () = Monotonic_clock.now ()
+
+(* ------------------------------------------------------------------ json *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let fmt_float x =
+    if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+    else if Float.is_nan x then "null"
+    else if x = Float.infinity then "1e999"
+    else if x = Float.neg_infinity then "-1e999"
+    else Printf.sprintf "%.17g" x
+
+  let rec emit b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float x -> Buffer.add_string b (fmt_float x)
+    | String s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            emit b x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\":";
+            emit b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 256 in
+    emit b t;
+    Buffer.contents b
+
+  (* Strict recursive-descent parser over a string cursor. *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = failwith (Printf.sprintf "Obs.Json.parse: %s at %d" msg !pos) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" lit)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "bad escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if !pos + 4 >= n then fail "bad \\u escape";
+                let hex = String.sub s (!pos + 1) 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                in
+                (* Only BMP codepoints we emit (control chars) need decoding;
+                   encode as UTF-8. *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end;
+                pos := !pos + 4
+            | _ -> fail "bad escape");
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        incr pos
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" tok))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            List []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elems (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            List (elems [])
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+
+  let to_float = function
+    | Int i -> float_of_int i
+    | Float f -> f
+    | _ -> failwith "Obs.Json.to_float: not a number"
+end
+
+(* --------------------------------------------------------------- metrics *)
+
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let create name =
+    match Hashtbl.find_opt registry name with
+    | Some t -> t
+    | None ->
+        let t = { name; v = 0 } in
+        Hashtbl.add registry name t;
+        t
+
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+  let name t = t.name
+end
+
+module Gauge = struct
+  type t = { name : string; mutable v : float }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let create name =
+    match Hashtbl.find_opt registry name with
+    | Some t -> t
+    | None ->
+        let t = { name; v = 0. } in
+        Hashtbl.add registry name t;
+        t
+
+  let set t x = t.v <- x
+  let add t x = t.v <- t.v +. x
+  let set_max t x = if x > t.v then t.v <- x
+  let value t = t.v
+  let name t = t.name
+end
+
+module Histogram = struct
+  type t = {
+    name : string;
+    bounds : float array;  (* strictly increasing upper bounds *)
+    counts : int array;  (* same length as bounds *)
+    mutable over : int;
+    welford : Stats.running;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  (* 1 ns .. 100 s in thirds of a decade: fine enough to rank hot paths,
+     coarse enough to stay 34 ints. *)
+  let default_buckets =
+    Array.init 34 (fun i -> 1e-9 *. (10. ** (float_of_int i /. 3.)))
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let create ?(buckets = default_buckets) name =
+    match Hashtbl.find_opt registry name with
+    | Some t -> t
+    | None ->
+        if Array.length buckets = 0 then
+          invalid_arg "Obs.Histogram.create: empty buckets";
+        Array.iteri
+          (fun i b ->
+            if i > 0 && buckets.(i - 1) >= b then
+              invalid_arg "Obs.Histogram.create: buckets must increase")
+          buckets;
+        let t =
+          { name;
+            bounds = Array.copy buckets;
+            counts = Array.make (Array.length buckets) 0;
+            over = 0;
+            welford = Stats.running_create ();
+            lo = infinity;
+            hi = neg_infinity }
+        in
+        Hashtbl.add registry name t;
+        t
+
+  let observe t x =
+    Stats.running_add t.welford x;
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x;
+    (* Binary search for the first bound >= x. *)
+    let nb = Array.length t.bounds in
+    if x > t.bounds.(nb - 1) then t.over <- t.over + 1
+    else begin
+      let lo = ref 0 and hi = ref (nb - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if x <= t.bounds.(mid) then hi := mid else lo := mid + 1
+      done;
+      t.counts.(!lo) <- t.counts.(!lo) + 1
+    end
+
+  let count t = Stats.running_count t.welford
+  let mean t = Stats.running_mean t.welford
+  let variance t = Stats.running_variance t.welford
+  let min_value t = t.lo
+  let max_value t = t.hi
+  let bucket_counts t = Array.mapi (fun i b -> (b, t.counts.(i))) t.bounds
+  let overflow t = t.over
+  let name t = t.name
+end
+
+(* --------------------------------------------------------------- tracing *)
+
+module Trace = struct
+  type span = {
+    name : string;
+    start_ns : int64;
+    dur_ns : int64;
+    depth : int;
+    attrs : (string * string) list;
+  }
+
+  let t0 = now_ns ()
+  let capacity = ref 65536
+  let ring : span option array ref = ref (Array.make !capacity None)
+  let next = ref 0 (* total spans ever recorded *)
+  let cur_depth = ref 0
+  let totals : (string, int * int64) Hashtbl.t = Hashtbl.create 32
+
+  let set_capacity c =
+    if c <= 0 then invalid_arg "Obs.Trace.set_capacity";
+    capacity := c;
+    ring := Array.make c None;
+    next := 0
+
+  let record s =
+    !ring.(!next mod !capacity) <- Some s;
+    incr next;
+    let count, total =
+      Option.value ~default:(0, 0L) (Hashtbl.find_opt totals s.name)
+    in
+    Hashtbl.replace totals s.name (count + 1, Int64.add total s.dur_ns)
+
+  let with_span ?(attrs = []) name f =
+    let start = now_ns () in
+    let depth = !cur_depth in
+    incr cur_depth;
+    let finish () =
+      decr cur_depth;
+      let stop = now_ns () in
+      record
+        { name;
+          start_ns = Int64.sub start t0;
+          dur_ns = Int64.sub stop start;
+          depth;
+          attrs }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+
+  let spans () =
+    let cap = !capacity in
+    let first = max 0 (!next - cap) in
+    List.filter_map
+      (fun i -> !ring.(i mod cap))
+      (List.init (!next - first) (fun k -> first + k))
+
+  let recorded () = !next
+
+  let summaries () =
+    Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) totals []
+    |> List.sort compare
+
+  let span_json s =
+    Json.Obj
+      [ ("name", Json.String s.name);
+        ("ph", Json.String "X");
+        ("ts", Json.Float (Int64.to_float s.start_ns /. 1e3));
+        ("dur", Json.Float (Int64.to_float s.dur_ns /. 1e3));
+        ("pid", Json.Int 0);
+        ("tid", Json.Int s.depth);
+        ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs)) ]
+
+  let export ~path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun s ->
+            output_string oc (Json.to_string (span_json s));
+            output_char oc '\n')
+          (spans ()))
+
+  let reset () =
+    Array.fill !ring 0 !capacity None;
+    next := 0;
+    cur_depth := 0;
+    Hashtbl.reset totals
+end
+
+(* --------------------------------------------------------------- reports *)
+
+module Report = struct
+  let sorted_fold registry f =
+    Hashtbl.fold (fun name v acc -> (name, f v) :: acc) registry []
+    |> List.sort compare
+
+  let to_json () =
+    let counters =
+      sorted_fold Counter.registry (fun c -> Json.Int (Counter.value c))
+    in
+    let gauges =
+      sorted_fold Gauge.registry (fun g -> Json.Float (Gauge.value g))
+    in
+    let histograms =
+      sorted_fold Histogram.registry (fun h ->
+          let buckets =
+            Histogram.bucket_counts h |> Array.to_list
+            |> List.filter (fun (_, c) -> c > 0)
+            |> List.map (fun (le, c) ->
+                   Json.Obj [ ("le", Json.Float le); ("count", Json.Int c) ])
+          in
+          Json.Obj
+            [ ("count", Json.Int (Histogram.count h));
+              ("mean", Json.Float (Histogram.mean h));
+              ("variance", Json.Float (Histogram.variance h));
+              ("min", Json.Float (Histogram.min_value h));
+              ("max", Json.Float (Histogram.max_value h));
+              ("overflow", Json.Int (Histogram.overflow h));
+              ("buckets", Json.List buckets) ])
+    in
+    let spans =
+      List.map
+        (fun (name, count, total_ns) ->
+          ( name,
+            Json.Obj
+              [ ("count", Json.Int count);
+                ("total_ns", Json.Int (Int64.to_int total_ns)) ] ))
+        (Trace.summaries ())
+    in
+    Json.Obj
+      [ ("schema", Json.String "hetarch.obs/1");
+        ("counters", Json.Obj counters);
+        ("gauges", Json.Obj gauges);
+        ("histograms", Json.Obj histograms);
+        ("spans", Json.Obj spans) ]
+
+  let write ~path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string (to_json ()));
+        output_char oc '\n')
+end
+
+(* Zero values in place rather than dropping registrations: modules hold
+   metric handles created at init, and those must stay live in the
+   registry across resets. *)
+let reset () =
+  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.v <- 0) Counter.registry;
+  Hashtbl.iter (fun _ (g : Gauge.t) -> g.Gauge.v <- 0.) Gauge.registry;
+  Hashtbl.iter
+    (fun _ (h : Histogram.t) ->
+      Array.fill h.Histogram.counts 0 (Array.length h.Histogram.counts) 0;
+      h.Histogram.over <- 0;
+      h.Histogram.lo <- infinity;
+      h.Histogram.hi <- neg_infinity;
+      Stats.running_reset h.Histogram.welford)
+    Histogram.registry;
+  Trace.reset ()

@@ -1,0 +1,150 @@
+(** Observability: process-global metrics, span tracing, and run manifests.
+
+    Three layers, all cheap enough to leave permanently enabled:
+
+    - {b metrics} — a global registry of named counters, gauges, and
+      fixed-bucket histograms.  The hot path is a mutable-field bump; no
+      allocation, no I/O.  Histograms wrap the [Stats] Welford accumulator
+      for streaming mean/variance alongside the bucket counts.
+    - {b span tracing} — [Trace.with_span] times a scoped computation on
+      the monotonic clock and records it into a bounded in-memory ring
+      buffer, exportable as Chrome-trace-compatible JSONL.
+    - {b run manifests} — [Report.write] snapshots the whole registry plus
+      per-span-name summaries into one JSON document per run.
+
+    Metric names follow the [subsystem.noun_unit] convention
+    (e.g. [des.events_total], [pauli.decode_seconds.uf]).  Nothing here
+    writes to stdout; exporters only run when explicitly invoked, so
+    instrumented programs produce byte-identical output unless asked. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds.  Zero point is arbitrary. *)
+
+val reset : unit -> unit
+(** Zero every registered metric in place and clear recorded spans (test
+    isolation).  Metric handles stay registered and usable. *)
+
+(** Minimal JSON tree: emitter plus a strict parser, enough to round-trip
+    the documents this module writes without external dependencies. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact serialization.  Floats render via ["%.17g"] so parsing the
+      output recovers the exact value. *)
+
+  val parse : string -> t
+  (** Strict parse of one JSON value; raises [Failure] on malformed input
+      or trailing garbage. *)
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+  val to_float : t -> float
+  (** Numeric value of [Int] or [Float]; raises [Failure] otherwise. *)
+end
+
+(** Monotonically increasing integer metric. *)
+module Counter : sig
+  type t
+
+  val create : string -> t
+  (** Registers (or retrieves — names are interned) the counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Last-written (or high-water) float metric. *)
+module Gauge : sig
+  type t
+
+  val create : string -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val set_max : t -> float -> unit
+  (** Keep the running maximum: [set] only if the new value is greater. *)
+
+  val value : t -> float
+  val name : t -> string
+end
+
+(** Fixed-bucket histogram with streaming Welford mean/variance. *)
+module Histogram : sig
+  type t
+
+  val default_buckets : float array
+  (** Log-spaced upper bounds from 1 ns to 100 s — suited to durations in
+      seconds, the common case here. *)
+
+  val create : ?buckets:float array -> string -> t
+  (** [buckets] are strictly increasing upper bounds; samples above the
+      last bound land in an overflow bucket.  Interned by name; [buckets]
+      is ignored when the name already exists. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val min_value : t -> float
+  (** [infinity] when empty. *)
+
+  val max_value : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val bucket_counts : t -> (float * int) array
+  (** [(upper_bound, count)] pairs, in bound order, excluding overflow. *)
+
+  val overflow : t -> int
+  val name : t -> string
+end
+
+(** Timed, nested spans in a bounded ring buffer. *)
+module Trace : sig
+  type span = {
+    name : string;
+    start_ns : int64;  (** relative to process start of tracing *)
+    dur_ns : int64;
+    depth : int;  (** 0 = root; nesting depth at entry *)
+    attrs : (string * string) list;
+  }
+
+  val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** Run the thunk, record a completed span (also on exception, which is
+      re-raised).  Spans closed after the ring fills overwrite the oldest. *)
+
+  val spans : unit -> span list
+  (** Retained spans, in completion order. *)
+
+  val recorded : unit -> int
+  (** Total spans ever recorded, including those evicted from the ring. *)
+
+  val summaries : unit -> (string * int * int64) list
+  (** Per-name [(name, count, total_ns)] aggregates over {e all} spans,
+      sorted by name; unaffected by ring eviction. *)
+
+  val set_capacity : int -> unit
+  (** Resize the ring (clears retained spans); default 65536. *)
+
+  val export : path:string -> unit
+  (** Write retained spans as JSONL, one Chrome-trace complete event per
+      line: [{"name":…,"ph":"X","ts":µs,"dur":µs,"pid":0,"tid":depth,
+      "args":{…}}]. *)
+end
+
+(** One-document run manifest: the registry plus span summaries. *)
+module Report : sig
+  val to_json : unit -> Json.t
+  (** Keys sorted within each section for deterministic output. *)
+
+  val write : path:string -> unit
+end

@@ -1,11 +1,14 @@
 type shot = { detectors : Bitvec.t; observables : Bitvec.t }
 
+let shots_total = Obs.Counter.create "pauli.shots_total"
+
 (* Frame state: x.(q) / z.(q) say whether the accumulated error anticommutes
    with Z_q / X_q.  Gates conjugate the frame; noise XORs random Paulis in;
    a Z-basis measurement is flipped exactly when the frame has an X
    component on the measured qubit. *)
 
 let sample_shot (c : Circuit.t) rng =
+  Obs.Counter.incr shots_total;
   let n = c.Circuit.nqubits in
   let fx = Bytes.make n '\000' and fz = Bytes.make n '\000' in
   let getx q = Bytes.unsafe_get fx q <> '\000' in
@@ -85,15 +88,22 @@ let sample_flip_counts c rng ~shots =
   done;
   counts
 
-let logical_error_count c rng ~shots ~decode =
+let logical_error_count ?(backend = "custom") c rng ~shots ~decode =
+  let decode_seconds =
+    Obs.Histogram.create ("pauli.decode_seconds." ^ backend)
+  in
   let errors = ref 0 in
   for _ = 1 to shots do
     let { detectors; observables } = sample_shot c rng in
+    let start = Obs.now_ns () in
     let predicted = decode detectors in
+    Obs.Histogram.observe decode_seconds
+      (Int64.to_float (Int64.sub (Obs.now_ns ()) start) *. 1e-9);
     if not (Bitvec.equal predicted observables) then incr errors
   done;
   !errors
 
-let logical_error_rate c rng ~shots ~decode =
+let logical_error_rate ?backend c rng ~shots ~decode =
   if shots <= 0 then invalid_arg "Frame.logical_error_rate: shots must be positive";
-  float_of_int (logical_error_count c rng ~shots ~decode) /. float_of_int shots
+  float_of_int (logical_error_count ?backend c rng ~shots ~decode)
+  /. float_of_int shots

@@ -20,10 +20,14 @@ val sample_flip_counts : Circuit.t -> Rng.t -> shots:int -> int array
     useful for unencoded/baseline comparisons). *)
 
 val logical_error_rate :
+  ?backend:string ->
   Circuit.t -> Rng.t -> shots:int -> decode:(Bitvec.t -> Bitvec.t) -> float
 (** Monte-Carlo logical error rate: for each shot, the decoder maps detector
     values to a predicted observable-flip vector; a shot is a logical error
-    when any observable's prediction disagrees with the actual flip. *)
+    when any observable's prediction disagrees with the actual flip.
+    [backend] labels the decoder-time histogram
+    [pauli.decode_seconds.<backend>] (default ["custom"]). *)
 
 val logical_error_count :
+  ?backend:string ->
   Circuit.t -> Rng.t -> shots:int -> decode:(Bitvec.t -> Bitvec.t) -> int

@@ -181,12 +181,21 @@ let build_varied ~sigma rng p =
   in
   build_with ~coherence:(fun q -> nominal_coherence p ~n_data q *. factors.(q)) p
 
+let shots_total = Obs.Counter.create "qec.shots_total"
+
 let logical_error_rate exp rng ~shots =
-  Frame.logical_error_rate exp.circuit rng ~shots ~decode:(fun dets ->
-      let flip = Decoder_uf.decode exp.graph dets in
-      let out = Bitvec.create 1 in
-      Bitvec.set out 0 flip;
-      out)
+  Obs.Counter.add shots_total shots;
+  Obs.Trace.with_span "qec.logical_error_rate"
+    ~attrs:
+      [ ("distance", string_of_int exp.params.distance);
+        ("shots", string_of_int shots) ]
+    (fun () ->
+      Frame.logical_error_rate ~backend:"uf" exp.circuit rng ~shots
+        ~decode:(fun dets ->
+          let flip = Decoder_uf.decode exp.graph dets in
+          let out = Bitvec.create 1 in
+          Bitvec.set out 0 flip;
+          out))
 
 let per_cycle_rate ~shot_rate ~rounds =
   if shot_rate >= 1. then 1.

@@ -1,5 +1,9 @@
+let bisection_iters_total = Obs.Counter.create "qec.threshold_bisection_iters_total"
+let threshold_shots_total = Obs.Counter.create "qec.threshold_shots_total"
+
 let logical_rate (code : Code.t) decoder ~p ~shots rng =
   if p < 0. || p > 1. then invalid_arg "Threshold.logical_rate: bad p";
+  Obs.Counter.add threshold_shots_total shots;
   let errors = ref 0 in
   for _ = 1 to shots do
     let xerr = ref [] and zerr = ref [] in
@@ -21,16 +25,19 @@ let logical_rate (code : Code.t) decoder ~p ~shots rng =
 
 let pseudothreshold ?(lo = 1e-4) ?(hi = 0.45) ?(iters = 12) ?(shots = 20_000)
     (code : Code.t) rng =
-  let decoder = Decoder_lookup.create code in
-  let excess p = logical_rate code decoder ~p ~shots rng -. p in
-  let lo = ref lo and hi = ref hi in
-  (* L(p) - p is negative below pseudothreshold.  If the code is never below
-     threshold the bisection collapses to lo. *)
-  if excess !lo > 0. then !lo
-  else begin
-    for _ = 1 to iters do
-      let mid = 0.5 *. (!lo +. !hi) in
-      if excess mid < 0. then lo := mid else hi := mid
-    done;
-    0.5 *. (!lo +. !hi)
-  end
+  Obs.Trace.with_span "qec.pseudothreshold" ~attrs:[ ("code", code.Code.name) ]
+    (fun () ->
+      let decoder = Decoder_lookup.create code in
+      let excess p = logical_rate code decoder ~p ~shots rng -. p in
+      let lo = ref lo and hi = ref hi in
+      (* L(p) - p is negative below pseudothreshold.  If the code is never
+         below threshold the bisection collapses to lo. *)
+      if excess !lo > 0. then !lo
+      else begin
+        for _ = 1 to iters do
+          Obs.Counter.incr bisection_iters_total;
+          let mid = 0.5 *. (!lo +. !hi) in
+          if excess mid < 0. then lo := mid else hi := mid
+        done;
+        0.5 *. (!lo +. !hi)
+      end)

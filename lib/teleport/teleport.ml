@@ -132,8 +132,17 @@ let homogeneous ?(params = default_params) ~code_a ~code_b ~shots rng =
   let total = combine [ e_cat; e_plus_a; e_plus_b; e_meas ] in
   { e_ep; e_cat; e_plus_a; e_plus_b; e_meas; total }
 
+let points_total = Obs.Counter.create "teleport.points_total"
+
+let point_span ~code_a ~code_b f =
+  Obs.Counter.incr points_total;
+  Obs.Trace.with_span "teleport.point"
+    ~attrs:[ ("code_a", code_a.Code.name); ("code_b", code_b.Code.name) ]
+    f
+
 let fig12_point ?(params = default_params) ~code_a ~code_b ~ts ~shots rng =
-  (heterogeneous ~params ~code_a ~code_b ~ts ~shots rng).total
+  point_span ~code_a ~code_b (fun () ->
+      (heterogeneous ~params ~code_a ~code_b ~ts ~shots rng).total)
 
 let table4 ?(params = default_params) ~codes ~ts ~shots rng =
   let pairs = ref [] in
@@ -141,11 +150,13 @@ let table4 ?(params = default_params) ~codes ~ts ~shots rng =
     (fun a ->
       List.iter
         (fun b ->
-          if a.Code.name <> b.Code.name then begin
-            let het = (heterogeneous ~params ~code_a:a ~code_b:b ~ts ~shots rng).total in
-            let hom = (homogeneous ~params ~code_a:a ~code_b:b ~shots rng).total in
-            pairs := (a.Code.name, b.Code.name, het, hom) :: !pairs
-          end)
+          if a.Code.name <> b.Code.name then
+            point_span ~code_a:a ~code_b:b (fun () ->
+                let het =
+                  (heterogeneous ~params ~code_a:a ~code_b:b ~ts ~shots rng).total
+                in
+                let hom = (homogeneous ~params ~code_a:a ~code_b:b ~shots rng).total in
+                pairs := (a.Code.name, b.Code.name, het, hom) :: !pairs))
         codes)
     codes;
   List.rev !pairs

@@ -232,7 +232,9 @@ let effective_channels ?(params = default_params) prof =
       done;
       !acc)
 
-let logical_error_rate ?(params = default_params) prof ~rounds ~shots rng =
+let uec_shots_total = Obs.Counter.create "uec.shots_total"
+
+let logical_error_rate_impl ?(params = default_params) prof ~rounds ~shots rng =
   if rounds < 1 || shots < 1 then invalid_arg "Uec.logical_error_rate";
   let code = prof.code in
   let n = code.Code.n in
@@ -359,6 +361,15 @@ let logical_error_rate ?(params = default_params) prof ~rounds ~shots rng =
   (* Per-round (per-cycle) rate. *)
   if per_shot >= 1. then 1.
   else 1. -. ((1. -. per_shot) ** (1. /. float_of_int rounds))
+
+let logical_error_rate ?params prof ~rounds ~shots rng =
+  Obs.Counter.add uec_shots_total shots;
+  Obs.Trace.with_span "uec.logical_error_rate"
+    ~attrs:
+      [ ("code", prof.code.Code.name);
+        ("rounds", string_of_int rounds);
+        ("shots", string_of_int shots) ]
+    (fun () -> logical_error_rate_impl ?params prof ~rounds ~shots rng)
 
 (* Ablation helper: serialized round time when all data shares one register
    (no swap pipelining) versus the optimized two-register assignment. *)

@@ -67,6 +67,11 @@ type running = { mutable n : int; mutable m : float; mutable m2 : float }
 
 let running_create () = { n = 0; m = 0.; m2 = 0. }
 
+let running_reset r =
+  r.n <- 0;
+  r.m <- 0.;
+  r.m2 <- 0.
+
 let running_add r x =
   r.n <- r.n + 1;
   let delta = x -. r.m in

@@ -29,6 +29,7 @@ type running
 (** Streaming mean/variance accumulator (Welford). *)
 
 val running_create : unit -> running
+val running_reset : running -> unit
 val running_add : running -> float -> unit
 val running_count : running -> int
 val running_mean : running -> float

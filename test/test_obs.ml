@@ -1,0 +1,264 @@
+(* Tests for the observability layer: metric semantics, span nesting and
+   timing, JSON/JSONL round-trips, and the Dse.Cache gauge regression. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* -------------------------------------------------------------- counters *)
+
+let test_counter () =
+  Obs.reset ();
+  let c = Obs.Counter.create "test.counter_total" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Obs.Counter.value c);
+  let c' = Obs.Counter.create "test.counter_total" in
+  Obs.Counter.incr c';
+  Alcotest.(check int) "interned by name" 43 (Obs.Counter.value c);
+  Alcotest.(check string) "name" "test.counter_total" (Obs.Counter.name c)
+
+let test_gauge () =
+  Obs.reset ();
+  let g = Obs.Gauge.create "test.gauge" in
+  Obs.Gauge.set g 2.5;
+  Obs.Gauge.add g 0.5;
+  Alcotest.(check bool) "set/add" true (feq (Obs.Gauge.value g) 3.);
+  Obs.Gauge.set_max g 1.;
+  Alcotest.(check bool) "set_max keeps larger" true (feq (Obs.Gauge.value g) 3.);
+  Obs.Gauge.set_max g 7.;
+  Alcotest.(check bool) "set_max takes larger" true (feq (Obs.Gauge.value g) 7.)
+
+(* ------------------------------------------------------------ histograms *)
+
+let test_histogram () =
+  Obs.reset ();
+  let h = Obs.Histogram.create ~buckets:[| 1.; 10.; 100. |] "test.hist" in
+  List.iter (Obs.Histogram.observe h) [ 0.5; 1.0; 5.; 50.; 500. ];
+  Alcotest.(check int) "count" 5 (Obs.Histogram.count h);
+  let buckets = Obs.Histogram.bucket_counts h in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "bucket placement (le semantics, clamped below)"
+    [ (1., 2); (10., 1); (100., 1) ]
+    (Array.to_list buckets);
+  Alcotest.(check int) "overflow" 1 (Obs.Histogram.overflow h);
+  Alcotest.(check bool) "mean matches Welford" true
+    (feq ~eps:1e-9 (Obs.Histogram.mean h) ((0.5 +. 1. +. 5. +. 50. +. 500.) /. 5.));
+  Alcotest.(check bool) "min/max" true
+    (feq (Obs.Histogram.min_value h) 0.5 && feq (Obs.Histogram.max_value h) 500.);
+  (* variance against the two-pass Stats implementation *)
+  let xs = [| 0.5; 1.0; 5.; 50.; 500. |] in
+  Alcotest.(check bool) "variance matches Stats.variance" true
+    (feq ~eps:1e-6 (Obs.Histogram.variance h) (Stats.variance xs))
+
+let test_histogram_rejects_bad_buckets () =
+  Obs.reset ();
+  Alcotest.(check bool) "non-increasing rejected" true
+    (try
+       ignore (Obs.Histogram.create ~buckets:[| 1.; 1. |] "test.bad_hist");
+       false
+     with Invalid_argument _ -> true)
+
+(* ----------------------------------------------------------------- spans *)
+
+let test_span_nesting_and_timing () =
+  Obs.reset ();
+  let sleep () = ignore (Sys.opaque_identity (Array.init 1000 (fun i -> i * i))) in
+  let result =
+    Obs.Trace.with_span "outer" (fun () ->
+        Obs.Trace.with_span ~attrs:[ ("k", "v") ] "inner" (fun () ->
+            sleep ();
+            17))
+  in
+  Alcotest.(check int) "value passes through" 17 result;
+  match Obs.Trace.spans () with
+  | [ inner; outer ] ->
+      (* children complete (and are recorded) before their parent *)
+      Alcotest.(check string) "inner first" "inner" inner.Obs.Trace.name;
+      Alcotest.(check string) "outer second" "outer" outer.Obs.Trace.name;
+      Alcotest.(check int) "outer depth" 0 outer.Obs.Trace.depth;
+      Alcotest.(check int) "inner depth" 1 inner.Obs.Trace.depth;
+      Alcotest.(check (list (pair string string)))
+        "attrs kept" [ ("k", "v") ] inner.Obs.Trace.attrs;
+      Alcotest.(check bool) "durations nonnegative" true
+        (inner.Obs.Trace.dur_ns >= 0L && outer.Obs.Trace.dur_ns >= 0L);
+      Alcotest.(check bool) "inner starts after outer" true
+        (inner.Obs.Trace.start_ns >= outer.Obs.Trace.start_ns);
+      Alcotest.(check bool) "outer contains inner" true
+        (outer.Obs.Trace.dur_ns >= inner.Obs.Trace.dur_ns)
+  | spans ->
+      Alcotest.failf "expected exactly 2 spans, got %d" (List.length spans)
+
+let test_span_exception_still_recorded () =
+  Obs.reset ();
+  (try Obs.Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "span recorded on exception" 1 (Obs.Trace.recorded ());
+  (* depth counter must unwind so later spans are roots again *)
+  Obs.Trace.with_span "after" (fun () -> ());
+  match Obs.Trace.spans () with
+  | [ _; after ] -> Alcotest.(check int) "depth unwound" 0 after.Obs.Trace.depth
+  | _ -> Alcotest.fail "expected 2 spans"
+
+let test_span_ring_eviction () =
+  Obs.reset ();
+  Obs.Trace.set_capacity 4;
+  for i = 1 to 10 do
+    Obs.Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "all recorded" 10 (Obs.Trace.recorded ());
+  let retained = List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.spans ()) in
+  Alcotest.(check (list string)) "ring keeps newest" [ "s7"; "s8"; "s9"; "s10" ] retained;
+  let summaries = Obs.Trace.summaries () in
+  Alcotest.(check int) "summaries survive eviction" 10 (List.length summaries);
+  Obs.Trace.set_capacity 65536
+
+(* ------------------------------------------------------------ round-trip *)
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [ ("s", String "he\"llo\n");
+        ("i", Int (-42));
+        ("f", Float 3.25);
+        ("b", Bool true);
+        ("n", Null);
+        ("l", List [ Int 1; Float 0.1; String "x" ]);
+        ("o", Obj [ ("nested", Bool false) ]) ]
+  in
+  Alcotest.(check bool) "parse inverts to_string" true
+    (parse (to_string doc) = doc);
+  Alcotest.(check bool) "rejects garbage" true
+    (try
+       ignore (parse "{\"a\": }");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "rejects trailing" true
+    (try
+       ignore (parse "1 2");
+       false
+     with Failure _ -> true)
+
+let test_report_roundtrip () =
+  Obs.reset ();
+  let c = Obs.Counter.create "rt.events_total" in
+  Obs.Counter.add c 7;
+  let g = Obs.Gauge.create "rt.gauge" in
+  Obs.Gauge.set g 1.5;
+  let h = Obs.Histogram.create ~buckets:[| 1.; 2. |] "rt.hist" in
+  Obs.Histogram.observe h 0.5;
+  Obs.Trace.with_span "rt.span" (fun () -> ());
+  let doc = Obs.Json.parse (Obs.Json.to_string (Obs.Report.to_json ())) in
+  let counters = Option.get (Obs.Json.member "counters" doc) in
+  Alcotest.(check bool) "counter value" true
+    (Obs.Json.member "rt.events_total" counters = Some (Obs.Json.Int 7));
+  let gauges = Option.get (Obs.Json.member "gauges" doc) in
+  Alcotest.(check bool) "gauge value" true
+    (feq 1.5 (Obs.Json.to_float (Option.get (Obs.Json.member "rt.gauge" gauges))));
+  let hists = Option.get (Obs.Json.member "histograms" doc) in
+  let hist = Option.get (Obs.Json.member "rt.hist" hists) in
+  Alcotest.(check bool) "hist count" true
+    (Obs.Json.member "count" hist = Some (Obs.Json.Int 1));
+  let spans = Option.get (Obs.Json.member "spans" doc) in
+  let span = Option.get (Obs.Json.member "rt.span" spans) in
+  Alcotest.(check bool) "span count" true
+    (Obs.Json.member "count" span = Some (Obs.Json.Int 1))
+
+let test_trace_export_jsonl () =
+  Obs.reset ();
+  Obs.Trace.with_span "a" (fun () -> Obs.Trace.with_span "b" (fun () -> ()));
+  let path = Filename.temp_file "hetarch_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Trace.export ~path;
+      let lines =
+        In_channel.with_open_text path In_channel.input_lines
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "one line per span" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          let obj = Obs.Json.parse line in
+          Alcotest.(check bool) "has chrome-trace fields" true
+            (Obs.Json.member "name" obj <> None
+            && Obs.Json.member "ph" obj = Some (Obs.Json.String "X")
+            && Obs.Json.member "ts" obj <> None
+            && Obs.Json.member "dur" obj <> None
+            && Obs.Json.member "args" obj <> None))
+        lines;
+      let names =
+        List.map
+          (fun l -> Option.get (Obs.Json.member "name" (Obs.Json.parse l)))
+          lines
+      in
+      Alcotest.(check bool) "completion order" true
+        (names = [ Obs.Json.String "b"; Obs.Json.String "a" ]))
+
+(* -------------------------------------------------- cache gauge regression *)
+
+let test_cache_gauges_match_accessors () =
+  Obs.reset ();
+  let cache = Cache.create () in
+  let touch key dim = ignore (Cache.find_or_compute cache ~key ~dim (fun () -> 0)) in
+  (* mixed workload: repeats at several dims, some singletons *)
+  touch "reg" 4;
+  touch "reg" 4;
+  touch "reg" 4;
+  touch "usc" 32;
+  touch "usc" 32;
+  touch "par" 8;
+  let gauge name = Obs.Gauge.value (Obs.Gauge.create name) in
+  Alcotest.(check bool) "hits gauge" true
+    (feq (gauge "dse.cache_hits") (float_of_int (Cache.hits cache)));
+  Alcotest.(check bool) "misses gauge" true
+    (feq (gauge "dse.cache_misses") (float_of_int (Cache.misses cache)));
+  Alcotest.(check bool) "cost_paid gauge" true
+    (feq (gauge "dse.cache_cost_paid") (Cache.cost_paid cache));
+  Alcotest.(check bool) "cost_avoided gauge" true
+    (feq (gauge "dse.cache_cost_avoided") (Cache.cost_avoided cache))
+
+let test_cache_reset_and_stats () =
+  Obs.reset ();
+  let cache = Cache.create () in
+  let calls = ref 0 in
+  let touch () =
+    ignore
+      (Cache.find_or_compute cache ~key:"k" ~dim:4 (fun () ->
+           incr calls;
+           !calls))
+  in
+  touch ();
+  touch ();
+  Alcotest.(check int) "one compute before reset" 1 !calls;
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "stats mentions hit/miss" true
+    (feq (Cache.cost_paid cache) 64.
+    && String.length s > 0
+    && String.sub s 0 6 = "cache:");
+  Cache.reset cache;
+  Alcotest.(check int) "counters cleared" 0 (Cache.hits cache + Cache.misses cache);
+  Alcotest.(check bool) "costs cleared" true
+    (feq (Cache.cost_paid cache) 0. && feq (Cache.cost_avoided cache) 0.);
+  touch ();
+  Alcotest.(check int) "entries dropped, recomputes" 2 !calls
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram bad buckets" `Quick
+            test_histogram_rejects_bad_buckets ] );
+      ( "trace",
+        [ Alcotest.test_case "nesting and timing" `Quick test_span_nesting_and_timing;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_still_recorded;
+          Alcotest.test_case "ring eviction" `Quick test_span_ring_eviction ] );
+      ( "roundtrip",
+        [ Alcotest.test_case "json" `Quick test_json_roundtrip;
+          Alcotest.test_case "report" `Quick test_report_roundtrip;
+          Alcotest.test_case "trace jsonl" `Quick test_trace_export_jsonl ] );
+      ( "cache",
+        [ Alcotest.test_case "gauges match accessors" `Quick
+            test_cache_gauges_match_accessors;
+          Alcotest.test_case "reset and stats" `Quick test_cache_reset_and_stats ] ) ]

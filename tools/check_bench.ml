@@ -1,0 +1,49 @@
+(* CI gate: validate that BENCH_hetarch.json exists and has the shape the
+   perf-tracking tooling expects — one entry per kernel with a name, a
+   numeric ns/run, and the RNG seed.  Exits nonzero (with a reason) on any
+   violation, so `make ci` fails when the bench stops producing it. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_bench: " ^ m); exit 1) fmt
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_hetarch.json" in
+  let contents =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> fail "cannot read %s: %s" path e
+  in
+  let doc =
+    try Obs.Json.parse contents with Failure e -> fail "malformed JSON: %s" e
+  in
+  (match Obs.Json.member "schema" doc with
+  | Some (Obs.Json.String "hetarch.bench/1") -> ()
+  | _ -> fail "missing or unexpected schema field");
+  let seed =
+    match Obs.Json.member "seed" doc with
+    | Some (Obs.Json.Int s) -> s
+    | _ -> fail "missing integer seed"
+  in
+  let kernels =
+    match Obs.Json.member "kernels" doc with
+    | Some (Obs.Json.List ks) -> ks
+    | _ -> fail "missing kernels array"
+  in
+  if kernels = [] then fail "kernels array is empty";
+  List.iter
+    (fun k ->
+      let name =
+        match Obs.Json.member "name" k with
+        | Some (Obs.Json.String n) when n <> "" -> n
+        | _ -> fail "kernel entry without a name"
+      in
+      (match Obs.Json.member "ns_per_run" k with
+      | Some v ->
+          let ns = try Obs.Json.to_float v with Failure _ -> fail "%s: ns_per_run not numeric" name in
+          if not (Float.is_finite ns) || ns < 0. then
+            fail "%s: ns_per_run %g out of range" name ns
+      | None -> fail "%s: missing ns_per_run" name);
+      match Obs.Json.member "seed" k with
+      | Some (Obs.Json.Int s) when s = seed -> ()
+      | _ -> fail "%s: missing or mismatched seed" name)
+    kernels;
+  if Obs.Json.member "metrics" doc = None then fail "missing metrics snapshot";
+  Printf.printf "%s OK: %d kernels, seed %d\n" path (List.length kernels) seed
