@@ -1,10 +1,11 @@
 # Developer and CI entry points.  `make ci` is the smoke gate: full build,
-# the whole test suite, a quick bench pass, and a structural check that the
-# bench produced a well-formed BENCH_hetarch.json.
+# the whole test suite, a quick bench pass, a structural check that the
+# bench produced a well-formed BENCH_hetarch.json, and a determinism check
+# that --jobs does not change any output for a fixed seed.
 
 DUNE ?= dune
 
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench ci jobs-smoke clean
 
 all: build
 
@@ -17,7 +18,19 @@ test:
 bench:
 	$(DUNE) exec bench/main.exe
 
-ci: build test
+# The Parallel determinism contract, end to end: the same seed must produce
+# byte-identical stdout whether the Monte-Carlo fan-out runs on one domain
+# or two.
+jobs-smoke: build
+	@for sub in fig6 table3; do \
+	  $(DUNE) exec bin/main.exe -- $$sub --shots 200 --seed 7 --jobs 1 > /tmp/hetarch_j1.out || exit 1; \
+	  $(DUNE) exec bin/main.exe -- $$sub --shots 200 --seed 7 --jobs 2 > /tmp/hetarch_j2.out || exit 1; \
+	  diff -u /tmp/hetarch_j1.out /tmp/hetarch_j2.out \
+	    || { echo "jobs-smoke: $$sub output depends on --jobs"; exit 1; }; \
+	  echo "jobs-smoke: $$sub deterministic across --jobs 1/2"; \
+	done
+
+ci: build test jobs-smoke
 	$(DUNE) exec bench/main.exe -- --quick
 	$(DUNE) exec tools/check_bench.exe -- BENCH_hetarch.json
 

@@ -42,6 +42,26 @@ let fig7_exp = lazy (Surface_circuit.build (Surface_circuit.default ~distance:5)
 let kernel_fig7 () =
   Surface_circuit.logical_error_rate (Lazy.force fig7_exp) (Rng.create seed) ~shots:10
 
+(* Scalar-vs-batch sampler pair: identical work (sample [pair_shots] shots
+   of the d=7 surface circuit, count observable flips), one via the per-shot
+   reference sampler and one via the bit-parallel batch sampler.  The pair is
+   recorded in BENCH_hetarch.json so the batching speedup is tracked. *)
+let pair_shots = 126
+
+let kernel_sample_scalar () =
+  let c = (Lazy.force fig6_exp).Surface_circuit.circuit in
+  let rng = Rng.create seed in
+  let flips = ref 0 in
+  for _ = 1 to pair_shots do
+    let shot = Frame.sample_shot c rng in
+    if Bitvec.get shot.Frame.observables 0 then incr flips
+  done;
+  !flips
+
+let kernel_sample_batch () =
+  let c = (Lazy.force fig6_exp).Surface_circuit.circuit in
+  (Frame_batch.flip_counts (Frame_batch.sample c (Rng.create seed) ~nshots:pair_shots)).(0)
+
 let kernel_fig9 () =
   Uec.fig9_point ~code:Codes.steane ~ts:10e-3 ~shots:100 (Rng.create seed)
 
@@ -74,6 +94,8 @@ let tests =
       Test.make ~name:"fig3-distill-trace" (Staged.stage kernel_fig3);
       Test.make ~name:"fig4-distill-rate-point" (Staged.stage kernel_fig4);
       Test.make ~name:"fig6-surface-d7" (Staged.stage kernel_fig6);
+      Test.make ~name:"fig6-sample-d7-scalar" (Staged.stage kernel_sample_scalar);
+      Test.make ~name:"fig6-sample-d7-batch" (Staged.stage kernel_sample_batch);
       Test.make ~name:"fig7-surface-d5" (Staged.stage kernel_fig7);
       Test.make ~name:"fig9-uec-point" (Staged.stage kernel_fig9);
       Test.make ~name:"table3-uec-row" (Staged.stage kernel_table3);
@@ -113,15 +135,23 @@ let run_benchmarks () =
     results;
   List.sort compare !estimates
 
+(* Scalar/batch kernel pairs: each entry names two kernels doing identical
+   work with the two samplers, so the recorded speedup is apples-to-apples.
+   check_bench validates that both sides exist. *)
+let kernel_pairs =
+  [ ("fig6-sample-d7", "hetarch fig6-sample-d7-scalar", "hetarch fig6-sample-d7-batch") ]
+
 (* One JSON document per bench run: kernel name -> ns/run, the seed every
-   kernel drew its RNG from, and the observability snapshot accumulated
-   while measuring (DES events, shots, cache traffic, ...). *)
+   kernel drew its RNG from, the job count the run executed with, the
+   scalar-vs-batch pairs, and the observability snapshot accumulated while
+   measuring (DES events, shots, cache traffic, ...). *)
 let write_bench_json kernels =
   let doc =
     Obs.Json.Obj
-      [ ("schema", Obs.Json.String "hetarch.bench/1");
+      [ ("schema", Obs.Json.String "hetarch.bench/2");
         ("seed", Obs.Json.Int seed);
         ("quick", Obs.Json.Bool quick);
+        ("jobs", Obs.Json.Int (Parallel.jobs ()));
         ( "kernels",
           Obs.Json.List
             (List.map
@@ -131,6 +161,15 @@ let write_bench_json kernels =
                      ("ns_per_run", Obs.Json.Float ns);
                      ("seed", Obs.Json.Int seed) ])
                kernels) );
+        ( "pairs",
+          Obs.Json.List
+            (List.map
+               (fun (name, scalar, batch) ->
+                 Obs.Json.Obj
+                   [ ("name", Obs.Json.String name);
+                     ("scalar", Obs.Json.String scalar);
+                     ("batch", Obs.Json.String batch) ])
+               kernel_pairs) );
         ("metrics", Obs.Report.to_json ()) ]
   in
   let oc = open_out "BENCH_hetarch.json" in
@@ -197,7 +236,14 @@ let headline () =
 
 let () =
   let kernels = run_benchmarks () in
+  List.iter
+    (fun (name, scalar, batch) ->
+      match (List.assoc_opt scalar kernels, List.assoc_opt batch kernels) with
+      | Some s, Some b when b > 0. ->
+          Printf.printf "%-32s batch sampler %.1fx faster than scalar\n" name (s /. b)
+      | _ -> ())
+    kernel_pairs;
   if not quick then headline ();
   write_bench_json kernels;
-  Printf.printf "\nwrote BENCH_hetarch.json (%d kernels, seed %d)\n"
-    (List.length kernels) seed
+  Printf.printf "\nwrote BENCH_hetarch.json (%d kernels, seed %d, jobs %d)\n"
+    (List.length kernels) seed (Parallel.jobs ())

@@ -419,6 +419,16 @@ let shots_arg =
 let seed_arg = Arg.(value & opt int 2023 & info [ "seed" ] ~doc:"RNG seed")
 let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Run the full (slow) sweep")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Parallel.jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for Monte-Carlo fan-out.  Defaults to \
+           $(b,HETARCH_JOBS) (or 1).  Output is bit-identical for a given \
+           seed at any job count.")
+
 let metrics_arg =
   Arg.(
     value
@@ -437,7 +447,8 @@ let trace_arg =
    flags are given, so the stdout of an uninstrumented invocation is
    untouched. *)
 let cmd name doc term =
-  let wrap metrics trace f =
+  let wrap jobs metrics trace f =
+    Parallel.set_jobs jobs;
     Obs.Trace.with_span ("cmd." ^ name) f;
     try
       Option.iter (fun path -> Obs.Report.write ~path) metrics;
@@ -446,7 +457,8 @@ let cmd name doc term =
       Printf.eprintf "hetarch: cannot write observability output: %s\n" msg;
       exit 1
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const wrap $ metrics_arg $ trace_arg $ term)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const wrap $ jobs_arg $ metrics_arg $ trace_arg $ term)
 
 let commands =
   [ cmd "devices" "Table 1: device catalog" Term.(const run_devices);

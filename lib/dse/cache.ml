@@ -1,5 +1,6 @@
 type 'v t = {
   table : (string, 'v) Hashtbl.t;
+  lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
   mutable paid : float;
@@ -13,47 +14,71 @@ let g_misses = Obs.Gauge.create "dse.cache_misses"
 let g_paid = Obs.Gauge.create "dse.cache_cost_paid"
 let g_avoided = Obs.Gauge.create "dse.cache_cost_avoided"
 
-let create () = { table = Hashtbl.create 64; hits = 0; misses = 0; paid = 0.; avoided = 0. }
+let create () =
+  { table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    paid = 0.;
+    avoided = 0. }
 
 let cube dim = float_of_int dim ** 3.
 
+(* Table and stats are mutex-guarded so sweep points can share a cache
+   across domains.  [f] runs outside the lock — it may be expensive — so two
+   domains racing on the same key may both compute; the first insert wins
+   and the computation is assumed deterministic per key. *)
 let find_or_compute t ~key ~dim f =
-  match Hashtbl.find_opt t.table key with
+  let cached =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+            t.hits <- t.hits + 1;
+            t.avoided <- t.avoided +. cube dim;
+            Some v
+        | None ->
+            t.misses <- t.misses + 1;
+            t.paid <- t.paid +. cube dim;
+            None)
+  in
+  match cached with
   | Some v ->
-      t.hits <- t.hits + 1;
-      t.avoided <- t.avoided +. cube dim;
       Obs.Gauge.add g_hits 1.;
       Obs.Gauge.add g_avoided (cube dim);
       v
   | None ->
-      t.misses <- t.misses + 1;
-      t.paid <- t.paid +. cube dim;
       Obs.Gauge.add g_misses 1.;
       Obs.Gauge.add g_paid (cube dim);
       let v = f () in
-      Hashtbl.add t.table key v;
+      Mutex.protect t.lock (fun () ->
+          if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
       v
 
-let hits t = t.hits
-let misses t = t.misses
-let cost_paid t = t.paid
-let cost_avoided t = t.avoided
+let hits t = Mutex.protect t.lock (fun () -> t.hits)
+let misses t = Mutex.protect t.lock (fun () -> t.misses)
+let cost_paid t = Mutex.protect t.lock (fun () -> t.paid)
+let cost_avoided t = Mutex.protect t.lock (fun () -> t.avoided)
 
 let reset t =
-  Hashtbl.reset t.table;
-  t.hits <- 0;
-  t.misses <- 0;
-  t.paid <- 0.;
-  t.avoided <- 0.
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.paid <- 0.;
+      t.avoided <- 0.)
 
 let stats t =
-  let total = t.hits + t.misses in
+  let hits, misses, paid, avoided =
+    Mutex.protect t.lock (fun () -> (t.hits, t.misses, t.paid, t.avoided))
+  in
+  let total = hits + misses in
   let rate =
-    if total = 0 then 0. else 100. *. float_of_int t.hits /. float_of_int total
+    if total = 0 then 0. else 100. *. float_of_int hits /. float_of_int total
   in
   Printf.sprintf
     "cache: %d hits / %d misses (%.1f%% hit rate), cost paid %.3g, avoided %.3g"
-    t.hits t.misses rate t.paid t.avoided
+    hits misses rate paid avoided
 
 let burden_reduction ~naive_dim t =
-  if t.paid <= 0. then infinity else cube naive_dim /. t.paid
+  let paid = cost_paid t in
+  if paid <= 0. then infinity else cube naive_dim /. paid

@@ -12,12 +12,17 @@ let point_span f x =
   Obs.Counter.incr points_total;
   Obs.Trace.with_span "dse.sweep_point" (fun () -> f x)
 
-let sweep points ~f = List.map (fun x -> (x, point_span f x)) points
+(* Sweep points are independent, so they fan across domains.  Results come
+   back in point order regardless of which domain evaluated what; [f] itself
+   must be deterministic per point (e.g. take a fresh seed per point, as the
+   figure drivers do) for the sweep to be seed-stable at any job count. *)
+let sweep ?jobs points ~f =
+  Parallel.map_list ?jobs (fun x -> (x, point_span f x)) points
 
-let grid xs ys ~f =
-  List.concat_map
-    (fun x -> List.map (fun y -> (x, y, point_span (f x) y)) ys)
-    xs
+let grid ?jobs xs ys ~f =
+  Parallel.map_list ?jobs
+    (fun (x, y) -> (x, y, point_span (f x) y))
+    (List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs)
 
 let argmin = function
   | [] -> invalid_arg "Sweep.argmin: empty"

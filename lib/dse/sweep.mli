@@ -6,11 +6,14 @@ val linspace : lo:float -> hi:float -> n:int -> float list
 val logspace : lo:float -> hi:float -> n:int -> float list
 (** Log-spaced points; [lo], [hi] must be positive. *)
 
-val sweep : 'a list -> f:('a -> 'b) -> ('a * 'b) list
-(** Evaluate [f] at every point. *)
+val sweep : ?jobs:int -> 'a list -> f:('a -> 'b) -> ('a * 'b) list
+(** Evaluate [f] at every point, fanning points across domains via
+    {!Parallel}.  Results are in point order regardless of [jobs]; for
+    seed-stable output, [f] must be deterministic per point (derive a fresh
+    RNG per point rather than sharing a sequential stream). *)
 
-val grid : 'a list -> 'b list -> f:('a -> 'b -> 'c) -> ('a * 'b * 'c) list
-(** Cartesian product sweep, row-major. *)
+val grid : ?jobs:int -> 'a list -> 'b list -> f:('a -> 'b -> 'c) -> ('a * 'b * 'c) list
+(** Cartesian product sweep, row-major; parallelised like {!sweep}. *)
 
 val argmin : ('a * float) list -> 'a * float
 (** Point with the smallest objective; raises on empty input. *)

@@ -234,42 +234,56 @@ end
 
 (* --------------------------------------------------------------- metrics *)
 
+(* Domain safety: shot loops now fan out across Domains (Parallel), and any
+   of them may bump a counter or observe a histogram.  Counters and gauges
+   are atomics (lock-free); histograms and the trace ring take a mutex per
+   update; every registry serialises interning behind its own mutex so
+   concurrent [create] calls from worker domains race neither the Hashtbl
+   nor each other's handles. *)
+
+let registered locked registry name make =
+  Mutex.protect locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some t -> t
+      | None ->
+          let t = make () in
+          Hashtbl.add registry name t;
+          t)
+
 module Counter = struct
-  type t = { name : string; mutable v : int }
+  type t = { name : string; v : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  let registry_lock = Mutex.create ()
 
   let create name =
-    match Hashtbl.find_opt registry name with
-    | Some t -> t
-    | None ->
-        let t = { name; v = 0 } in
-        Hashtbl.add registry name t;
-        t
+    registered registry_lock registry name (fun () -> { name; v = Atomic.make 0 })
 
-  let incr t = t.v <- t.v + 1
-  let add t n = t.v <- t.v + n
-  let value t = t.v
+  let incr t = Atomic.incr t.v
+  let add t n = ignore (Atomic.fetch_and_add t.v n)
+  let value t = Atomic.get t.v
   let name t = t.name
 end
 
 module Gauge = struct
-  type t = { name : string; mutable v : float }
+  type t = { name : string; v : float Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  let registry_lock = Mutex.create ()
 
   let create name =
-    match Hashtbl.find_opt registry name with
-    | Some t -> t
-    | None ->
-        let t = { name; v = 0. } in
-        Hashtbl.add registry name t;
-        t
+    registered registry_lock registry name (fun () -> { name; v = Atomic.make 0. })
 
-  let set t x = t.v <- x
-  let add t x = t.v <- t.v +. x
-  let set_max t x = if x > t.v then t.v <- x
-  let value t = t.v
+  let set t x = Atomic.set t.v x
+
+  let rec update t f =
+    let old = Atomic.get t.v in
+    let next = f old in
+    if old <> next && not (Atomic.compare_and_set t.v old next) then update t f
+
+  let add t x = update t (fun v -> v +. x)
+  let set_max t x = update t (fun v -> if x > v then x else v)
+  let value t = Atomic.get t.v
   let name t = t.name
 end
 
@@ -282,6 +296,7 @@ module Histogram = struct
     welford : Stats.running;
     mutable lo : float;
     mutable hi : float;
+    lock : Mutex.t;  (* guards every mutable field above *)
   }
 
   (* 1 ns .. 100 s in thirds of a decade: fine enough to rank hot paths,
@@ -290,11 +305,10 @@ module Histogram = struct
     Array.init 34 (fun i -> 1e-9 *. (10. ** (float_of_int i /. 3.)))
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  let registry_lock = Mutex.create ()
 
   let create ?(buckets = default_buckets) name =
-    match Hashtbl.find_opt registry name with
-    | Some t -> t
-    | None ->
+    registered registry_lock registry name (fun () ->
         if Array.length buckets = 0 then
           invalid_arg "Obs.Histogram.create: empty buckets";
         Array.iteri
@@ -302,33 +316,31 @@ module Histogram = struct
             if i > 0 && buckets.(i - 1) >= b then
               invalid_arg "Obs.Histogram.create: buckets must increase")
           buckets;
-        let t =
-          { name;
-            bounds = Array.copy buckets;
-            counts = Array.make (Array.length buckets) 0;
-            over = 0;
-            welford = Stats.running_create ();
-            lo = infinity;
-            hi = neg_infinity }
-        in
-        Hashtbl.add registry name t;
-        t
+        { name;
+          bounds = Array.copy buckets;
+          counts = Array.make (Array.length buckets) 0;
+          over = 0;
+          welford = Stats.running_create ();
+          lo = infinity;
+          hi = neg_infinity;
+          lock = Mutex.create () })
 
   let observe t x =
-    Stats.running_add t.welford x;
-    if x < t.lo then t.lo <- x;
-    if x > t.hi then t.hi <- x;
-    (* Binary search for the first bound >= x. *)
-    let nb = Array.length t.bounds in
-    if x > t.bounds.(nb - 1) then t.over <- t.over + 1
-    else begin
-      let lo = ref 0 and hi = ref (nb - 1) in
-      while !lo < !hi do
-        let mid = (!lo + !hi) / 2 in
-        if x <= t.bounds.(mid) then hi := mid else lo := mid + 1
-      done;
-      t.counts.(!lo) <- t.counts.(!lo) + 1
-    end
+    Mutex.protect t.lock (fun () ->
+        Stats.running_add t.welford x;
+        if x < t.lo then t.lo <- x;
+        if x > t.hi then t.hi <- x;
+        (* Binary search for the first bound >= x. *)
+        let nb = Array.length t.bounds in
+        if x > t.bounds.(nb - 1) then t.over <- t.over + 1
+        else begin
+          let lo = ref 0 and hi = ref (nb - 1) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if x <= t.bounds.(mid) then hi := mid else lo := mid + 1
+          done;
+          t.counts.(!lo) <- t.counts.(!lo) + 1
+        end)
 
   let count t = Stats.running_count t.welford
   let mean t = Stats.running_mean t.welford
@@ -355,25 +367,34 @@ module Trace = struct
   let capacity = ref 65536
   let ring : span option array ref = ref (Array.make !capacity None)
   let next = ref 0 (* total spans ever recorded *)
-  let cur_depth = ref 0
   let totals : (string, int * int64) Hashtbl.t = Hashtbl.create 32
+
+  (* One lock for ring + totals + capacity swaps; span recording is far off
+     the per-shot hot path (spans wrap whole experiments), so contention is
+     negligible.  Depth is tracked per domain: a worker domain's spans nest
+     from depth 0 rather than inheriting an unrelated caller's depth. *)
+  let lock = Mutex.create ()
+  let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
   let set_capacity c =
     if c <= 0 then invalid_arg "Obs.Trace.set_capacity";
-    capacity := c;
-    ring := Array.make c None;
-    next := 0
+    Mutex.protect lock (fun () ->
+        capacity := c;
+        ring := Array.make c None;
+        next := 0)
 
   let record s =
-    !ring.(!next mod !capacity) <- Some s;
-    incr next;
-    let count, total =
-      Option.value ~default:(0, 0L) (Hashtbl.find_opt totals s.name)
-    in
-    Hashtbl.replace totals s.name (count + 1, Int64.add total s.dur_ns)
+    Mutex.protect lock (fun () ->
+        !ring.(!next mod !capacity) <- Some s;
+        incr next;
+        let count, total =
+          Option.value ~default:(0, 0L) (Hashtbl.find_opt totals s.name)
+        in
+        Hashtbl.replace totals s.name (count + 1, Int64.add total s.dur_ns))
 
   let with_span ?(attrs = []) name f =
     let start = now_ns () in
+    let cur_depth = Domain.DLS.get depth_key in
     let depth = !cur_depth in
     incr cur_depth;
     let finish () =
@@ -395,16 +416,18 @@ module Trace = struct
         raise e
 
   let spans () =
-    let cap = !capacity in
-    let first = max 0 (!next - cap) in
-    List.filter_map
-      (fun i -> !ring.(i mod cap))
-      (List.init (!next - first) (fun k -> first + k))
+    Mutex.protect lock (fun () ->
+        let cap = !capacity in
+        let first = max 0 (!next - cap) in
+        List.filter_map
+          (fun i -> !ring.(i mod cap))
+          (List.init (!next - first) (fun k -> first + k)))
 
-  let recorded () = !next
+  let recorded () = Mutex.protect lock (fun () -> !next)
 
   let summaries () =
-    Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) totals []
+    Mutex.protect lock (fun () ->
+        Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) totals [])
     |> List.sort compare
 
   let span_json s =
@@ -429,10 +452,11 @@ module Trace = struct
           (spans ()))
 
   let reset () =
-    Array.fill !ring 0 !capacity None;
-    next := 0;
-    cur_depth := 0;
-    Hashtbl.reset totals
+    Mutex.protect lock (fun () ->
+        Array.fill !ring 0 !capacity None;
+        next := 0;
+        Hashtbl.reset totals);
+    Domain.DLS.get depth_key := 0
 end
 
 (* --------------------------------------------------------------- reports *)
@@ -442,7 +466,18 @@ module Report = struct
     Hashtbl.fold (fun name v acc -> (name, f v) :: acc) registry []
     |> List.sort compare
 
+  (* hetarch_util sits below this library, so the Parallel executor keeps
+     plain atomics; snapshot them into gauges whenever a report is cut. *)
+  let g_parallel_tasks = Gauge.create "parallel.tasks_total"
+  let g_parallel_domains = Gauge.create "parallel.domains_spawned_total"
+
+  let snapshot_parallel () =
+    let tasks, domains = Parallel.stats () in
+    Gauge.set g_parallel_tasks (float_of_int tasks);
+    Gauge.set g_parallel_domains (float_of_int domains)
+
   let to_json () =
+    snapshot_parallel ();
     let counters =
       sorted_fold Counter.registry (fun c -> Json.Int (Counter.value c))
     in
@@ -495,14 +530,15 @@ end
    metric handles created at init, and those must stay live in the
    registry across resets. *)
 let reset () =
-  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.v <- 0) Counter.registry;
-  Hashtbl.iter (fun _ (g : Gauge.t) -> g.Gauge.v <- 0.) Gauge.registry;
+  Hashtbl.iter (fun _ (c : Counter.t) -> Atomic.set c.Counter.v 0) Counter.registry;
+  Hashtbl.iter (fun _ (g : Gauge.t) -> Atomic.set g.Gauge.v 0.) Gauge.registry;
   Hashtbl.iter
     (fun _ (h : Histogram.t) ->
-      Array.fill h.Histogram.counts 0 (Array.length h.Histogram.counts) 0;
-      h.Histogram.over <- 0;
-      h.Histogram.lo <- infinity;
-      h.Histogram.hi <- neg_infinity;
-      Stats.running_reset h.Histogram.welford)
+      Mutex.protect h.Histogram.lock (fun () ->
+          Array.fill h.Histogram.counts 0 (Array.length h.Histogram.counts) 0;
+          h.Histogram.over <- 0;
+          h.Histogram.lo <- infinity;
+          h.Histogram.hi <- neg_infinity;
+          Stats.running_reset h.Histogram.welford))
     Histogram.registry;
   Trace.reset ()

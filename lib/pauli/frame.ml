@@ -77,33 +77,19 @@ let sample_shot (c : Circuit.t) rng =
 (* Pauli index convention for Depol2: 2-bit code per qubit, bit0 = X
    component, bit1 = Z component (1=X, 2=Z, 3=Y). *)
 
-let sample_flip_counts c rng ~shots =
-  let nobs = Array.length c.Circuit.observables in
-  let counts = Array.make nobs 0 in
-  for _ = 1 to shots do
-    let { observables; _ } = sample_shot c rng in
-    for i = 0 to nobs - 1 do
-      if Bitvec.get observables i then counts.(i) <- counts.(i) + 1
-    done
-  done;
-  counts
+(* The Monte-Carlo entry points run on the bit-parallel batch sampler
+   (Frame_batch): same distribution, ~the word width faster, and chunked
+   through Parallel so multicore runs stay seed-deterministic.  The scalar
+   [sample_shot] above remains the reference implementation — and the
+   cross-validation oracle for test/test_frame_batch.ml. *)
 
-let logical_error_count ?(backend = "custom") c rng ~shots ~decode =
-  let decode_seconds =
-    Obs.Histogram.create ("pauli.decode_seconds." ^ backend)
-  in
-  let errors = ref 0 in
-  for _ = 1 to shots do
-    let { detectors; observables } = sample_shot c rng in
-    let start = Obs.now_ns () in
-    let predicted = decode detectors in
-    Obs.Histogram.observe decode_seconds
-      (Int64.to_float (Int64.sub (Obs.now_ns ()) start) *. 1e-9);
-    if not (Bitvec.equal predicted observables) then incr errors
-  done;
-  !errors
+let sample_flip_counts ?jobs c rng ~shots =
+  Frame_batch.sample_flip_counts ?jobs c rng ~shots
 
-let logical_error_rate ?backend c rng ~shots ~decode =
+let logical_error_count ?jobs ?backend c rng ~shots ~decode =
+  Frame_batch.logical_error_count ?jobs ?backend c rng ~shots ~decode
+
+let logical_error_rate ?jobs ?backend c rng ~shots ~decode =
   if shots <= 0 then invalid_arg "Frame.logical_error_rate: shots must be positive";
-  float_of_int (logical_error_count ?backend c rng ~shots ~decode)
+  float_of_int (logical_error_count ?jobs ?backend c rng ~shots ~decode)
   /. float_of_int shots

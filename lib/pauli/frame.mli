@@ -15,19 +15,25 @@ type shot = { detectors : Bitvec.t; observables : Bitvec.t }
 val sample_shot : Circuit.t -> Rng.t -> shot
 (** One Monte-Carlo shot: detector parities and logical-observable flips. *)
 
-val sample_flip_counts : Circuit.t -> Rng.t -> shots:int -> int array
+val sample_flip_counts : ?jobs:int -> Circuit.t -> Rng.t -> shots:int -> int array
 (** Count, per observable, the shots on which it flipped (no decoding —
-    useful for unencoded/baseline comparisons). *)
+    useful for unencoded/baseline comparisons).  Runs on the bit-parallel
+    {!Frame_batch} sampler, chunked through {!Parallel}: bit-identical for a
+    given seed at any [jobs] setting. *)
 
 val logical_error_rate :
+  ?jobs:int ->
   ?backend:string ->
   Circuit.t -> Rng.t -> shots:int -> decode:(Bitvec.t -> Bitvec.t) -> float
 (** Monte-Carlo logical error rate: for each shot, the decoder maps detector
     values to a predicted observable-flip vector; a shot is a logical error
     when any observable's prediction disagrees with the actual flip.
     [backend] labels the decoder-time histogram
-    [pauli.decode_seconds.<backend>] (default ["custom"]). *)
+    [pauli.decode_seconds.<backend>] (default ["custom"]).  Runs on the
+    bit-parallel {!Frame_batch} sampler; [decode] may execute concurrently
+    across domains when [jobs > 1]. *)
 
 val logical_error_count :
+  ?jobs:int ->
   ?backend:string ->
   Circuit.t -> Rng.t -> shots:int -> decode:(Bitvec.t -> Bitvec.t) -> int

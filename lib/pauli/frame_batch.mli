@@ -1,0 +1,44 @@
+(** Bit-parallel batched Pauli-frame sampler.
+
+    Transposed layout relative to {!Frame.sample_shot}: per qubit, one
+    {!Bitvec} row per Pauli component with bit [s] = shot [s], so each
+    Clifford gate is a handful of whole-word XOR/AND operations across the
+    batch, and each noise channel is a batched Bernoulli mask (geometric gap
+    sampling: O(p * shots + 1) RNG draws instead of one per shot).
+
+    The batched sampler consumes a DIFFERENT random stream than the scalar
+    sampler — per-shot results are not comparable draw-for-draw — but the
+    sampled distribution is identical, and noiseless circuits agree exactly.
+
+    The chunked entry points ([sample_flip_counts], [logical_error_count])
+    run on {!Parallel.monte_carlo}: one chunk = one batch = one RNG split,
+    so results are bit-identical for a given seed at any job count. *)
+
+type t = {
+  nshots : int;
+  detectors : Bitvec.t array;  (** row per detector, bit [s] = shot [s] *)
+  observables : Bitvec.t array;  (** row per observable *)
+}
+
+val sample : Circuit.t -> Rng.t -> nshots:int -> t
+(** Simulate [nshots] Monte-Carlo shots in one bit-parallel pass. *)
+
+val shot : t -> int -> Bitvec.t * Bitvec.t
+(** [shot b s] transposes shot [s] out of the batch as
+    [(detectors, observables)] in the scalar {!Frame.shot} layout (vectors
+    padded to length >= 1). *)
+
+val flip_counts : t -> int array
+(** Per-observable flip counts across the batch (word-parallel popcounts). *)
+
+val sample_flip_counts : ?jobs:int -> Circuit.t -> Rng.t -> shots:int -> int array
+(** Chunked, optionally multicore {!Frame.sample_flip_counts}. *)
+
+val logical_error_count :
+  ?jobs:int ->
+  ?backend:string ->
+  Circuit.t -> Rng.t -> shots:int -> decode:(Bitvec.t -> Bitvec.t) -> int
+(** Chunked, optionally multicore {!Frame.logical_error_count}.  [decode]
+    may run concurrently across domains and must be safe to share
+    (the built-in decoders are pure during decode).  The
+    [pauli.decode_seconds.<backend>] histogram is interned per backend. *)

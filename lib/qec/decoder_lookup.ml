@@ -3,7 +3,13 @@ type table = {
   checks : int array array;  (* stabilizer supports producing the syndrome *)
 }
 
-type t = { code : Code.t; x_table : table; z_table : table }
+type t = {
+  code : Code.t;
+  x_table : table;
+  z_table : table;
+  logical_z_mask : int;  (* support of logical Z_0, for X-residual parity *)
+  logical_x_mask : int;  (* support of logical X_0, for Z-residual parity *)
+}
 
 let syndrome_key checks err_mask =
   let key = ref 0 in
@@ -41,11 +47,15 @@ let build_table ~n ~checks =
   Array.iteri (fun i c -> if c < 0 then corrections.(i) <- 0) corrections;
   { corrections; checks }
 
+let support_mask s = Array.fold_left (fun acc q -> acc lor (1 lsl q)) 0 s
+
 let create (code : Code.t) =
   if code.Code.n > 30 then invalid_arg "Decoder_lookup.create: code too large";
   { code;
     x_table = build_table ~n:code.Code.n ~checks:code.Code.z_stabs;
-    z_table = build_table ~n:code.Code.n ~checks:code.Code.x_stabs }
+    z_table = build_table ~n:code.Code.n ~checks:code.Code.x_stabs;
+    logical_z_mask = support_mask code.Code.logical_z.(0);
+    logical_x_mask = support_mask code.Code.logical_x.(0) }
 
 let mask_to_list mask =
   let rec go q acc =
@@ -76,3 +86,25 @@ let logical_z_error_after_correction t ~actual =
   let syndrome = Code.syndrome_of_z_error t.code actual in
   let correction = decode_z t syndrome in
   Code.z_logical_flipped t.code 0 (actual @ correction)
+
+(* Mask-based fast path: the whole decode cycle on int bitmasks, zero
+   allocation.  Parity of the concatenated (actual @ correction) support
+   equals the parity of the XOR residual — duplicated qubits toggle twice in
+   [Code.flipped] and cancel — so these agree exactly with the list
+   versions above. *)
+
+let parity_over mask support_mask =
+  let c = ref 0 and x = ref (mask land support_mask) in
+  while !x <> 0 do
+    x := !x land (!x - 1);
+    incr c
+  done;
+  !c land 1 = 1
+
+let logical_x_flip_mask t ~actual =
+  let corr = t.x_table.corrections.(syndrome_key t.x_table.checks actual) in
+  parity_over (actual lxor corr) t.logical_z_mask
+
+let logical_z_flip_mask t ~actual =
+  let corr = t.z_table.corrections.(syndrome_key t.z_table.checks actual) in
+  parity_over (actual lxor corr) t.logical_x_mask

@@ -25,3 +25,11 @@ val logical_x_error_after_correction : t -> actual:int list -> bool
     correction, and report whether the residual flips logical Z_0. *)
 
 val logical_z_error_after_correction : t -> actual:int list -> bool
+
+val logical_x_flip_mask : t -> actual:int -> bool
+(** Mask-based fast path of {!logical_x_error_after_correction}: [actual] is
+    an int bitmask of errored qubits (bit [q] = qubit [q]).  Zero allocation;
+    agrees exactly with the list version.  The Monte-Carlo inner loop of
+    {!Threshold.logical_rate}. *)
+
+val logical_z_flip_mask : t -> actual:int -> bool

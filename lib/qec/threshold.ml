@@ -1,27 +1,36 @@
 let bisection_iters_total = Obs.Counter.create "qec.threshold_bisection_iters_total"
 let threshold_shots_total = Obs.Counter.create "qec.threshold_shots_total"
 
-let logical_rate (code : Code.t) decoder ~p ~shots rng =
+let logical_rate ?jobs (code : Code.t) decoder ~p ~shots rng =
   if p < 0. || p > 1. then invalid_arg "Threshold.logical_rate: bad p";
   Obs.Counter.add threshold_shots_total shots;
-  let errors = ref 0 in
-  for _ = 1 to shots do
-    let xerr = ref [] and zerr = ref [] in
-    for q = 0 to code.Code.n - 1 do
-      if Rng.bernoulli rng p then begin
-        match Rng.int rng 3 with
-        | 0 -> xerr := q :: !xerr
-        | 1 -> zerr := q :: !zerr
-        | _ ->
-            xerr := q :: !xerr;
-            zerr := q :: !zerr
-      end
-    done;
-    let x_fail = Decoder_lookup.logical_x_error_after_correction decoder ~actual:!xerr in
-    let z_fail = Decoder_lookup.logical_z_error_after_correction decoder ~actual:!zerr in
-    if x_fail || z_fail then incr errors
-  done;
-  float_of_int !errors /. float_of_int shots
+  let n = code.Code.n in
+  (* Errors live in int bitmasks and go through the decoder's mask-based
+     fast path: the shot loop allocates nothing.  Chunked through Parallel,
+     so the estimate is seed-deterministic at any job count. *)
+  let errors =
+    Parallel.monte_carlo_count ?jobs ~rng ~shots (fun rng nshots ->
+        let errors = ref 0 in
+        for _ = 1 to nshots do
+          let xerr = ref 0 and zerr = ref 0 in
+          for q = 0 to n - 1 do
+            if Rng.bernoulli rng p then begin
+              let bit = 1 lsl q in
+              match Rng.int rng 3 with
+              | 0 -> xerr := !xerr lor bit
+              | 1 -> zerr := !zerr lor bit
+              | _ ->
+                  xerr := !xerr lor bit;
+                  zerr := !zerr lor bit
+            end
+          done;
+          let x_fail = Decoder_lookup.logical_x_flip_mask decoder ~actual:!xerr in
+          let z_fail = Decoder_lookup.logical_z_flip_mask decoder ~actual:!zerr in
+          if x_fail || z_fail then incr errors
+        done;
+        !errors)
+  in
+  float_of_int errors /. float_of_int shots
 
 let pseudothreshold ?(lo = 1e-4) ?(hi = 0.45) ?(iters = 12) ?(shots = 20_000)
     (code : Code.t) rng =

@@ -6,11 +6,13 @@
     noise with the code's own lookup decoder. *)
 
 val logical_rate :
-  Code.t -> Decoder_lookup.t -> p:float -> shots:int -> Rng.t -> float
+  ?jobs:int -> Code.t -> Decoder_lookup.t -> p:float -> shots:int -> Rng.t -> float
 (** Monte-Carlo logical error rate under iid single-qubit depolarizing noise
     of strength [p] (each qubit suffers X, Y or Z with probability p/3 each),
     with perfect syndrome extraction and lookup decoding.  A shot errs when
-    either the X- or Z-type residual flips the logical qubit. *)
+    either the X- or Z-type residual flips the logical qubit.  The shot loop
+    is allocation-free (mask-based decoding) and chunked through {!Parallel}:
+    seed-deterministic at any [jobs] setting. *)
 
 val pseudothreshold :
   ?lo:float -> ?hi:float -> ?iters:int -> ?shots:int -> Code.t -> Rng.t -> float

@@ -62,6 +62,7 @@ let round_time_of p assignment stabs =
    only on the schedule geometry, not on coherence times, so every Ts sweep
    point reuses it. *)
 let assignment_memo : (string, int array) Hashtbl.t = Hashtbl.create 16
+let assignment_memo_lock = Mutex.create ()
 
 let compute_assignment p (code : Code.t) =
   let n = code.Code.n in
@@ -101,11 +102,19 @@ let optimize_assignment p (code : Code.t) =
     Printf.sprintf "%s/%d/%g/%g/%g" code.Code.name p.register_capacity p.t_swap
       p.t_2q p.t_readout
   in
-  match Hashtbl.find_opt assignment_memo memo_key with
+  let cached =
+    Mutex.protect assignment_memo_lock (fun () ->
+        Hashtbl.find_opt assignment_memo memo_key)
+  in
+  match cached with
   | Some a -> Array.copy a
   | None ->
+      (* Computed outside the lock: brute force can take a while, and a
+         duplicate computation by a racing domain is idempotent. *)
       let a = compute_assignment p code in
-      Hashtbl.add assignment_memo memo_key (Array.copy a);
+      Mutex.protect assignment_memo_lock (fun () ->
+          if not (Hashtbl.mem assignment_memo memo_key) then
+            Hashtbl.add assignment_memo memo_key (Array.copy a));
       a
 
 let meas_flip_of p supp = 1. -. ((1. -. (8. /. 15. *. p.p2)) ** float_of_int (Array.length supp))
@@ -234,13 +243,11 @@ let effective_channels ?(params = default_params) prof =
 
 let uec_shots_total = Obs.Counter.create "uec.shots_total"
 
-let logical_error_rate_impl ?(params = default_params) prof ~rounds ~shots rng =
+let logical_error_rate_impl ?jobs ?(params = default_params) prof ~rounds ~shots rng =
   if rounds < 1 || shots < 1 then invalid_arg "Uec.logical_error_rate";
   let code = prof.code in
   let n = code.Code.n in
   let decoder = Decoder_lookup.create code in
-  let failures = ref 0 in
-  let xerr = Array.make n false and zerr = Array.make n false in
   let rest_t = match prof.arch with Het { ts } -> ts | Hom -> params.tc in
   (* Checks are extracted at distinct times within a round (fully serialized
      on the USC; a single parallel step on the lattice), so noise is injected
@@ -275,6 +282,13 @@ let logical_error_rate_impl ?(params = default_params) prof ~rounds ~shots rng =
   let hom_channels =
     match prof.arch with Hom -> effective_channels ~params prof | Het _ -> [||]
   in
+  (* Shot chunks fan across domains; everything above (steps, touch_probs,
+     hom_channels, the decoder) is read-only and shared.  Each chunk carries
+     its own error buffers — reused across the chunk's shots, so the shot
+     loop itself allocates only the per-round syndrome arrays. *)
+  let run_chunk rng nshots =
+  let failures = ref 0 in
+  let xerr = Array.make n false and zerr = Array.make n false in
   let inject c q =
     let u = Rng.uniform rng in
     if u < c.(1) then xerr.(q) <- not xerr.(q)
@@ -284,7 +298,7 @@ let logical_error_rate_impl ?(params = default_params) prof ~rounds ~shots rng =
       zerr.(q) <- not zerr.(q)
     end
   in
-  for _ = 1 to shots do
+  for _ = 1 to nshots do
     Array.fill xerr 0 n false;
     Array.fill zerr 0 n false;
     let prev_sz = ref None and prev_sx = ref None in
@@ -357,19 +371,22 @@ let logical_error_rate_impl ?(params = default_params) prof ~rounds ~shots rng =
     in
     if x_fail || z_fail then incr failures
   done;
-  let per_shot = float_of_int !failures /. float_of_int shots in
+  !failures
+  in
+  let failures = Parallel.monte_carlo_count ?jobs ~rng ~shots run_chunk in
+  let per_shot = float_of_int failures /. float_of_int shots in
   (* Per-round (per-cycle) rate. *)
   if per_shot >= 1. then 1.
   else 1. -. ((1. -. per_shot) ** (1. /. float_of_int rounds))
 
-let logical_error_rate ?params prof ~rounds ~shots rng =
+let logical_error_rate ?jobs ?params prof ~rounds ~shots rng =
   Obs.Counter.add uec_shots_total shots;
   Obs.Trace.with_span "uec.logical_error_rate"
     ~attrs:
       [ ("code", prof.code.Code.name);
         ("rounds", string_of_int rounds);
         ("shots", string_of_int shots) ]
-    (fun () -> logical_error_rate_impl ?params prof ~rounds ~shots rng)
+    (fun () -> logical_error_rate_impl ?jobs ?params prof ~rounds ~shots rng)
 
 (* Ablation helper: serialized round time when all data shares one register
    (no swap pipelining) versus the optimized two-register assignment. *)

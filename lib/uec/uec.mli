@@ -54,13 +54,14 @@ val profile : ?params:params -> arch -> Code.t -> profile
     [Hom], checks are placed on a lattice and routed with {!Router}. *)
 
 val logical_error_rate :
-  ?params:params -> profile -> rounds:int -> shots:int -> Rng.t -> float
+  ?jobs:int -> ?params:params -> profile -> rounds:int -> shots:int -> Rng.t -> float
 (** Monte-Carlo logical error rate per QEC round: [shots] independent
     experiments of [rounds] rounds each; every round injects the profile's
     idle and gate noise, measures all stabilizers (with syndrome-bit flips),
     decodes X and Z sides with the code's lookup decoder, and applies the
     correction; a round whose residual flips a logical operator counts as a
-    failure and resets the state. *)
+    failure and resets the state.  Shot chunks fan across domains via
+    {!Parallel}: seed-deterministic at any [jobs] setting. *)
 
 val round_time_with_registers : ?params:params -> Code.t -> registers:int -> float
 (** Ablation: serialized round duration with a single shared register (no

@@ -25,11 +25,99 @@ let flip t i =
 let clear t = Array.fill t.bits 0 (Array.length t.bits) 0
 let copy t = { bits = Array.copy t.bits; n = t.n }
 
+(* Mask for the valid bits of the last word, so whole-word fills never set
+   bits past [n].  All other kernels preserve the invariant that bits >= n
+   are zero, which keeps [popcount]/[equal] exact. *)
+let top_mask t =
+  let valid = t.n - ((Array.length t.bits - 1) * wordsize) in
+  if valid >= wordsize || valid <= 0 then -1 else (1 lsl valid) - 1
+
+let set_all t =
+  Array.fill t.bits 0 (Array.length t.bits) (-1);
+  let last = Array.length t.bits - 1 in
+  t.bits.(last) <- t.bits.(last) land top_mask t
+
 let xor_into ~dst src =
   if dst.n <> src.n then invalid_arg "Bitvec.xor_into: length mismatch";
   for w = 0 to Array.length dst.bits - 1 do
     dst.bits.(w) <- dst.bits.(w) lxor src.bits.(w)
   done
+
+let xor_words ~dst a b =
+  if dst.n <> a.n || dst.n <> b.n then invalid_arg "Bitvec.xor_words: length mismatch";
+  for w = 0 to Array.length dst.bits - 1 do
+    dst.bits.(w) <- a.bits.(w) lxor b.bits.(w)
+  done
+
+let or_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Bitvec.or_into: length mismatch";
+  for w = 0 to Array.length dst.bits - 1 do
+    dst.bits.(w) <- dst.bits.(w) lor src.bits.(w)
+  done
+
+let and_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Bitvec.and_into: length mismatch";
+  for w = 0 to Array.length dst.bits - 1 do
+    dst.bits.(w) <- dst.bits.(w) land src.bits.(w)
+  done
+
+let andnot_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Bitvec.andnot_into: length mismatch";
+  for w = 0 to Array.length dst.bits - 1 do
+    dst.bits.(w) <- dst.bits.(w) land lnot src.bits.(w)
+  done
+
+(* Batched Bernoulli fill: every bit independently 1 with probability p.
+   Sparse p uses geometric gap sampling (expected p*n + 1 draws instead of n);
+   p = 1/2 takes 63 bits straight from one raw word; dense p mirrors the
+   sparse path on the complement.  The mid band falls back to per-bit coins,
+   which is no worse than a scalar sampler — noise in our workloads is
+   either rare (gate/idle errors) or exactly 1/2 (measurement scramble). *)
+let random_into rng t ~p =
+  if Float.is_nan p || p < 0. || p > 1. then invalid_arg "Bitvec.random_into: bad p";
+  let sparse_fill p =
+    clear t;
+    if p > 0. then begin
+      let log1mp = log1p (-.p) in
+      let i = ref (-1) in
+      let continue = ref true in
+      while !continue do
+        let gap = int_of_float (log1p (-.(Rng.uniform rng)) /. log1mp) in
+        i := !i + 1 + gap;
+        if !i >= t.n || !i < 0 then continue := false
+        else begin
+          let w = !i / wordsize in
+          t.bits.(w) <- t.bits.(w) lor (1 lsl (!i mod wordsize))
+        end
+      done
+    end
+  in
+  if p = 0. then clear t
+  else if p = 1. then set_all t
+  else if p = 0.5 then begin
+    for w = 0 to Array.length t.bits - 1 do
+      (* Int64.to_int keeps the low 63 bits: one raw draw fills the word. *)
+      t.bits.(w) <- Int64.to_int (Rng.bits64 rng)
+    done;
+    let last = Array.length t.bits - 1 in
+    t.bits.(last) <- t.bits.(last) land top_mask t
+  end
+  else if p <= 0.1 then sparse_fill p
+  else if p >= 0.9 then begin
+    sparse_fill (1. -. p);
+    for w = 0 to Array.length t.bits - 1 do
+      t.bits.(w) <- lnot t.bits.(w)
+    done;
+    let last = Array.length t.bits - 1 in
+    t.bits.(last) <- t.bits.(last) land top_mask t
+  end
+  else begin
+    clear t;
+    for i = 0 to t.n - 1 do
+      if Rng.bernoulli rng p then
+        t.bits.(i / wordsize) <- t.bits.(i / wordsize) lor (1 lsl (i mod wordsize))
+    done
+  end
 
 (* Kernighan popcount: words are sparse in our workloads, and OCaml has no
    portable hardware popcount without C stubs. *)

@@ -15,8 +15,32 @@ val flip : t -> int -> unit
 val clear : t -> unit
 val copy : t -> t
 
+val set_all : t -> unit
+(** Set every bit. *)
+
 val xor_into : dst:t -> t -> unit
 (** [xor_into ~dst src] sets [dst <- dst xor src].  Lengths must match. *)
+
+val xor_words : dst:t -> t -> t -> unit
+(** [xor_words ~dst a b] sets [dst <- a xor b] word-parallel.  All three
+    lengths must match; [dst] may alias [a] or [b]. *)
+
+val or_into : dst:t -> t -> unit
+(** [or_into ~dst src] sets [dst <- dst lor src]. *)
+
+val and_into : dst:t -> t -> unit
+(** [and_into ~dst src] sets [dst <- dst land src]. *)
+
+val andnot_into : dst:t -> t -> unit
+(** [andnot_into ~dst src] sets [dst <- dst land (lnot src)]: clear in [dst]
+    every bit set in [src]. *)
+
+val random_into : Rng.t -> t -> p:float -> unit
+(** [random_into rng t ~p] overwrites [t] with independent Bernoulli(p) bits.
+    Sparse probabilities use geometric gap sampling (expected [p*n + 1] RNG
+    draws), [p = 0.5] consumes one raw word per 63 bits, dense [p] samples
+    the complement — the batched noise-mask kernel of the bit-parallel
+    Pauli-frame sampler. *)
 
 val and_popcount : t -> t -> int
 (** Number of positions set in both vectors. *)

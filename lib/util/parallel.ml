@@ -1,0 +1,105 @@
+(* Deterministic multicore executor.
+
+   A tiny Domain-pool fan-out for Monte-Carlo shot loops and DSE sweeps.
+   The contract that everything downstream relies on: the DECOMPOSITION of
+   work (chunk layout, per-chunk RNG streams, merge order) depends only on
+   the problem size and the master seed — never on the job count — so a
+   given seed produces bit-identical results whether it runs on one domain
+   or sixteen.  Parallelism only changes which domain executes each task.
+
+   No external dependencies: OCaml 5 Domain + Atomic from the stdlib. *)
+
+let env_jobs =
+  match Sys.getenv_opt "HETARCH_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> min j 64
+      | _ -> 1)
+  | None -> 1
+
+let current_jobs = Atomic.make env_jobs
+
+let set_jobs j =
+  if j < 1 then invalid_arg "Parallel.set_jobs: jobs must be >= 1";
+  Atomic.set current_jobs (min j 64)
+
+let jobs () = Atomic.get current_jobs
+
+(* Lightweight self-metrics.  hetarch_util sits below hetarch_obs in the
+   dependency order, so these are plain atomics that lib/obs mirrors into
+   gauges at report time. *)
+let tasks_total = Atomic.make 0
+let domains_spawned_total = Atomic.make 0
+let stats () = (Atomic.get tasks_total, Atomic.get domains_spawned_total)
+
+(* Run every thunk, returning results in task order.  Tasks are claimed from
+   a shared atomic cursor, so domains stay busy under uneven task costs; the
+   result array is indexed by task id, which makes the output independent of
+   the claiming order.  The first exception wins and is re-raised in the
+   caller after every domain joins. *)
+let run ?jobs:requested tasks =
+  let n = Array.length tasks in
+  ignore (Atomic.fetch_and_add tasks_total n);
+  let j = max 1 (min (match requested with Some j -> j | None -> jobs ()) n) in
+  if n = 0 then [||]
+  else if j = 1 then Array.map (fun f -> f ()) tasks
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get error <> None then continue := false
+        else
+          match tasks.(i) () with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set error None (Some e))
+      done
+    in
+    ignore (Atomic.fetch_and_add domains_spawned_total (j - 1));
+    let domains = Array.init (j - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?jobs f xs = run ?jobs (Array.map (fun x () -> f x) xs)
+
+let map_list ?jobs f xs =
+  Array.to_list (map ?jobs f (Array.of_list xs))
+
+(* Fixed-order stream splitting: chunk [i] always receives the [i]-th split
+   of the master generator, regardless of execution schedule. *)
+let split_rngs rng n =
+  let out = Array.make (max n 0) rng in
+  for i = 0 to n - 1 do
+    out.(i) <- Rng.split rng
+  done;
+  out
+
+let default_chunk = 256
+
+(* Deterministic Monte-Carlo fan-out: [f chunk_rng chunk_shots] produces a
+   partial result; partials merge left-to-right in chunk order.  [chunk] is
+   part of the determinism contract — changing it changes the RNG streams —
+   so callers that need seed-stable output must pin it. *)
+let monte_carlo ?jobs ?(chunk = default_chunk) ~rng ~shots ~init ~merge f =
+  if chunk < 1 then invalid_arg "Parallel.monte_carlo: chunk must be >= 1";
+  if shots < 0 then invalid_arg "Parallel.monte_carlo: shots must be >= 0";
+  if shots = 0 then init
+  else begin
+    let nchunks = (shots + chunk - 1) / chunk in
+    let rngs = split_rngs rng nchunks in
+    let tasks =
+      Array.init nchunks (fun i ->
+          let size = if i = nchunks - 1 then shots - ((nchunks - 1) * chunk) else chunk in
+          fun () -> f rngs.(i) size)
+    in
+    Array.fold_left merge init (run ?jobs tasks)
+  end
+
+let monte_carlo_count ?jobs ?chunk ~rng ~shots f =
+  monte_carlo ?jobs ?chunk ~rng ~shots ~init:0 ~merge:( + ) f

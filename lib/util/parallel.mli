@@ -1,0 +1,56 @@
+(** Deterministic multicore executor (Domain pool).
+
+    Fans tasks and chunked Monte-Carlo shot batches across OCaml 5 domains.
+    Determinism contract: the work decomposition — chunk layout, the
+    per-chunk [Rng.split] streams, and the merge order — depends only on the
+    problem size and the master RNG, never on the job count.  A given seed
+    therefore produces bit-identical results at any [jobs] setting; jobs
+    only decide which domain executes each task.
+
+    Tasks must not share mutable state (beyond domain-safe sinks such as
+    [Obs] metrics); decoders and other read-only structures may be shared. *)
+
+val jobs : unit -> int
+(** Current global job count.  Initialised from [HETARCH_JOBS] (clamped to
+    [1, 64]; malformed values fall back to 1), default 1. *)
+
+val set_jobs : int -> unit
+(** Override the global job count (e.g. from a [--jobs] CLI flag). *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** Execute every thunk, result [i] from task [i] regardless of which domain
+    ran it.  [jobs = 1] (the default with no override) runs inline with no
+    domain spawns.  The first task exception is re-raised after all domains
+    join. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val split_rngs : Rng.t -> int -> Rng.t array
+(** [split_rngs rng n] takes [n] sequential splits in fixed order. *)
+
+val default_chunk : int
+(** Shots per Monte-Carlo chunk (256): one chunk = one RNG split = one unit
+    of scheduling. *)
+
+val monte_carlo :
+  ?jobs:int ->
+  ?chunk:int ->
+  rng:Rng.t ->
+  shots:int ->
+  init:'a ->
+  merge:('a -> 'a -> 'a) ->
+  (Rng.t -> int -> 'a) ->
+  'a
+(** [monte_carlo ~rng ~shots ~init ~merge f] splits [shots] into fixed-size
+    chunks, runs [f chunk_rng chunk_shots] per chunk (possibly across
+    domains), and folds the partial results with [merge] in chunk order.
+    [chunk] participates in the determinism contract: changing it changes
+    the per-chunk RNG streams. *)
+
+val monte_carlo_count :
+  ?jobs:int -> ?chunk:int -> rng:Rng.t -> shots:int -> (Rng.t -> int -> int) -> int
+(** [monte_carlo] specialised to summed integer counts. *)
+
+val stats : unit -> int * int
+(** [(tasks_run, domains_spawned)] process totals, for observability. *)

@@ -290,6 +290,111 @@ let test_bitvec_bounds () =
   Alcotest.check_raises "oob get" (Invalid_argument "Bitvec: index out of bounds")
     (fun () -> ignore (Bitvec.get b 10))
 
+let test_bitvec_word_kernels () =
+  let n = 130 in
+  let a = Bitvec.create n and b = Bitvec.create n and dst = Bitvec.create n in
+  List.iter (fun i -> Bitvec.set a i true) [ 0; 62; 63; 100 ];
+  List.iter (fun i -> Bitvec.set b i true) [ 0; 63; 101; 129 ];
+  Bitvec.xor_words ~dst a b;
+  List.iter
+    (fun (i, want) ->
+      Alcotest.(check bool) (Printf.sprintf "xor_words bit %d" i) want (Bitvec.get dst i))
+    [ (0, false); (62, true); (63, false); (100, true); (101, true); (129, true) ];
+  Bitvec.or_into ~dst a;
+  Alcotest.(check bool) "or_into bit 0" true (Bitvec.get dst 0);
+  Bitvec.andnot_into ~dst b;
+  Alcotest.(check bool) "andnot clears 129" false (Bitvec.get dst 129);
+  Alcotest.(check bool) "andnot keeps 62" true (Bitvec.get dst 62);
+  Bitvec.and_into ~dst a;
+  Bitvec.andnot_into ~dst a;
+  Alcotest.(check bool) "x land (lnot x) = 0" true (Bitvec.is_zero dst)
+
+let test_bitvec_set_all () =
+  (* 70 bits spans a partial top word; popcount must stay exact. *)
+  let b = Bitvec.create 70 in
+  Bitvec.set_all b;
+  Alcotest.(check int) "popcount = n" 70 (Bitvec.popcount b);
+  Alcotest.(check bool) "last bit" true (Bitvec.get b 69)
+
+let test_bitvec_random_into_stats () =
+  let rng = Rng.create 99 in
+  let n = 20_000 in
+  let b = Bitvec.create n in
+  List.iter
+    (fun p ->
+      Bitvec.random_into rng b ~p;
+      let density = float_of_int (Bitvec.popcount b) /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "density ~ %g (got %g)" p density)
+        true
+        (Float.abs (density -. p) < 0.02))
+    [ 0.; 0.01; 0.1; 0.5; 0.9; 0.99; 1. ]
+
+let test_bitvec_random_into_invariant () =
+  (* Whole-word fills must not leak bits past n: popcount of the complement
+     path and equality semantics rely on zeroed padding. *)
+  let rng = Rng.create 4 in
+  let b = Bitvec.create 65 in
+  for _ = 1 to 50 do
+    Bitvec.random_into rng b ~p:0.5;
+    Alcotest.(check bool) "popcount <= n" true (Bitvec.popcount b <= 65);
+    Bitvec.random_into rng b ~p:0.97;
+    Alcotest.(check bool) "dense popcount <= n" true (Bitvec.popcount b <= 65)
+  done
+
+(* ------------------------------------------------------------- Parallel *)
+
+let test_parallel_run_order () =
+  let tasks = Array.init 37 (fun i () -> i * i) in
+  let expect = Array.init 37 (fun i -> i * i) in
+  Alcotest.(check (array int)) "jobs=1" expect (Parallel.run ~jobs:1 tasks);
+  Alcotest.(check (array int)) "jobs=4" expect (Parallel.run ~jobs:4 tasks)
+
+let test_parallel_exception () =
+  Alcotest.check_raises "task failure propagates" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.run ~jobs:3
+           (Array.init 8 (fun i () -> if i = 5 then failwith "boom" else i))))
+
+let test_parallel_monte_carlo_deterministic () =
+  (* The tentpole contract: same seed => identical result at any job count,
+     including a non-multiple-of-chunk shot total. *)
+  let f rng nshots =
+    let acc = ref 0 in
+    for _ = 1 to nshots do
+      if Rng.bernoulli rng 0.3 then incr acc
+    done;
+    !acc
+  in
+  let count jobs =
+    Parallel.monte_carlo_count ~jobs ~rng:(Rng.create 42) ~shots:1000 f
+  in
+  let c1 = count 1 in
+  Alcotest.(check int) "jobs=2 identical" c1 (count 2);
+  Alcotest.(check int) "jobs=4 identical" c1 (count 4);
+  Alcotest.(check bool) "plausible count" true (c1 > 200 && c1 < 400)
+
+let test_parallel_monte_carlo_covers_all_shots () =
+  let shots = 1000 in
+  let seen =
+    Parallel.monte_carlo ~jobs:3 ~rng:(Rng.create 1) ~shots ~init:0 ~merge:( + )
+      (fun _rng nshots -> nshots)
+  in
+  Alcotest.(check int) "chunk sizes sum to shots" shots seen
+
+let test_parallel_map_list () =
+  Alcotest.(check (list int)) "order preserved" [ 2; 4; 6; 8 ]
+    (Parallel.map_list ~jobs:2 (fun x -> 2 * x) [ 1; 2; 3; 4 ])
+
+let test_parallel_set_jobs () =
+  let saved = Parallel.jobs () in
+  Parallel.set_jobs 3;
+  Alcotest.(check int) "set_jobs visible" 3 (Parallel.jobs ());
+  Parallel.set_jobs saved;
+  Alcotest.check_raises "jobs < 1 rejected"
+    (Invalid_argument "Parallel.set_jobs: jobs must be >= 1") (fun () ->
+      Parallel.set_jobs 0)
+
 (* -------------------------------------------------------------- Tableio *)
 
 let test_table_render () =
@@ -431,7 +536,21 @@ let () =
           Alcotest.test_case "and popcount" `Quick test_bitvec_and_popcount;
           Alcotest.test_case "iter_set" `Quick test_bitvec_iter_set;
           Alcotest.test_case "flip/clear" `Quick test_bitvec_flip_clear;
-          Alcotest.test_case "bounds" `Quick test_bitvec_bounds ] );
+          Alcotest.test_case "bounds" `Quick test_bitvec_bounds;
+          Alcotest.test_case "word kernels" `Quick test_bitvec_word_kernels;
+          Alcotest.test_case "set_all" `Quick test_bitvec_set_all;
+          Alcotest.test_case "random_into stats" `Quick test_bitvec_random_into_stats;
+          Alcotest.test_case "random_into invariant" `Quick
+            test_bitvec_random_into_invariant ] );
+      ( "parallel",
+        [ Alcotest.test_case "run order" `Quick test_parallel_run_order;
+          Alcotest.test_case "exception" `Quick test_parallel_exception;
+          Alcotest.test_case "monte carlo deterministic" `Quick
+            test_parallel_monte_carlo_deterministic;
+          Alcotest.test_case "covers all shots" `Quick
+            test_parallel_monte_carlo_covers_all_shots;
+          Alcotest.test_case "map_list" `Quick test_parallel_map_list;
+          Alcotest.test_case "set_jobs" `Quick test_parallel_set_jobs ] );
       ( "tableio",
         [ Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "short rows" `Quick test_table_pads_short_rows;

@@ -15,8 +15,13 @@ let () =
     try Obs.Json.parse contents with Failure e -> fail "malformed JSON: %s" e
   in
   (match Obs.Json.member "schema" doc with
-  | Some (Obs.Json.String "hetarch.bench/1") -> ()
+  | Some (Obs.Json.String "hetarch.bench/2") -> ()
+  | Some (Obs.Json.String s) -> fail "unexpected schema %s (want hetarch.bench/2)" s
   | _ -> fail "missing or unexpected schema field");
+  (match Obs.Json.member "jobs" doc with
+  | Some (Obs.Json.Int j) when j >= 1 -> ()
+  | Some _ -> fail "jobs must be a positive integer"
+  | None -> fail "missing jobs field");
   let seed =
     match Obs.Json.member "seed" doc with
     | Some (Obs.Json.Int s) -> s
@@ -45,5 +50,36 @@ let () =
       | Some (Obs.Json.Int s) when s = seed -> ()
       | _ -> fail "%s: missing or mismatched seed" name)
     kernels;
+  (* Scalar-vs-batch pairs: both sides must name recorded kernels. *)
+  let kernel_names =
+    List.filter_map
+      (fun k ->
+        match Obs.Json.member "name" k with
+        | Some (Obs.Json.String n) -> Some n
+        | _ -> None)
+      kernels
+  in
+  let npairs =
+    match Obs.Json.member "pairs" doc with
+    | Some (Obs.Json.List ps) ->
+        List.iter
+          (fun p ->
+            let str field =
+              match Obs.Json.member field p with
+              | Some (Obs.Json.String s) when s <> "" -> s
+              | _ -> fail "pair entry missing %s" field
+            in
+            let name = str "name" in
+            List.iter
+              (fun side ->
+                let k = str side in
+                if not (List.mem k kernel_names) then
+                  fail "pair %s: %s kernel %s not in kernels" name side k)
+              [ "scalar"; "batch" ])
+          ps;
+        List.length ps
+    | _ -> fail "missing pairs array"
+  in
   if Obs.Json.member "metrics" doc = None then fail "missing metrics snapshot";
-  Printf.printf "%s OK: %d kernels, seed %d\n" path (List.length kernels) seed
+  Printf.printf "%s OK: %d kernels, %d pairs, seed %d\n" path (List.length kernels)
+    npairs seed
