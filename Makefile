@@ -5,7 +5,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench ci jobs-smoke clean
+.PHONY: all build test bench ci jobs-smoke collect-smoke clean
 
 all: build
 
@@ -30,7 +30,21 @@ jobs-smoke: build
 	  echo "jobs-smoke: $$sub deterministic across --jobs 1/2"; \
 	done
 
-ci: build test jobs-smoke
+# The campaign resume contract, end to end: a tiny threshold campaign run
+# to completion must produce a byte-identical merged CSV to the same
+# campaign halted mid-run (--halt-after, the deterministic stand-in for a
+# kill) and finished under --resume against its ledger.
+COLLECT_FLAGS = threshold --seed 7 --max-shots 2048 --rel-ci 0.3 --min-shots 256 --batch 256
+collect-smoke: build
+	@rm -f /tmp/hetarch_collect.jsonl
+	$(DUNE) exec bin/main.exe -- collect $(COLLECT_FLAGS) --csv /tmp/hetarch_ref.csv > /dev/null
+	$(DUNE) exec bin/main.exe -- collect $(COLLECT_FLAGS) --ledger /tmp/hetarch_collect.jsonl --halt-after 3 > /dev/null
+	$(DUNE) exec bin/main.exe -- collect $(COLLECT_FLAGS) --ledger /tmp/hetarch_collect.jsonl --resume --csv /tmp/hetarch_resumed.csv > /dev/null
+	@diff -u /tmp/hetarch_ref.csv /tmp/hetarch_resumed.csv \
+	  || { echo "collect-smoke: resumed CSV differs from uninterrupted run"; exit 1; }
+	@echo "collect-smoke: killed+resumed campaign CSV byte-identical to uninterrupted run"
+
+ci: build test jobs-smoke collect-smoke
 	$(DUNE) exec bench/main.exe -- --quick
 	$(DUNE) exec tools/check_bench.exe -- BENCH_hetarch.json
 

@@ -83,6 +83,18 @@ let kernel_repeater () =
   Repeater.run (Repeater.default ~n_links:4 ~link_rate_hz:1e6 ()) (Rng.create seed)
     ~horizon:200e-6
 
+(* Ledger-append throughput: one batch record through the JSONL writer
+   (format + write + flush), the per-batch bookkeeping cost a collect
+   campaign pays on top of sampling. *)
+let ledger_path = Filename.concat (Filename.get_temp_dir_name ()) "hetarch_bench_ledger.jsonl"
+
+let ledger_writer = lazy (Collect.Ledger.open_writer ledger_path)
+
+let kernel_ledger_append () =
+  Collect.Ledger.append (Lazy.force ledger_writer)
+    { Collect.Ledger.task_id = "0123456789abcdef"; shots = 1024; errors = 17;
+      seconds = 0.25; jobs = 1; seed }
+
 let kernel_burden () =
   List.map Burden.reduction
     [ Burden.distillation_module (); Burden.uec_module (); Burden.ct_module () ]
@@ -102,6 +114,7 @@ let tests =
       Test.make ~name:"fig12-ct-point" (Staged.stage kernel_fig12);
       Test.make ~name:"table4-ct-pair" (Staged.stage kernel_table4);
       Test.make ~name:"ext-repeater-chain" (Staged.stage kernel_repeater);
+      Test.make ~name:"collect-ledger-append" (Staged.stage kernel_ledger_append);
       Test.make ~name:"dse-burden" (Staged.stage kernel_burden) ]
 
 let run_benchmarks () =
@@ -244,6 +257,10 @@ let () =
       | _ -> ())
     kernel_pairs;
   if not quick then headline ();
+  if Lazy.is_val ledger_writer then begin
+    Collect.Ledger.close (Lazy.force ledger_writer);
+    try Sys.remove ledger_path with Sys_error _ -> ()
+  end;
   write_bench_json kernels;
   Printf.printf "\nwrote BENCH_hetarch.json (%d kernels, seed %d, jobs %d)\n"
     (List.length kernels) seed (Parallel.jobs ())

@@ -248,3 +248,44 @@ let run ?trace_dt cfg rng ~horizon =
 
 let delivered_rate_per_ms (r : result) =
   float_of_int r.delivered /. (r.horizon *. 1e3)
+
+(* Monte-Carlo delivery failures: a shot is one full DES run of [horizon]
+   seconds, failing when it delivers fewer than [min_delivered] pairs at
+   target fidelity.  Each shot gets its own split RNG stream so the count is
+   deterministic at any [jobs] setting (the trace is suppressed — a huge
+   trace_dt keeps the observer from firing more than once per run). *)
+let failure_count ?jobs cfg ~horizon ~min_delivered ~shots rng =
+  if min_delivered < 1 then
+    invalid_arg "Distill_module.failure_count: min_delivered must be >= 1";
+  Parallel.monte_carlo_count ?jobs ~rng ~shots (fun chunk_rng chunk ->
+      let failures = ref 0 in
+      for _ = 1 to chunk do
+        let r = run_impl ~trace_dt:(2. *. horizon) cfg (Rng.split chunk_rng) ~horizon in
+        if r.delivered < min_delivered then incr failures
+      done;
+      !failures)
+
+let collect_task cfg ~horizon ~min_delivered =
+  if horizon <= 0. then
+    invalid_arg "Distill_module.collect_task: horizon must be positive";
+  if min_delivered < 1 then
+    invalid_arg "Distill_module.collect_task: min_delivered must be >= 1";
+  Collect.Task.create ~kind:"distill.delivery"
+    ~fields:
+      [ ("ts", Printf.sprintf "%.17g" cfg.ts);
+        ("tc", Printf.sprintf "%.17g" cfg.tc);
+        ("input_capacity", string_of_int cfg.input_capacity);
+        ("output_capacity", string_of_int cfg.output_capacity);
+        ("swap_time", Printf.sprintf "%.17g" cfg.swap_time);
+        ("swap_error", Printf.sprintf "%.17g" cfg.swap_error);
+        ("gate_time_2q", Printf.sprintf "%.17g" cfg.gate_time_2q);
+        ("gate_error_2q", Printf.sprintf "%.17g" cfg.gate_error_2q);
+        ("gate_time_1q", Printf.sprintf "%.17g" cfg.gate_time_1q);
+        ("readout_time", Printf.sprintf "%.17g" cfg.readout_time);
+        ("target_fidelity", Printf.sprintf "%.17g" cfg.target_fidelity);
+        ("source_rate_hz", Printf.sprintf "%.17g" cfg.source.Ep_source.rate_hz);
+        ("source_infid_lo", Printf.sprintf "%.17g" cfg.source.Ep_source.infidelity_lo);
+        ("source_infid_hi", Printf.sprintf "%.17g" cfg.source.Ep_source.infidelity_hi);
+        ("horizon", Printf.sprintf "%.17g" horizon);
+        ("min_delivered", string_of_int min_delivered) ]
+    ~sample:(fun rng shots -> failure_count cfg ~horizon ~min_delivered ~shots rng)

@@ -56,3 +56,16 @@ val run : ?trace_dt:float -> config -> Rng.t -> horizon:float -> result
 
 val delivered_rate_per_ms : result -> float
 (** Fig-4 y-axis: distilled pairs at target fidelity per millisecond. *)
+
+val failure_count :
+  ?jobs:int -> config -> horizon:float -> min_delivered:int -> shots:int ->
+  Rng.t -> int
+(** Monte-Carlo delivery-failure count: each shot simulates the module for
+    [horizon] seconds and fails when fewer than [min_delivered] pairs reach
+    output memory at target fidelity.  Shots run through {!Parallel} with a
+    split RNG stream per shot: seed-deterministic at any [jobs] setting. *)
+
+val collect_task : config -> horizon:float -> min_delivered:int -> Collect.Task.t
+(** The delivery experiment as a {!Collect} campaign task (kind
+    ["distill.delivery"]), identified by the full module configuration (incl.
+    the EP source), [horizon], and [min_delivered]. *)

@@ -112,24 +112,63 @@ module Json = struct
             | 'b' -> Buffer.add_char b '\b'
             | 'f' -> Buffer.add_char b '\012'
             | 'u' ->
-                if !pos + 4 >= n then fail "bad \\u escape";
-                let hex = String.sub s (!pos + 1) 4 in
-                let code =
-                  try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                (* Four hex digits, validated strictly (int_of_string would
+                   also accept underscores and sign characters).  [!pos] is
+                   left on the last consumed digit for the caller's [incr]. *)
+                let read_hex4 () =
+                  if !pos + 4 >= n then fail "bad \\u escape";
+                  let v = ref 0 in
+                  for k = 1 to 4 do
+                    let d =
+                      match s.[!pos + k] with
+                      | '0' .. '9' as c -> Char.code c - Char.code '0'
+                      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                      | _ -> fail "bad \\u escape"
+                    in
+                    v := (!v lsl 4) lor d
+                  done;
+                  pos := !pos + 4;
+                  !v
                 in
-                (* Only BMP codepoints we emit (control chars) need decoding;
-                   encode as UTF-8. *)
+                let code = read_hex4 () in
+                (* A high surrogate followed by \uDC00-\uDFFF is one astral
+                   code point (JSON's UTF-16 escape convention); a lone
+                   surrogate passes through as-is, mirroring the emitter. *)
+                let code =
+                  if code >= 0xD800 && code <= 0xDBFF
+                     && !pos + 2 < n
+                     && s.[!pos + 1] = '\\'
+                     && s.[!pos + 2] = 'u'
+                  then begin
+                    let save = !pos in
+                    pos := !pos + 2;
+                    let low = read_hex4 () in
+                    if low >= 0xDC00 && low <= 0xDFFF then
+                      0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                    else begin
+                      pos := save;
+                      code
+                    end
+                  end
+                  else code
+                in
                 if code < 0x80 then Buffer.add_char b (Char.chr code)
                 else if code < 0x800 then begin
                   Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
                   Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
                 end
-                else begin
+                else if code < 0x10000 then begin
                   Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
                   Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
                   Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-                end;
-                pos := !pos + 4
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
             | _ -> fail "bad escape");
             incr pos;
             go ()
@@ -342,6 +381,35 @@ module Histogram = struct
           t.counts.(!lo) <- t.counts.(!lo) + 1
         end)
 
+  (* Bucket-interpolated quantile: walk the cumulative counts to the bucket
+     holding rank q*count, then interpolate linearly inside it.  Bucket
+     edges are clamped to the observed min/max, so estimates never leave
+     the sampled range; the overflow bucket spans (last bound, max]. *)
+  let quantile t q =
+    if not (q >= 0. && q <= 1.) then invalid_arg "Obs.Histogram.quantile";
+    Mutex.protect t.lock (fun () ->
+        let total = Stats.running_count t.welford in
+        if total = 0 then Float.nan
+        else begin
+          let target = q *. float_of_int total in
+          let nb = Array.length t.bounds in
+          let rec find i cum =
+            if i > nb then t.hi
+            else begin
+              let c = if i = nb then t.over else t.counts.(i) in
+              let cum' = cum +. float_of_int c in
+              if c > 0 && cum' >= target then begin
+                let lo_edge = if i = 0 then t.lo else Float.max t.lo t.bounds.(i - 1) in
+                let hi_edge = if i = nb then t.hi else Float.min t.hi t.bounds.(i) in
+                let frac = Float.max 0. ((target -. cum) /. float_of_int c) in
+                lo_edge +. (frac *. (hi_edge -. lo_edge))
+              end
+              else find (i + 1) cum'
+            end
+          in
+          Float.min t.hi (Float.max t.lo (find 0 0.))
+        end)
+
   let count t = Stats.running_count t.welford
   let mean t = Stats.running_mean t.welford
   let variance t = Stats.running_variance t.welford
@@ -476,6 +544,23 @@ module Report = struct
     Gauge.set g_parallel_tasks (float_of_int tasks);
     Gauge.set g_parallel_domains (float_of_int domains)
 
+  (* Free per-run process telemetry: GC counters (Gc.quick_stat reads
+     mutator-maintained fields only — no heap traversal), peak heap, and
+     wall-clock seconds since the module was initialised. *)
+  let process_json () =
+    let st = Gc.quick_stat () in
+    Json.Obj
+      [ ("wall_seconds",
+         Json.Float (Int64.to_float (Int64.sub (now_ns ()) Trace.t0) /. 1e9));
+        ("minor_collections", Json.Int st.Gc.minor_collections);
+        ("major_collections", Json.Int st.Gc.major_collections);
+        ("compactions", Json.Int st.Gc.compactions);
+        ("minor_words", Json.Float st.Gc.minor_words);
+        ("promoted_words", Json.Float st.Gc.promoted_words);
+        ("major_words", Json.Float st.Gc.major_words);
+        ("heap_words", Json.Int st.Gc.heap_words);
+        ("top_heap_words", Json.Int st.Gc.top_heap_words) ]
+
   let to_json () =
     snapshot_parallel ();
     let counters =
@@ -498,20 +583,43 @@ module Report = struct
               ("variance", Json.Float (Histogram.variance h));
               ("min", Json.Float (Histogram.min_value h));
               ("max", Json.Float (Histogram.max_value h));
+              ("p50", Json.Float (Histogram.quantile h 0.5));
+              ("p90", Json.Float (Histogram.quantile h 0.9));
+              ("p99", Json.Float (Histogram.quantile h 0.99));
               ("overflow", Json.Int (Histogram.overflow h));
               ("buckets", Json.List buckets) ])
     in
+    (* Span duration quantiles come from the retained ring (the per-name
+       totals keep no distribution), so they describe the most recent
+       [capacity] spans when the ring has evicted. *)
+    let ring_durs : (string, float list) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun (s : Trace.span) ->
+        let durs = Option.value ~default:[] (Hashtbl.find_opt ring_durs s.Trace.name) in
+        Hashtbl.replace ring_durs s.Trace.name (Int64.to_float s.Trace.dur_ns :: durs))
+      (Trace.spans ());
     let spans =
       List.map
         (fun (name, count, total_ns) ->
+          let quantiles =
+            match Hashtbl.find_opt ring_durs name with
+            | None | Some [] -> []
+            | Some durs ->
+                let xs = Array.of_list durs in
+                [ ("p50_ns", Json.Float (Stats.percentile xs 50.));
+                  ("p90_ns", Json.Float (Stats.percentile xs 90.));
+                  ("p99_ns", Json.Float (Stats.percentile xs 99.)) ]
+          in
           ( name,
             Json.Obj
-              [ ("count", Json.Int count);
-                ("total_ns", Json.Int (Int64.to_int total_ns)) ] ))
+              ([ ("count", Json.Int count);
+                 ("total_ns", Json.Int (Int64.to_int total_ns)) ]
+              @ quantiles) ))
         (Trace.summaries ())
     in
     Json.Obj
-      [ ("schema", Json.String "hetarch.obs/1");
+      [ ("schema", Json.String "hetarch.obs/2");
+        ("process", process_json ());
         ("counters", Json.Obj counters);
         ("gauges", Json.Obj gauges);
         ("histograms", Json.Obj histograms);

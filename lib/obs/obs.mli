@@ -95,6 +95,13 @@ module Histogram : sig
   val count : t -> int
   val mean : t -> float
   val variance : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [0, 1]: bucket-interpolated estimate (linear
+      within the bucket holding rank [q * count], edges clamped to the
+      observed min/max).  [nan] when empty; raises [Invalid_argument] on
+      [q] outside [0, 1]. *)
+
   val min_value : t -> float
   (** [infinity] when empty. *)
 
@@ -141,7 +148,13 @@ module Trace : sig
       "args":{…}}]. *)
 end
 
-(** One-document run manifest: the registry plus span summaries. *)
+(** One-document run manifest: the registry plus span summaries.
+
+    Schema [hetarch.obs/2]: adds a [process] section (GC collection and
+    allocation counters from [Gc.quick_stat], peak heap words, wall-clock
+    run seconds), p50/p90/p99 quantile estimates on every histogram, and
+    [p50_ns]/[p90_ns]/[p99_ns] per span name computed over the retained
+    trace ring (absent when the ring holds no spans of that name). *)
 module Report : sig
   val to_json : unit -> Json.t
   (** Keys sorted within each section for deterministic output. *)

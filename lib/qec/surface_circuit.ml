@@ -183,19 +183,40 @@ let build_varied ~sigma rng p =
 
 let shots_total = Obs.Counter.create "qec.shots_total"
 
-let logical_error_rate exp rng ~shots =
+let logical_error_count exp rng ~shots =
   Obs.Counter.add shots_total shots;
   Obs.Trace.with_span "qec.logical_error_rate"
     ~attrs:
       [ ("distance", string_of_int exp.params.distance);
         ("shots", string_of_int shots) ]
     (fun () ->
-      Frame.logical_error_rate ~backend:"uf" exp.circuit rng ~shots
+      Frame.logical_error_count ~backend:"uf" exp.circuit rng ~shots
         ~decode:(fun dets ->
           let flip = Decoder_uf.decode exp.graph dets in
           let out = Bitvec.create 1 in
           Bitvec.set out 0 flip;
           out))
+
+let logical_error_rate exp rng ~shots =
+  float_of_int (logical_error_count exp rng ~shots) /. float_of_int shots
+
+(* Campaign integration: identity covers the full noise/coherence model, so
+   a DSE grid over (distance, Tcd, Tca, p2) resumes point-by-point from the
+   ledger.  Circuit and matching graph are built on the first batch. *)
+let collect_task p =
+  let exp = lazy (build p) in
+  Collect.Task.create ~kind:"qec.surface"
+    ~fields:
+      [ ("distance", string_of_int p.distance);
+        ("rounds", string_of_int p.rounds);
+        ("decoder", "uf");
+        ("t_data", Printf.sprintf "%.17g" p.t_data);
+        ("t_anc", Printf.sprintf "%.17g" p.t_anc);
+        ("p2", Printf.sprintf "%.17g" p.p2);
+        ("t_1q", Printf.sprintf "%.17g" p.t_1q);
+        ("t_2q", Printf.sprintf "%.17g" p.t_2q);
+        ("t_meas", Printf.sprintf "%.17g" p.t_meas) ]
+    ~sample:(fun rng shots -> logical_error_count (Lazy.force exp) rng ~shots)
 
 let per_cycle_rate ~shot_rate ~rounds =
   if shot_rate >= 1. then 1.

@@ -41,8 +41,18 @@ val build_varied : sigma:float -> Rng.t -> params -> experiment
     (§5: device variability as p-cells).  The decoding graph is rebuilt from
     the varied circuit's DEM, so the decoder knows the per-qubit rates. *)
 
+val logical_error_count : experiment -> Rng.t -> shots:int -> int
+(** Monte-Carlo logical error count over [shots] experiments (union-find
+    decoding on the bit-parallel frame sampler). *)
+
 val logical_error_rate : experiment -> Rng.t -> shots:int -> float
 (** Monte-Carlo logical error rate per shot (per [rounds] cycles). *)
+
+val collect_task : params -> Collect.Task.t
+(** The memory experiment as a {!Collect} campaign task (kind
+    ["qec.surface"]), identified by distance, rounds, decoder, and the full
+    timing/noise parameter set.  Circuit and matching graph are built
+    lazily on the first sampled batch. *)
 
 val per_cycle_rate : shot_rate:float -> rounds:int -> float
 (** Convert a per-shot logical error probability into the per-cycle rate the

@@ -1,15 +1,14 @@
 let bisection_iters_total = Obs.Counter.create "qec.threshold_bisection_iters_total"
 let threshold_shots_total = Obs.Counter.create "qec.threshold_shots_total"
 
-let logical_rate ?jobs (code : Code.t) decoder ~p ~shots rng =
-  if p < 0. || p > 1. then invalid_arg "Threshold.logical_rate: bad p";
+let logical_errors ?jobs (code : Code.t) decoder ~p ~shots rng =
+  if p < 0. || p > 1. then invalid_arg "Threshold.logical_errors: bad p";
   Obs.Counter.add threshold_shots_total shots;
   let n = code.Code.n in
   (* Errors live in int bitmasks and go through the decoder's mask-based
      fast path: the shot loop allocates nothing.  Chunked through Parallel,
      so the estimate is seed-deterministic at any job count. *)
-  let errors =
-    Parallel.monte_carlo_count ?jobs ~rng ~shots (fun rng nshots ->
+  Parallel.monte_carlo_count ?jobs ~rng ~shots (fun rng nshots ->
         let errors = ref 0 in
         for _ = 1 to nshots do
           let xerr = ref 0 and zerr = ref 0 in
@@ -29,8 +28,28 @@ let logical_rate ?jobs (code : Code.t) decoder ~p ~shots rng =
           if x_fail || z_fail then incr errors
         done;
         !errors)
-  in
-  float_of_int errors /. float_of_int shots
+
+let logical_rate ?jobs code decoder ~p ~shots rng =
+  float_of_int (logical_errors ?jobs code decoder ~p ~shots rng)
+  /. float_of_int shots
+
+(* Campaign integration: the same sampler as a Collect task, identified by
+   code, decoder, and noise model rather than sweep position.  The lookup
+   decoder is built on first batch, not at task-definition time — a resumed
+   campaign whose task is already converged never pays for it. *)
+let collect_task (code : Code.t) ~p =
+  if p < 0. || p > 1. then invalid_arg "Threshold.collect_task: bad p";
+  let decoder = lazy (Decoder_lookup.create code) in
+  Collect.Task.create ~kind:"qec.threshold"
+    ~fields:
+      [ ("code", code.Code.name);
+        ("n", string_of_int code.Code.n);
+        ("distance", string_of_int code.Code.distance);
+        ("decoder", "lookup");
+        ("noise", "code_capacity_depolarizing");
+        ("p", Printf.sprintf "%.17g" p) ]
+    ~sample:(fun rng shots ->
+      logical_errors code (Lazy.force decoder) ~p ~shots rng)
 
 let pseudothreshold ?(lo = 1e-4) ?(hi = 0.45) ?(iters = 12) ?(shots = 20_000)
     (code : Code.t) rng =

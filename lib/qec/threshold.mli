@@ -5,14 +5,24 @@
     estimate the crossing point of L(p) = p under code-capacity depolarizing
     noise with the code's own lookup decoder. *)
 
+val logical_errors :
+  ?jobs:int -> Code.t -> Decoder_lookup.t -> p:float -> shots:int -> Rng.t -> int
+(** Monte-Carlo logical error {e count} under iid single-qubit depolarizing
+    noise of strength [p] (each qubit suffers X, Y or Z with probability p/3
+    each), with perfect syndrome extraction and lookup decoding.  A shot errs
+    when either the X- or Z-type residual flips the logical qubit.  The shot
+    loop is allocation-free (mask-based decoding) and chunked through
+    {!Parallel}: seed-deterministic at any [jobs] setting. *)
+
 val logical_rate :
   ?jobs:int -> Code.t -> Decoder_lookup.t -> p:float -> shots:int -> Rng.t -> float
-(** Monte-Carlo logical error rate under iid single-qubit depolarizing noise
-    of strength [p] (each qubit suffers X, Y or Z with probability p/3 each),
-    with perfect syndrome extraction and lookup decoding.  A shot errs when
-    either the X- or Z-type residual flips the logical qubit.  The shot loop
-    is allocation-free (mask-based decoding) and chunked through {!Parallel}:
-    seed-deterministic at any [jobs] setting. *)
+(** [logical_errors] divided by [shots]. *)
+
+val collect_task : Code.t -> p:float -> Collect.Task.t
+(** The same estimator packaged as a {!Collect} campaign task (kind
+    ["qec.threshold"]), identified by code name, [n], distance, decoder, and
+    noise model — resumable and adaptively stoppable.  The lookup decoder is
+    built lazily on the first sampled batch. *)
 
 val pseudothreshold :
   ?lo:float -> ?hi:float -> ?iters:int -> ?shots:int -> Code.t -> Rng.t -> float

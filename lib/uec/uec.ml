@@ -243,7 +243,7 @@ let effective_channels ?(params = default_params) prof =
 
 let uec_shots_total = Obs.Counter.create "uec.shots_total"
 
-let logical_error_rate_impl ?jobs ?(params = default_params) prof ~rounds ~shots rng =
+let logical_failures_impl ?jobs ?(params = default_params) prof ~rounds ~shots rng =
   if rounds < 1 || shots < 1 then invalid_arg "Uec.logical_error_rate";
   let code = prof.code in
   let n = code.Code.n in
@@ -373,20 +373,58 @@ let logical_error_rate_impl ?jobs ?(params = default_params) prof ~rounds ~shots
   done;
   !failures
   in
-  let failures = Parallel.monte_carlo_count ?jobs ~rng ~shots run_chunk in
+  Parallel.monte_carlo_count ?jobs ~rng ~shots run_chunk
+
+let per_round_rate ~failures ~rounds ~shots =
   let per_shot = float_of_int failures /. float_of_int shots in
   (* Per-round (per-cycle) rate. *)
   if per_shot >= 1. then 1.
   else 1. -. ((1. -. per_shot) ** (1. /. float_of_int rounds))
 
-let logical_error_rate ?jobs ?params prof ~rounds ~shots rng =
+let logical_failures ?jobs ?params prof ~rounds ~shots rng =
   Obs.Counter.add uec_shots_total shots;
   Obs.Trace.with_span "uec.logical_error_rate"
     ~attrs:
       [ ("code", prof.code.Code.name);
         ("rounds", string_of_int rounds);
         ("shots", string_of_int shots) ]
-    (fun () -> logical_error_rate_impl ?jobs ?params prof ~rounds ~shots rng)
+    (fun () -> logical_failures_impl ?jobs ?params prof ~rounds ~shots rng)
+
+let logical_error_rate ?jobs ?params prof ~rounds ~shots rng =
+  let failures = logical_failures ?jobs ?params prof ~rounds ~shots rng in
+  per_round_rate ~failures ~rounds ~shots
+
+(* Campaign integration: a UEC experiment as a Collect task.  Identity spans
+   code, architecture, rounds, decoder, and the whole noise model, so het
+   and hom points — and different Ts — never collide in a ledger.  The
+   profile (including the brute-force register assignment) is built on the
+   first sampled batch.  Errors are per-shot failures; convert with
+   {!per_round_rate} when plotting. *)
+let collect_task ?(params = default_params) arch (code : Code.t) ~rounds =
+  if rounds < 1 then invalid_arg "Uec.collect_task: rounds must be >= 1";
+  let prof = lazy (profile ~params arch code) in
+  let arch_fields =
+    match arch with
+    | Het { ts } -> [ ("arch", "het"); ("ts", Printf.sprintf "%.17g" ts) ]
+    | Hom -> [ ("arch", "hom") ]
+  in
+  Collect.Task.create ~kind:"uec.logical"
+    ~fields:
+      (arch_fields
+      @ [ ("code", code.Code.name);
+          ("n", string_of_int code.Code.n);
+          ("distance", string_of_int code.Code.distance);
+          ("rounds", string_of_int rounds);
+          ("decoder", "lookup");
+          ("tc", Printf.sprintf "%.17g" params.tc);
+          ("p2", Printf.sprintf "%.17g" params.p2);
+          ("eta", Printf.sprintf "%.17g" params.eta);
+          ("t_2q", Printf.sprintf "%.17g" params.t_2q);
+          ("t_swap", Printf.sprintf "%.17g" params.t_swap);
+          ("t_readout", Printf.sprintf "%.17g" params.t_readout);
+          ("register_capacity", string_of_int params.register_capacity) ])
+    ~sample:(fun rng shots ->
+      logical_failures ~params (Lazy.force prof) ~rounds ~shots rng)
 
 (* Ablation helper: serialized round time when all data shares one register
    (no swap pipelining) versus the optimized two-register assignment. *)

@@ -53,15 +53,31 @@ val profile : ?params:params -> arch -> Code.t -> profile
     maximizing swap/gate pipelining (§4.2.2's brute-force search).  For
     [Hom], checks are placed on a lattice and routed with {!Router}. *)
 
+val logical_failures :
+  ?jobs:int -> ?params:params -> profile -> rounds:int -> shots:int -> Rng.t -> int
+(** Monte-Carlo logical failure {e count}: [shots] independent experiments of
+    [rounds] rounds each; every round injects the profile's idle and gate
+    noise, measures all stabilizers (with syndrome-bit flips), decodes X and
+    Z sides with the code's lookup decoder, and applies the correction; a
+    shot fails when any of its rounds leaves a residual that flips a logical
+    operator.  Shot chunks fan across domains via {!Parallel}:
+    seed-deterministic at any [jobs] setting. *)
+
+val per_round_rate : failures:int -> rounds:int -> shots:int -> float
+(** Convert a failure count over [shots] experiments of [rounds] rounds each
+    into the per-round rate the paper plots: 1 - (1 - f/shots)^(1/rounds). *)
+
 val logical_error_rate :
   ?jobs:int -> ?params:params -> profile -> rounds:int -> shots:int -> Rng.t -> float
-(** Monte-Carlo logical error rate per QEC round: [shots] independent
-    experiments of [rounds] rounds each; every round injects the profile's
-    idle and gate noise, measures all stabilizers (with syndrome-bit flips),
-    decodes X and Z sides with the code's lookup decoder, and applies the
-    correction; a round whose residual flips a logical operator counts as a
-    failure and resets the state.  Shot chunks fan across domains via
-    {!Parallel}: seed-deterministic at any [jobs] setting. *)
+(** [logical_failures] converted through {!per_round_rate}. *)
+
+val collect_task : ?params:params -> arch -> Code.t -> rounds:int -> Collect.Task.t
+(** The UEC experiment as a {!Collect} campaign task (kind ["uec.logical"]),
+    identified by code, architecture (including Ts for [Het]), rounds,
+    decoder, and the full noise parameter set.  The profile — including the
+    brute-force register assignment — is built lazily on the first sampled
+    batch.  Recorded errors are {e per-shot} failures; convert merged stats
+    with {!per_round_rate}. *)
 
 val round_time_with_registers : ?params:params -> Code.t -> registers:int -> float
 (** Ablation: serialized round duration with a single shared register (no

@@ -31,6 +31,14 @@ let wilson_interval ~successes ~trials ~z =
     (max 0. (center -. half), min 1. (center +. half))
   end
 
+let wilson_rel_halfwidth ~successes ~trials ~z =
+  if trials = 0 || successes = 0 then infinity
+  else begin
+    let lo, hi = wilson_interval ~successes ~trials ~z in
+    let p = float_of_int successes /. float_of_int trials in
+    (hi -. lo) /. (2. *. p)
+  end
+
 let binomial_stderr ~successes ~trials =
   if trials = 0 then 0.
   else begin

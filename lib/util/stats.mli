@@ -15,6 +15,12 @@ val wilson_interval : successes:int -> trials:int -> z:float -> float * float
 (** Wilson score confidence interval for a binomial proportion.  [z] is the
     normal quantile (1.96 for 95%). *)
 
+val wilson_rel_halfwidth : successes:int -> trials:int -> z:float -> float
+(** Half-width of the Wilson interval divided by the point estimate — the
+    relative precision of a Monte-Carlo proportion, used by adaptive
+    stopping rules.  [infinity] when [successes] or [trials] is zero, so a
+    rate with no observed events never counts as converged. *)
+
 val binomial_stderr : successes:int -> trials:int -> float
 (** Gaussian-approximation standard error of an estimated proportion. *)
 

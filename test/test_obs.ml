@@ -50,6 +50,36 @@ let test_histogram () =
   Alcotest.(check bool) "variance matches Stats.variance" true
     (feq ~eps:1e-6 (Obs.Histogram.variance h) (Stats.variance xs))
 
+let test_histogram_quantile () =
+  Obs.reset ();
+  let h = Obs.Histogram.create ~buckets:[| 10.; 20.; 30. |] "test.quant" in
+  Alcotest.(check bool) "empty -> nan" true
+    (Float.is_nan (Obs.Histogram.quantile h 0.5));
+  (* 100 samples uniform over (0, 30]: bucket counts 33/33/34. *)
+  for i = 1 to 100 do
+    Obs.Histogram.observe h (float_of_int i *. 0.3)
+  done;
+  (* Interpolated median must land in the middle bucket, near 15. *)
+  let p50 = Obs.Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "median in middle bucket" true (p50 > 10. && p50 <= 20.);
+  Alcotest.(check bool) "median near 15" true (Float.abs (p50 -. 15.) < 2.);
+  (* Extremes clamp to the observed range, not the bucket edges. *)
+  Alcotest.(check bool) "q=0 is min" true (feq (Obs.Histogram.quantile h 0.) 0.3);
+  Alcotest.(check bool) "q=1 is max" true (feq (Obs.Histogram.quantile h 1.) 30.);
+  Alcotest.(check bool) "monotone" true
+    (Obs.Histogram.quantile h 0.9 >= Obs.Histogram.quantile h 0.5);
+  Alcotest.(check bool) "rejects q out of range" true
+    (try
+       ignore (Obs.Histogram.quantile h 1.5);
+       false
+     with Invalid_argument _ -> true);
+  (* Overflow-bucket quantiles interpolate toward the observed max. *)
+  let o = Obs.Histogram.create ~buckets:[| 1. |] "test.quant_overflow" in
+  List.iter (Obs.Histogram.observe o) [ 5.; 6.; 7.; 8. ];
+  let q = Obs.Histogram.quantile o 0.5 in
+  Alcotest.(check bool) "overflow quantile within observed range" true
+    (q > 1. && q <= 8.)
+
 let test_histogram_rejects_bad_buckets () =
   Obs.reset ();
   Alcotest.(check bool) "non-increasing rejected" true
@@ -137,6 +167,86 @@ let test_json_roundtrip () =
        ignore (parse "1 2");
        false
      with Failure _ -> true)
+
+let test_json_unicode_escapes () =
+  let open Obs.Json in
+  (* BMP escape decodes to UTF-8. *)
+  Alcotest.(check bool) "\\u00e9 -> UTF-8" true
+    (parse "\"\\u00e9\"" = String "\xc3\xa9");
+  Alcotest.(check bool) "\\u2603 -> 3-byte UTF-8" true
+    (parse "\"\\u2603\"" = String "\xe2\x98\x83");
+  (* Surrogate pair combines to one 4-byte code point, not CESU-8. *)
+  Alcotest.(check bool) "surrogate pair -> 4-byte UTF-8" true
+    (parse "\"\\ud83d\\ude00\"" = String "\xf0\x9f\x98\x80");
+  (* Strict hex: int_of_string-isms like underscores must not sneak in. *)
+  Alcotest.(check bool) "underscore in hex rejected" true
+    (try
+       ignore (parse "\"\\u1_23\"");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "truncated escape rejected" true
+    (try
+       ignore (parse "\"\\u12\"");
+       false
+     with Failure _ -> true);
+  (* A lone high surrogate still parses (kept as its own code point). *)
+  Alcotest.(check bool) "lone surrogate tolerated" true
+    (match parse "\"\\ud83dx\"" with String s -> String.length s = 4 | _ -> false)
+
+(* Fuzz: to_string/parse must round-trip any byte string we can emit,
+   including control characters, quotes, backslashes, and high bytes. *)
+let test_json_string_fuzz_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json string round-trip"
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      let open Obs.Json in
+      parse (to_string (String s)) = String s
+      && parse (to_string (Obj [ (s, Int 1) ])) = Obj [ (s, Int 1) ])
+
+let test_report_process_section () =
+  Obs.reset ();
+  ignore (Sys.opaque_identity (Array.init 10_000 (fun i -> float_of_int i)));
+  let doc = Obs.Json.parse (Obs.Json.to_string (Obs.Report.to_json ())) in
+  Alcotest.(check bool) "schema v2" true
+    (Obs.Json.member "schema" doc = Some (Obs.Json.String "hetarch.obs/2"));
+  let proc = Option.get (Obs.Json.member "process" doc) in
+  let f name = Obs.Json.to_float (Option.get (Obs.Json.member name proc)) in
+  Alcotest.(check bool) "wall clock nonnegative" true (f "wall_seconds" >= 0.);
+  Alcotest.(check bool) "minor words counted" true (f "minor_words" > 0.);
+  Alcotest.(check bool) "heap words positive" true (f "heap_words" > 0.);
+  Alcotest.(check bool) "top heap >= heap" true
+    (f "top_heap_words" >= f "heap_words" || f "top_heap_words" = 0.);
+  Alcotest.(check bool) "collections nonnegative" true
+    (f "minor_collections" >= 0. && f "major_collections" >= 0.)
+
+let test_report_quantiles () =
+  Obs.reset ();
+  let h = Obs.Histogram.create ~buckets:[| 1.; 10. |] "rq.hist" in
+  List.iter (Obs.Histogram.observe h) [ 0.5; 2.; 3.; 4.; 20. ];
+  Obs.Trace.with_span "rq.span" (fun () -> ());
+  let doc = Obs.Json.parse (Obs.Json.to_string (Obs.Report.to_json ())) in
+  let hist =
+    Option.get
+      (Obs.Json.member "rq.hist" (Option.get (Obs.Json.member "histograms" doc)))
+  in
+  List.iter
+    (fun q ->
+      match Obs.Json.member q hist with
+      | Some v ->
+          let x = Obs.Json.to_float v in
+          Alcotest.(check bool) (q ^ " within range") true (x >= 0.5 && x <= 20.)
+      | None -> Alcotest.failf "histogram summary missing %s" q)
+    [ "p50"; "p90"; "p99" ];
+  let span =
+    Option.get
+      (Obs.Json.member "rq.span" (Option.get (Obs.Json.member "spans" doc)))
+  in
+  List.iter
+    (fun q ->
+      match Obs.Json.member q span with
+      | Some v -> Alcotest.(check bool) (q ^ " nonnegative") true (Obs.Json.to_float v >= 0.)
+      | None -> Alcotest.failf "span summary missing %s" q)
+    [ "p50_ns"; "p90_ns"; "p99_ns" ]
 
 let test_report_roundtrip () =
   Obs.reset ();
@@ -248,6 +358,7 @@ let () =
         [ Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
           Alcotest.test_case "histogram bad buckets" `Quick
             test_histogram_rejects_bad_buckets ] );
       ( "trace",
@@ -256,7 +367,12 @@ let () =
           Alcotest.test_case "ring eviction" `Quick test_span_ring_eviction ] );
       ( "roundtrip",
         [ Alcotest.test_case "json" `Quick test_json_roundtrip;
+          Alcotest.test_case "json unicode escapes" `Quick test_json_unicode_escapes;
+          QCheck_alcotest.to_alcotest test_json_string_fuzz_roundtrip;
           Alcotest.test_case "report" `Quick test_report_roundtrip;
+          Alcotest.test_case "report process section" `Quick
+            test_report_process_section;
+          Alcotest.test_case "report quantiles" `Quick test_report_quantiles;
           Alcotest.test_case "trace jsonl" `Quick test_trace_export_jsonl ] );
       ( "cache",
         [ Alcotest.test_case "gauges match accessors" `Quick

@@ -50,6 +50,19 @@ let () =
       | Some (Obs.Json.Int s) when s = seed -> ()
       | _ -> fail "%s: missing or mismatched seed" name)
     kernels;
+  (* Kernels the perf trajectory depends on must keep being recorded. *)
+  let required = [ "hetarch collect-ledger-append" ] in
+  let recorded =
+    List.filter_map
+      (fun k ->
+        match Obs.Json.member "name" k with
+        | Some (Obs.Json.String n) -> Some n
+        | _ -> None)
+      kernels
+  in
+  List.iter
+    (fun r -> if not (List.mem r recorded) then fail "missing required kernel %s" r)
+    required;
   (* Scalar-vs-batch pairs: both sides must name recorded kernels. *)
   let kernel_names =
     List.filter_map
