@@ -5,7 +5,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench ci jobs-smoke collect-smoke clean
+.PHONY: all build test bench ci jobs-smoke collect-smoke obs-smoke clean
 
 all: build
 
@@ -44,9 +44,36 @@ collect-smoke: build
 	  || { echo "collect-smoke: resumed CSV differs from uninterrupted run"; exit 1; }
 	@echo "collect-smoke: killed+resumed campaign CSV byte-identical to uninterrupted run"
 
-ci: build test jobs-smoke collect-smoke
+# The observability contract, end to end: a traced+telemetered campaign
+# must leave artifacts every `obs` subcommand can analyze, and the profile
+# (count-weighted folded stacks) must be byte-identical whether the
+# campaign ran on one domain or two.
+OBS_FLAGS = threshold --seed 7 --max-shots 1024 --batch 256
+obs-smoke: build
+	$(DUNE) exec bin/main.exe -- collect $(OBS_FLAGS) --jobs 1 \
+	  --trace /tmp/hetarch_obs1.trace.jsonl \
+	  --telemetry /tmp/hetarch_obs.telemetry.jsonl --telemetry-interval 0 \
+	  --metrics /tmp/hetarch_obs.metrics.json > /dev/null
+	$(DUNE) exec bin/main.exe -- collect $(OBS_FLAGS) --jobs 2 \
+	  --trace /tmp/hetarch_obs2.trace.jsonl > /dev/null
+	$(DUNE) exec bin/main.exe -- obs report /tmp/hetarch_obs.metrics.json > /dev/null
+	$(DUNE) exec bin/main.exe -- obs tail /tmp/hetarch_obs.telemetry.jsonl > /dev/null
+	$(DUNE) exec bin/main.exe -- obs top /tmp/hetarch_obs1.trace.jsonl > /dev/null
+	$(DUNE) exec bin/main.exe -- obs diff /tmp/hetarch_obs.metrics.json \
+	  /tmp/hetarch_obs.metrics.json > /dev/null
+	$(DUNE) exec bin/main.exe -- obs flame --counts /tmp/hetarch_obs1.trace.jsonl \
+	  > /tmp/hetarch_obs1.folded
+	$(DUNE) exec bin/main.exe -- obs flame --counts /tmp/hetarch_obs2.trace.jsonl \
+	  > /tmp/hetarch_obs2.folded
+	@diff -u /tmp/hetarch_obs1.folded /tmp/hetarch_obs2.folded \
+	  || { echo "obs-smoke: folded stacks depend on --jobs"; exit 1; }
+	@echo "obs-smoke: artifacts analyzable; folded stacks byte-identical across --jobs 1/2"
+
+ci: build test jobs-smoke collect-smoke obs-smoke
 	$(DUNE) exec bench/main.exe -- --quick
 	$(DUNE) exec tools/check_bench.exe -- BENCH_hetarch.json
+	@$(DUNE) exec bin/main.exe -- obs diff BENCH_baseline.json BENCH_hetarch.json --threshold 25 \
+	  || echo "ci: perf trend vs committed baseline regressed (warn-only, machines differ)"
 
 clean:
 	$(DUNE) clean

@@ -95,6 +95,19 @@ let kernel_ledger_append () =
     { Collect.Ledger.task_id = "0123456789abcdef"; shots = 1024; errors = 17;
       seconds = 0.25; jobs = 1; seed }
 
+(* Observability overhead kernels: one traced span (timing + path/totals
+   bookkeeping) and one forced telemetry record (counter deltas, GC
+   snapshot, JSON format + flush) against a /dev/null sink.  These bound the
+   cost of always-on instrumentation; check_bench requires both so the
+   overhead trend stays machine-readable. *)
+let kernel_span_record () = Obs.Trace.with_span "bench.span" (fun () -> ())
+
+let telemetry_sink = lazy (Obs.Telemetry.enable ~path:"/dev/null" ~interval_s:1e9)
+
+let kernel_telemetry_snapshot () =
+  Lazy.force telemetry_sink;
+  Obs.Telemetry.tick ~force:true ()
+
 let kernel_burden () =
   List.map Burden.reduction
     [ Burden.distillation_module (); Burden.uec_module (); Burden.ct_module () ]
@@ -115,6 +128,8 @@ let tests =
       Test.make ~name:"table4-ct-pair" (Staged.stage kernel_table4);
       Test.make ~name:"ext-repeater-chain" (Staged.stage kernel_repeater);
       Test.make ~name:"collect-ledger-append" (Staged.stage kernel_ledger_append);
+      Test.make ~name:"span-record" (Staged.stage kernel_span_record);
+      Test.make ~name:"telemetry-snapshot" (Staged.stage kernel_telemetry_snapshot);
       Test.make ~name:"dse-burden" (Staged.stage kernel_burden) ]
 
 let run_benchmarks () =
@@ -261,6 +276,7 @@ let () =
     Collect.Ledger.close (Lazy.force ledger_writer);
     try Sys.remove ledger_path with Sys_error _ -> ()
   end;
+  if Lazy.is_val telemetry_sink then Obs.Telemetry.disable ();
   write_bench_json kernels;
   Printf.printf "\nwrote BENCH_hetarch.json (%d kernels, seed %d, jobs %d)\n"
     (List.length kernels) seed (Parallel.jobs ())

@@ -501,6 +501,248 @@ let run_collect campaign seed ledger resume progress max_shots max_errors
       Printf.printf "csv: %s\n" path)
     csv_path
 
+(* ----------------------------------------------------------------- obs *)
+
+(* Offline analysis of the observability artifacts the other subcommands
+   emit: run manifests (--metrics), Chrome-trace spans (--trace), telemetry
+   streams (--telemetry), and bench JSON.  Pure readers — no simulation. *)
+
+let load_json path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Obs.Json.parse (really_input_string ic (in_channel_length ic)))
+
+let fold_jsonl path f init =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> acc
+        | line when String.trim line = "" -> go acc
+        | line -> go (f acc (Obs.Json.parse line))
+      in
+      go init)
+
+let jfloat j = Obs.Json.to_float j
+let jint j = int_of_float (Obs.Json.to_float j)
+
+let jstring = function Obs.Json.String s -> Some s | _ -> None
+
+(* [None] both on a missing field and a non-numeric one (eta_s and
+   rel_halfwidth are JSON null until defined). *)
+let jnum = function
+  | Obs.Json.Int i -> Some (float_of_int i)
+  | Obs.Json.Float f -> Some f
+  | _ -> None
+
+let mem_float name j = Option.bind (Obs.Json.member name j) jnum
+let mem_int name j = Option.map int_of_float (mem_float name j)
+
+let mem_string name j = Option.bind (Obs.Json.member name j) jstring
+
+let obj_fields = function Obs.Json.Obj kvs -> kvs | _ -> []
+
+let schema_of doc = Option.value ~default:"?" (mem_string "schema" doc)
+
+(* Re-aggregate an exported trace into (path, count, total_ns) totals — the
+   same shape Trace.by_path returns in-process.  Durations in the file are
+   integer microseconds (the Chrome-trace unit), so totals re-read from disk
+   are µs-granular; counts and tree structure are exact. *)
+let trace_totals path =
+  let tbl : (string, int * int64) Hashtbl.t = Hashtbl.create 256 in
+  fold_jsonl path
+    (fun () ev ->
+      let name = Option.value ~default:"?" (mem_string "name" ev) in
+      let span_path =
+        match Option.bind (Obs.Json.member "args" ev) (mem_string "path") with
+        | Some p -> p
+        | None -> name
+      in
+      let dur_ns =
+        match mem_float "dur" ev with
+        | Some us -> Int64.of_float (us *. 1e3)
+        | None -> 0L
+      in
+      let c, t = Option.value ~default:(0, 0L) (Hashtbl.find_opt tbl span_path) in
+      Hashtbl.replace tbl span_path (c + 1, Int64.add t dur_ns))
+    ();
+  Hashtbl.fold (fun p (c, t) acc -> (p, c, t) :: acc) tbl []
+  |> List.sort compare
+
+let run_obs_flame file counts =
+  let weight = if counts then `Count else `Self_ns in
+  print_string (Obs.Profile.folded ~weight (Obs.Profile.of_totals (trace_totals file)))
+
+let run_obs_top file limit =
+  print_string (Obs.Profile.top_table ~limit (Obs.Profile.of_totals (trace_totals file)))
+
+let render_manifest doc =
+  Option.iter
+    (fun p ->
+      Printf.printf "process: wall %ss, GC minor/major/compact %d/%d/%d, peak heap %d words\n"
+        (match mem_float "wall_seconds" p with Some s -> Printf.sprintf "%.3f" s | None -> "?")
+        (Option.value ~default:0 (mem_int "minor_collections" p))
+        (Option.value ~default:0 (mem_int "major_collections" p))
+        (Option.value ~default:0 (mem_int "compactions" p))
+        (Option.value ~default:0 (mem_int "top_heap_words" p)))
+    (Obs.Json.member "process" doc);
+  let section title header rows =
+    if rows <> [] then begin
+      Printf.printf "\n%s:\n" title;
+      Tableio.print ~align:Tableio.Left ~header rows
+    end
+  in
+  section "counters" [ "counter"; "value" ]
+    (List.map
+       (fun (k, v) -> [ k; string_of_int (jint v) ])
+       (obj_fields (Option.value ~default:Obs.Json.Null (Obs.Json.member "counters" doc))));
+  section "gauges" [ "gauge"; "value" ]
+    (List.map
+       (fun (k, v) -> [ k; g (jfloat v) ])
+       (obj_fields (Option.value ~default:Obs.Json.Null (Obs.Json.member "gauges" doc))));
+  section "histograms" [ "histogram"; "count"; "mean"; "p50"; "p99"; "max" ]
+    (List.map
+       (fun (k, h) ->
+         let f name = match mem_float name h with Some v -> g v | None -> "-" in
+         [ k; string_of_int (Option.value ~default:0 (mem_int "count" h));
+           f "mean"; f "p50"; f "p99"; f "max" ])
+       (obj_fields (Option.value ~default:Obs.Json.Null (Obs.Json.member "histograms" doc))));
+  section "spans" [ "span"; "count"; "total ms"; "mean us" ]
+    (List.map
+       (fun (k, s) ->
+         let count = Option.value ~default:0 (mem_int "count" s) in
+         let total_ns = Option.value ~default:0. (mem_float "total_ns" s) in
+         [ k; string_of_int count;
+           Printf.sprintf "%.3f" (total_ns /. 1e6);
+           (if count = 0 then "-"
+            else Printf.sprintf "%.1f" (total_ns /. 1e3 /. float_of_int count)) ])
+       (obj_fields (Option.value ~default:Obs.Json.Null (Obs.Json.member "spans" doc))))
+
+let run_obs_report file =
+  let doc = load_json file in
+  let schema = schema_of doc in
+  Printf.printf "%s  (schema %s)\n" file schema;
+  if String.length schema >= 14 && String.sub schema 0 14 = "hetarch.bench/" then begin
+    Printf.printf "bench: seed %d, jobs %d%s\n"
+      (Option.value ~default:0 (mem_int "seed" doc))
+      (Option.value ~default:1 (mem_int "jobs" doc))
+      (match Obs.Json.member "quick" doc with
+       | Some (Obs.Json.Bool true) -> ", quick"
+       | _ -> "");
+    let kernels =
+      match Obs.Json.member "kernels" doc with
+      | Some (Obs.Json.List ks) -> ks
+      | _ -> []
+    in
+    Printf.printf "\nkernels:\n";
+    Tableio.print ~align:Tableio.Left
+      ~header:[ "kernel"; "ns/run" ]
+      (List.map
+         (fun k ->
+           [ Option.value ~default:"?" (mem_string "name" k);
+             (match mem_float "ns_per_run" k with Some v -> g v | None -> "-") ])
+         kernels);
+    Option.iter render_manifest (Obs.Json.member "metrics" doc)
+  end
+  else render_manifest doc
+
+let run_obs_tail file =
+  let records = List.rev (fold_jsonl file (fun acc r -> r :: acc) []) in
+  match records with
+  | [] -> print_endline "telemetry stream is empty"
+  | _ ->
+      let campaign r = Obs.Json.member "campaign" r in
+      Tableio.print
+        ~header:[ "seq"; "t(s)"; "dt(s)"; "gc minor"; "shots"; "shots/s"; "done"; "eta(s)" ]
+        (List.map
+           (fun r ->
+             let c = campaign r in
+             let ci name =
+               match Option.bind c (mem_int name) with
+               | Some v -> string_of_int v
+               | None -> "-"
+             in
+             [ string_of_int (Option.value ~default:0 (mem_int "seq" r));
+               Printf.sprintf "%.2f" (Option.value ~default:0. (mem_float "elapsed_s" r));
+               Printf.sprintf "%.2f" (Option.value ~default:0. (mem_float "dt_s" r));
+               (match Option.bind (Obs.Json.member "gc" r) (mem_int "minor_delta") with
+                | Some v -> string_of_int v
+                | None -> "-");
+               ci "shots";
+               (match Option.bind c (mem_float "shots_per_s") with
+                | Some v -> Printf.sprintf "%.0f" v
+                | None -> "-");
+               (match (Option.bind c (mem_int "tasks_done"), Option.bind c (mem_int "tasks")) with
+                | Some d, Some t -> Printf.sprintf "%d/%d" d t
+                | _ -> "-");
+               (match Option.bind c (mem_float "eta_s") with
+                | Some v -> Printf.sprintf "%.1f" v
+                | None -> "-") ])
+           records);
+      let last = List.nth records (List.length records - 1) in
+      Printf.printf "\nlast record (seq %d, t=%.2fs):\n"
+        (Option.value ~default:0 (mem_int "seq" last))
+        (Option.value ~default:0. (mem_float "elapsed_s" last));
+      let deltas =
+        obj_fields (Option.value ~default:Obs.Json.Null (Obs.Json.member "deltas" last))
+        |> List.filter (fun (_, v) -> jint v > 0)
+      in
+      List.iter
+        (fun (name, v) -> Printf.printf "  %s +%d\n" name (jint v))
+        deltas;
+      Option.iter
+        (fun c ->
+          List.iter
+            (fun t ->
+              Printf.printf "  task %s %s: %d shots, %d errors%s%s\n"
+                (Option.value ~default:"?" (mem_string "id" t))
+                (Option.value ~default:"?" (mem_string "kind" t))
+                (Option.value ~default:0 (mem_int "shots" t))
+                (Option.value ~default:0 (mem_int "errors" t))
+                (match mem_float "rel_halfwidth" t with
+                 | Some w -> Printf.sprintf ", ci %.3f" w
+                 | None -> "")
+                (match Obs.Json.member "done" t with
+                 | Some (Obs.Json.Bool true) -> " [done]"
+                 | _ -> ""))
+            (match Obs.Json.member "task_progress" c with
+             | Some (Obs.Json.List ts) -> ts
+             | _ -> []))
+        (campaign last)
+
+let run_obs_diff file_a file_b threshold =
+  let doc_a = load_json file_a and doc_b = load_json file_b in
+  let r =
+    try Obs.Diff.compare_docs ?threshold_pct:threshold doc_a doc_b
+    with Failure msg ->
+      Printf.eprintf "hetarch obs diff: %s\n" msg;
+      exit 2
+  in
+  let thr = Option.value ~default:Obs.Diff.default_threshold_pct threshold in
+  Printf.printf "diff %s -> %s (threshold %g%%)\n" file_a file_b thr;
+  Tableio.print ~align:Tableio.Left
+    ~header:[ "metric"; "baseline"; "current"; "delta" ]
+    (List.map
+       (fun (e : Obs.Diff.entry) ->
+         [ e.Obs.Diff.metric; g e.Obs.Diff.a; g e.Obs.Diff.b;
+           Printf.sprintf "%+.1f%%%s" e.Obs.Diff.pct
+             (if e.Obs.Diff.regression then "  REGRESSION" else "") ])
+       r.Obs.Diff.entries);
+  if r.Obs.Diff.only_a <> [] then
+    Printf.printf "only in baseline: %s\n" (String.concat ", " r.Obs.Diff.only_a);
+  if r.Obs.Diff.only_b <> [] then
+    Printf.printf "only in current: %s\n" (String.concat ", " r.Obs.Diff.only_b);
+  match r.Obs.Diff.regressions with
+  | [] -> Printf.printf "no regressions past %g%% (%d metrics compared)\n" thr (List.length r.Obs.Diff.entries)
+  | regs ->
+      Printf.printf "%d regression(s) past %g%%, worst %s (%+.1f%%)\n"
+        (List.length regs) thr
+        (List.hd regs).Obs.Diff.metric (List.hd regs).Obs.Diff.pct;
+      exit 1
+
 (* ----------------------------------------------------------------- CLI *)
 
 open Cmdliner
@@ -535,14 +777,42 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write Chrome-trace-compatible JSONL spans to $(docv) on exit")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Stream live JSONL telemetry records (schema hetarch.telemetry/1) \
+           to $(docv) while the command runs; inspect with $(b,hetarch obs \
+           tail)")
+
+let telemetry_interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "telemetry-interval" ] ~docv:"SEC"
+        ~doc:
+          "Minimum seconds between telemetry records (0 records every \
+           heartbeat); only meaningful with $(b,--telemetry)")
+
 (* Every subcommand runs under a root span; the exporters only fire when the
    flags are given, so the stdout of an uninstrumented invocation is
-   untouched. *)
+   untouched.  Telemetry streams while the command runs (ticks come from
+   Parallel chunk boundaries and Collect batches — no background thread);
+   the final forced record is written on the way out. *)
 let cmd name doc term =
-  let wrap jobs metrics trace f =
+  let wrap jobs metrics trace telemetry interval f =
     Parallel.set_jobs jobs;
+    (try
+       Option.iter
+         (fun path -> Obs.Telemetry.enable ~path ~interval_s:interval)
+         telemetry
+     with Sys_error msg ->
+       Printf.eprintf "hetarch: cannot open telemetry sink: %s\n" msg;
+       exit 1);
     Obs.Trace.with_span ("cmd." ^ name) f;
     try
+      Obs.Telemetry.disable ();
       Option.iter (fun path -> Obs.Report.write ~path) metrics;
       Option.iter (fun path -> Obs.Trace.export ~path) trace
     with Sys_error msg ->
@@ -550,7 +820,9 @@ let cmd name doc term =
       exit 1
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const wrap $ jobs_arg $ metrics_arg $ trace_arg $ term)
+    Term.(
+      const wrap $ jobs_arg $ metrics_arg $ trace_arg $ telemetry_arg
+      $ telemetry_interval_arg $ term)
 
 let collect_term =
   let campaign =
@@ -636,11 +908,92 @@ let collect_term =
     $ campaign $ seed_arg $ ledger $ resume $ progress $ max_shots
     $ max_errors $ rel_ci $ min_shots $ batch $ halt_after $ csv)
 
+(* Offline analysis command group over observability artifacts.  The leaves
+   go through the same [cmd] wrapper as the experiments so that every
+   subcommand accepts --jobs/--metrics/--trace/--telemetry uniformly. *)
+let obs_cmd =
+  let trace_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace JSONL file written by --trace")
+  in
+  let counts_flag =
+    Arg.(
+      value & flag
+      & info [ "counts" ]
+          ~doc:
+            "Weight folded stacks by span count instead of self nanoseconds \
+             — byte-identical across --jobs settings for a deterministic \
+             workload")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "n"; "limit" ] ~docv:"N" ~doc:"Rows to show")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"Regression threshold in percent (default 20)")
+  in
+  let manifest_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Run manifest (--metrics) or bench JSON document")
+  in
+  let baseline_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline manifest or bench JSON")
+  in
+  let current_pos =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current manifest or bench JSON")
+  in
+  let telemetry_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TELEMETRY"
+          ~doc:"Telemetry JSONL stream written by --telemetry")
+  in
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:
+         "Analyze observability artifacts: manifests, traces, telemetry, \
+          bench JSON")
+    [ cmd "report" "Summarize a run manifest or bench JSON document"
+        Term.(const (fun file () -> run_obs_report file) $ manifest_pos);
+      cmd "flame" "Render a trace as folded stacks (flamegraph.pl input)"
+        Term.(
+          const (fun file counts () -> run_obs_flame file counts)
+          $ trace_pos $ counts_flag);
+      cmd "top" "Rank call paths by self time"
+        Term.(
+          const (fun file limit () -> run_obs_top file limit)
+          $ trace_pos $ limit_arg);
+      cmd "tail" "Rate-over-time table and last-record status of a telemetry stream"
+        Term.(const (fun file () -> run_obs_tail file) $ telemetry_pos);
+      cmd "diff"
+        "Compare two manifests or bench documents; exit 1 on perf regressions"
+        Term.(
+          const (fun a b thr () -> run_obs_diff a b thr)
+          $ baseline_pos $ current_pos $ threshold_arg) ]
+
 let commands =
   [ cmd "devices" "Table 1: device catalog" Term.(const run_devices);
     cmd "collect"
       "Resumable sample-collection campaign with adaptive stopping"
       collect_term;
+    obs_cmd;
     cmd "cells" "Table 2: standard cells and characterization"
       Term.(const run_cells);
     cmd "fig3" "Fig 3: distillation fidelity over time"

@@ -228,15 +228,13 @@ let h_batch_seconds = Obs.Histogram.create "collect.batch_seconds"
 module Progress = struct
   type t = {
     enabled : bool;
-    total_tasks : int;
-    start_ns : int64;
     mutable last_ns : int64;
     mutable dirty : bool;  (* a line is on screen *)
   }
 
-  let create ~enabled ~total_tasks =
+  let create ~enabled =
     let enabled = enabled && Unix.isatty Unix.stderr in
-    { enabled; total_tasks; start_ns = Obs.now_ns (); last_ns = 0L; dirty = false }
+    { enabled; last_ns = 0L; dirty = false }
 
   let si n =
     let f = float_of_int n in
@@ -245,37 +243,43 @@ module Progress = struct
     else if f >= 1e3 then Printf.sprintf "%.1fk" (f /. 1e3)
     else string_of_int n
 
-  let tick t ~tasks_done ~remaining_shots ~cur_kind ~cur_shots ~cur_errors =
+  (* Totals, rate and ETA all come from [Obs.Telemetry.campaign_snapshot] —
+     the same code path that fills the telemetry JSONL records — so what
+     the status line shows is exactly what `hetarch obs tail` reads back. *)
+  let tick t ~cur_kind ~cur_shots ~cur_errors =
     if t.enabled then begin
       let now = Obs.now_ns () in
       (* ~5 updates/second: cheap enough to call per batch. *)
       if Int64.sub now t.last_ns >= 200_000_000L then begin
         t.last_ns <- now;
-        let elapsed = Int64.to_float (Int64.sub now t.start_ns) /. 1e9 in
-        let shots = Obs.Counter.value c_shots - Obs.Counter.value c_resumed_shots in
-        let rate = if elapsed > 0. then float_of_int shots /. elapsed else 0. in
-        let eta =
-          if rate > 0. then
-            Printf.sprintf "eta<=%.0fs" (float_of_int remaining_shots /. rate)
-          else "eta ?"
-        in
-        let ci =
-          if cur_shots = 0 then "-"
-          else begin
-            let lo, hi =
-              Stats.wilson_interval ~successes:cur_errors ~trials:cur_shots ~z:wilson_z
+        match Obs.Telemetry.campaign_snapshot () with
+        | None -> ()
+        | Some c ->
+            let eta =
+              match c.Obs.Telemetry.c_eta_s with
+              | Some e -> Printf.sprintf "eta<=%.0fs" e
+              | None -> "eta ?"
             in
-            Printf.sprintf "%.3g [%.2g,%.2g]"
-              (float_of_int cur_errors /. float_of_int cur_shots)
-              lo hi
-          end
-        in
-        Printf.eprintf "\r\x1b[Kcollect %d/%d tasks  %s shots  %s/s  %s  %s rate %s"
-          tasks_done t.total_tasks
-          (si (Obs.Counter.value c_shots))
-          (si (int_of_float rate)) eta cur_kind ci;
-        flush stderr;
-        t.dirty <- true
+            let ci =
+              if cur_shots = 0 then "-"
+              else begin
+                let lo, hi =
+                  Stats.wilson_interval ~successes:cur_errors ~trials:cur_shots
+                    ~z:wilson_z
+                in
+                Printf.sprintf "%.3g [%.2g,%.2g]"
+                  (float_of_int cur_errors /. float_of_int cur_shots)
+                  lo hi
+              end
+            in
+            Printf.eprintf
+              "\r\x1b[Kcollect %d/%d tasks  %s shots  %s/s  %s  %s rate %s"
+              c.Obs.Telemetry.c_done c.Obs.Telemetry.c_total
+              (si c.Obs.Telemetry.c_shots)
+              (si (int_of_float c.Obs.Telemetry.c_rate))
+              eta cur_kind ci;
+            flush stderr;
+            t.dirty <- true
       end
     end
 
@@ -356,20 +360,34 @@ let run ?ledger ?(resume = false) ?(progress = false) ?(stop = default_stop)
       Array.iter (fun e -> Obs.Counter.add c_errors e) errors;
       let reason = Array.init n (fun i -> decide stop ~shots:shots.(i) ~errors:errors.(i)) in
       let writer = Option.map Ledger.open_writer ledger in
-      let prog = Progress.create ~enabled:progress ~total_tasks:n in
+      let prog = Progress.create ~enabled:progress in
       let appends = ref 0 in
       let halted = ref false in
       let tasks_done () =
         Array.fold_left (fun acc r -> if r <> None then acc + 1 else acc) 0 reason
       in
-      let remaining_shots () =
-        (* Upper bound: every unfinished task runs to max_shots. *)
-        let acc = ref 0 in
-        for i = 0 to n - 1 do
-          if reason.(i) = None then acc := !acc + (stop.max_shots - shots.(i))
-        done;
-        !acc
-      in
+      (* Per-task progress for telemetry records and the --progress line.
+         Called from telemetry ticks, possibly in worker domains mid-batch:
+         int array reads are atomic per element, and a slightly stale shot
+         count only understates a heartbeat. *)
+      Obs.Telemetry.set_campaign
+        (Some
+           (fun () ->
+             List.init n (fun i ->
+                 let done_ = reason.(i) <> None in
+                 { Obs.Telemetry.tp_id = ids.(i);
+                   tp_kind = tasks.(i).Task.kind;
+                   tp_shots = shots.(i);
+                   tp_errors = errors.(i);
+                   tp_resumed = resumed.(i);
+                   tp_rel_halfwidth =
+                     (if errors.(i) = 0 || shots.(i) = 0 then Float.nan
+                      else
+                        Stats.wilson_rel_halfwidth ~successes:errors.(i)
+                          ~trials:shots.(i) ~z:wilson_z);
+                   tp_remaining =
+                     (if done_ then 0 else max 0 (stop.max_shots - shots.(i)));
+                   tp_done = done_ })));
       Fun.protect
         ~finally:(fun () ->
           Progress.finish prog;
@@ -415,10 +433,11 @@ let run ?ledger ?(resume = false) ?(progress = false) ?(stop = default_stop)
                 incr appends;
                 reason.(i) <- decide stop ~shots:shots.(i) ~errors:errors.(i);
                 Obs.Gauge.set g_tasks_done (float_of_int (tasks_done ()));
-                Progress.tick prog ~tasks_done:(tasks_done ())
-                  ~remaining_shots:(remaining_shots ())
-                  ~cur_kind:tasks.(i).Task.kind ~cur_shots:shots.(i)
-                  ~cur_errors:errors.(i);
+                (* Batch completion is a telemetry tick point (throttled
+                   internally to the configured interval). *)
+                Obs.Telemetry.tick ();
+                Progress.tick prog ~cur_kind:tasks.(i).Task.kind
+                  ~cur_shots:shots.(i) ~cur_errors:errors.(i);
                 match halt_after with
                 | Some h when !appends >= h -> halted := true
                 | _ -> ()

@@ -148,7 +148,14 @@ val run :
 
     Worker fan-out comes from the samplers chunking through {!Parallel};
     set the job count globally ([Parallel.set_jobs] / [--jobs]) — results
-    are bit-identical at any setting. *)
+    are bit-identical at any setting.
+
+    The campaign registers an [Obs.Telemetry] progress provider (per-task
+    shots/errors/Wilson half-width and a rate-based ETA) and offers the
+    heartbeat a tick after every batch; the provider stays registered after
+    the run so a final forced telemetry record reports the completed
+    campaign.  The [--progress] line renders the same
+    [Obs.Telemetry.campaign_snapshot] the JSONL records carry. *)
 
 val csv_header : string
 

@@ -8,21 +8,32 @@ let logspace ~lo ~hi ~n =
 
 let points_total = Obs.Counter.create "dse.sweep_points_total"
 
-let point_span f x =
+(* The point index is a span attribute (not part of the name) so profile
+   paths aggregate across points while an exported trace still identifies
+   which point each span timed — deterministically, since indices come from
+   point order, never from domain scheduling. *)
+let point_span ~index f x =
   Obs.Counter.incr points_total;
-  Obs.Trace.with_span "dse.sweep_point" (fun () -> f x)
+  Obs.Trace.with_span
+    ~attrs:[ ("point", string_of_int index) ]
+    "dse.sweep_point"
+    (fun () -> f x)
+
+let indexed points = List.mapi (fun i x -> (i, x)) points
 
 (* Sweep points are independent, so they fan across domains.  Results come
    back in point order regardless of which domain evaluated what; [f] itself
    must be deterministic per point (e.g. take a fresh seed per point, as the
    figure drivers do) for the sweep to be seed-stable at any job count. *)
 let sweep ?jobs points ~f =
-  Parallel.map_list ?jobs (fun x -> (x, point_span f x)) points
+  Parallel.map_list ?jobs
+    (fun (i, x) -> (x, point_span ~index:i f x))
+    (indexed points)
 
 let grid ?jobs xs ys ~f =
   Parallel.map_list ?jobs
-    (fun (x, y) -> (x, y, point_span (f x) y))
-    (List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs)
+    (fun (i, (x, y)) -> (x, y, point_span ~index:i (f x) y))
+    (indexed (List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs))
 
 (* Campaign-backed sweeps: each point becomes one Collect task, so a long
    sweep inherits the ledger's resume and adaptive stopping.  Points must map

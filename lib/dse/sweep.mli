@@ -10,7 +10,9 @@ val sweep : ?jobs:int -> 'a list -> f:('a -> 'b) -> ('a * 'b) list
 (** Evaluate [f] at every point, fanning points across domains via
     {!Parallel}.  Results are in point order regardless of [jobs]; for
     seed-stable output, [f] must be deterministic per point (derive a fresh
-    RNG per point rather than sharing a sequential stream). *)
+    RNG per point rather than sharing a sequential stream).  Each point is
+    timed under a [dse.sweep_point] span carrying the point's index as a
+    [point] attribute. *)
 
 val grid : ?jobs:int -> 'a list -> 'b list -> f:('a -> 'b -> 'c) -> ('a * 'b * 'c) list
 (** Cartesian product sweep, row-major; parallelised like {!sweep}. *)

@@ -390,6 +390,11 @@ module Histogram = struct
     Mutex.protect t.lock (fun () ->
         let total = Stats.running_count t.welford in
         if total = 0 then Float.nan
+        else if total = 1 || t.lo = t.hi then
+          (* Every observation was the same value: report it exactly rather
+             than interpolating between clamped bucket edges, which can
+             return a point never observed. *)
+          t.lo
         else begin
           let target = q *. float_of_int total in
           let nb = Array.length t.bounds in
@@ -428,6 +433,8 @@ module Trace = struct
     start_ns : int64;
     dur_ns : int64;
     depth : int;
+    domain : int;  (* recording domain id *)
+    path : string;  (* caller path incl. self, ";"-separated *)
     attrs : (string * string) list;
   }
 
@@ -437,12 +444,19 @@ module Trace = struct
   let next = ref 0 (* total spans ever recorded *)
   let totals : (string, int * int64) Hashtbl.t = Hashtbl.create 32
 
+  (* Caller-path-keyed aggregates, the profiler's input.  Unlike the ring,
+     these never evict, so self-time trees stay exact over arbitrarily long
+     runs. *)
+  let path_totals : (string, int * int64) Hashtbl.t = Hashtbl.create 64
+
   (* One lock for ring + totals + capacity swaps; span recording is far off
      the per-shot hot path (spans wrap whole experiments), so contention is
-     negligible.  Depth is tracked per domain: a worker domain's spans nest
-     from depth 0 rather than inheriting an unrelated caller's depth. *)
+     negligible.  The enclosing-span path is tracked per domain (innermost
+     first); [Parallel.task_context] seeds a worker domain's stack with the
+     submitting caller's, so spans recorded inside fanned-out tasks carry
+     the same caller path at any job count. *)
   let lock = Mutex.create ()
-  let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+  let stack_key = Domain.DLS.new_key (fun () -> ref ([] : string list))
 
   let set_capacity c =
     if c <= 0 then invalid_arg "Obs.Trace.set_capacity";
@@ -458,21 +472,29 @@ module Trace = struct
         let count, total =
           Option.value ~default:(0, 0L) (Hashtbl.find_opt totals s.name)
         in
-        Hashtbl.replace totals s.name (count + 1, Int64.add total s.dur_ns))
+        Hashtbl.replace totals s.name (count + 1, Int64.add total s.dur_ns);
+        let pcount, ptotal =
+          Option.value ~default:(0, 0L) (Hashtbl.find_opt path_totals s.path)
+        in
+        Hashtbl.replace path_totals s.path (pcount + 1, Int64.add ptotal s.dur_ns))
 
   let with_span ?(attrs = []) name f =
     let start = now_ns () in
-    let cur_depth = Domain.DLS.get depth_key in
-    let depth = !cur_depth in
-    incr cur_depth;
+    let stack = Domain.DLS.get stack_key in
+    let parent = !stack in
+    let depth = List.length parent in
+    stack := name :: parent;
+    let path = String.concat ";" (List.rev !stack) in
     let finish () =
-      decr cur_depth;
+      stack := parent;
       let stop = now_ns () in
       record
         { name;
           start_ns = Int64.sub start t0;
           dur_ns = Int64.sub stop start;
           depth;
+          domain = (Domain.self () :> int);
+          path;
           attrs }
     in
     match f () with
@@ -498,6 +520,15 @@ module Trace = struct
         Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) totals [])
     |> List.sort compare
 
+  let by_path () =
+    Mutex.protect lock (fun () ->
+        Hashtbl.fold (fun path (c, t) acc -> (path, c, t) :: acc) path_totals [])
+    |> List.sort compare
+
+  (* Chrome-trace mapping: [tid] is the recording domain, so Perfetto lays
+     each domain's spans on its own track instead of interleaving every
+     depth-n span from every domain onto one; nesting depth and the caller
+     path travel in [args]. *)
   let span_json s =
     Json.Obj
       [ ("name", Json.String s.name);
@@ -505,8 +536,12 @@ module Trace = struct
         ("ts", Json.Float (Int64.to_float s.start_ns /. 1e3));
         ("dur", Json.Float (Int64.to_float s.dur_ns /. 1e3));
         ("pid", Json.Int 0);
-        ("tid", Json.Int s.depth);
-        ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs)) ]
+        ("tid", Json.Int s.domain);
+        ( "args",
+          Json.Obj
+            (("depth", Json.Int s.depth)
+            :: ("path", Json.String s.path)
+            :: List.map (fun (k, v) -> (k, Json.String v)) s.attrs) ) ]
 
   let export ~path =
     let oc = open_out path in
@@ -523,8 +558,463 @@ module Trace = struct
     Mutex.protect lock (fun () ->
         Array.fill !ring 0 !capacity None;
         next := 0;
-        Hashtbl.reset totals);
-    Domain.DLS.get depth_key := 0
+        Hashtbl.reset totals;
+        Hashtbl.reset path_totals);
+    Domain.DLS.get stack_key := []
+end
+
+(* ------------------------------------------------------------- profiling *)
+
+(* Call-tree profiler over the caller-path-keyed span aggregates.  The tree
+   is built from [Trace.by_path] (or any (path, count, cum_ns) list, e.g.
+   re-aggregated from an exported trace file): cumulative time is summed per
+   exact caller path, and self time is cumulative minus the cumulative time
+   of direct children — so self times telescope: they sum exactly to the
+   root spans' cumulative time.  All orderings are lexicographic by path,
+   making every rendering deterministic regardless of the completion order
+   spans were recorded in (which differs across worker domains). *)
+
+module Profile = struct
+  type node = {
+    path : string;
+    name : string;
+    count : int;
+    cum_ns : int64;
+    self_ns : int64;
+    children : node list;
+  }
+
+  let of_totals totals =
+    (* Split paths into segment lists and build the trie level by level.
+       A path can appear without its parent (the parent span still open at
+       export time, or evicted from an offline trace's ring): such implicit
+       interior nodes get zero count/cum and zero self. *)
+    let entries =
+      List.map (fun (path, c, t) -> (String.split_on_char ';' path, c, t)) totals
+    in
+    let rec build prefix entries =
+      (* Group by head segment, preserving nothing but content. *)
+      let groups : (string, (string list * int * int64) list ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let order = ref [] in
+      List.iter
+        (fun (segs, c, t) ->
+          match segs with
+          | [] -> ()
+          | head :: rest ->
+              let cell =
+                match Hashtbl.find_opt groups head with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.add groups head r;
+                    order := head :: !order;
+                    r
+              in
+              cell := (rest, c, t) :: !cell)
+        entries;
+      List.sort compare !order
+      |> List.map (fun name ->
+             let members = !(Hashtbl.find groups name) in
+             let path = if prefix = "" then name else prefix ^ ";" ^ name in
+             let count, cum =
+               List.fold_left
+                 (fun (c, t) (segs, c', t') ->
+                   if segs = [] then (c + c', Int64.add t t') else (c, t))
+                 (0, 0L) members
+             in
+             let deeper = List.filter (fun (segs, _, _) -> segs <> []) members in
+             let children = build path deeper in
+             let child_cum =
+               List.fold_left (fun acc n -> Int64.add acc n.cum_ns) 0L children
+             in
+             (* Negative only for implicit nodes (count 0) or clock jitter;
+                clamp so folded weights stay valid. *)
+             let self =
+               if count = 0 then 0L
+               else if Int64.compare child_cum cum > 0 then 0L
+               else Int64.sub cum child_cum
+             in
+             { path; name; count; cum_ns = cum; self_ns = self; children })
+    in
+    build "" entries
+
+  let tree () = of_totals (Trace.by_path ())
+
+  let rec fold_nodes f acc nodes =
+    List.fold_left (fun acc n -> fold_nodes f (f acc n) n.children) acc nodes
+
+  (* Folded-stack text (flamegraph.pl / speedscope "folded" input): one
+     [path weight] line per node with a positive weight, sorted by path.
+     [`Self_ns] weights are wall-clock and vary run to run; [`Count] weights
+     depend only on the span structure, so they are byte-identical across
+     --jobs settings — that is what the CI smoke diffs. *)
+  let folded ?(weight = `Self_ns) nodes =
+    let b = Buffer.create 256 in
+    let lines =
+      fold_nodes
+        (fun acc n ->
+          let w =
+            match weight with
+            | `Self_ns -> Int64.to_int n.self_ns
+            | `Count -> n.count
+          in
+          if w > 0 then (n.path, w) :: acc else acc)
+        [] nodes
+      |> List.sort compare
+    in
+    List.iter (fun (path, w) -> Printf.bprintf b "%s %d\n" path w) lines;
+    Buffer.contents b
+
+  (* Flattened nodes ranked by self time (desc), path as tiebreak. *)
+  let top ?limit nodes =
+    let all = fold_nodes (fun acc n -> n :: acc) [] nodes in
+    let sorted =
+      List.sort
+        (fun a b ->
+          match Int64.compare b.self_ns a.self_ns with
+          | 0 -> compare a.path b.path
+          | c -> c)
+        all
+    in
+    match limit with
+    | None -> sorted
+    | Some k -> List.filteri (fun i _ -> i < k) sorted
+
+  let top_table ?(limit = 20) nodes =
+    let total_self =
+      fold_nodes (fun acc n -> Int64.add acc n.self_ns) 0L nodes
+    in
+    let b = Buffer.create 256 in
+    Printf.bprintf b "%12s %10s %12s %6s  %s\n" "self_ms" "count" "cum_ms"
+      "self%" "path";
+    List.iter
+      (fun n ->
+        let ms ns = Int64.to_float ns /. 1e6 in
+        let pct =
+          if Int64.compare total_self 0L > 0 then
+            100. *. Int64.to_float n.self_ns /. Int64.to_float total_self
+          else 0.
+        in
+        Printf.bprintf b "%12.3f %10d %12.3f %6.2f  %s\n" (ms n.self_ns)
+          n.count (ms n.cum_ns) pct n.path)
+      (top ~limit nodes);
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------- telemetry *)
+
+(* Append-only JSONL heartbeat (schema hetarch.telemetry/1).  Ticks are
+   driven synchronously from Parallel chunk boundaries and Collect batch
+   completions — never from a background thread — so enabling telemetry
+   cannot change any result.  Each record carries monotonic elapsed time,
+   counter deltas since the previous record (from which shots/sec and
+   events/sec follow), GC deltas, and — when a campaign has registered a
+   progress provider — per-task progress with Wilson half-widths and an ETA
+   at the current rate.  The collect --progress line reads the same
+   [campaign_snapshot] code path. *)
+
+module Telemetry = struct
+  type task_progress = {
+    tp_id : string;
+    tp_kind : string;
+    tp_shots : int;
+    tp_errors : int;
+    tp_resumed : int;  (* shots replayed from a ledger, not sampled now *)
+    tp_rel_halfwidth : float;  (* nan when undefined (no errors yet) *)
+    tp_remaining : int;  (* shots to the task's ceiling; 0 once stopped *)
+    tp_done : bool;
+  }
+
+  type campaign = {
+    c_elapsed_s : float;  (* since the provider registered (campaign start) *)
+    c_done : int;
+    c_total : int;
+    c_shots : int;  (* merged, incl. resumed *)
+    c_new_shots : int;  (* sampled by this run *)
+    c_rate : float;  (* new shots per second *)
+    c_remaining : int;
+    c_eta_s : float option;  (* None until the rate is measurable *)
+    c_tasks : task_progress list;
+  }
+
+  let enabled_flag = Atomic.make false
+  let lock = Mutex.create ()
+  let sink : out_channel option ref = ref None
+  let interval_ns = ref 1_000_000_000L
+  let t_enable = ref 0L
+  let last_ns = ref 0L
+  let seq = ref 0
+  let prev_counters : (string, int) Hashtbl.t = Hashtbl.create 32
+  let prev_gc = ref (0, 0)
+  let provider : (unit -> task_progress list) option ref = ref None
+  let provider_t0 = ref 0L
+
+  let enabled () = Atomic.get enabled_flag
+
+  let set_campaign p =
+    Mutex.protect lock (fun () ->
+        provider := p;
+        provider_t0 := now_ns ())
+
+  let campaign_snapshot () =
+    match !provider with
+    | None -> None
+    | Some f ->
+        let tasks = f () in
+        let elapsed =
+          Int64.to_float (Int64.sub (now_ns ()) !provider_t0) /. 1e9
+        in
+        let sum g = List.fold_left (fun a t -> a + g t) 0 tasks in
+        let shots = sum (fun t -> t.tp_shots) in
+        let new_shots = sum (fun t -> t.tp_shots - t.tp_resumed) in
+        let remaining = sum (fun t -> t.tp_remaining) in
+        let rate = if elapsed > 0. then float_of_int new_shots /. elapsed else 0. in
+        Some
+          { c_elapsed_s = elapsed;
+            c_done = List.length (List.filter (fun t -> t.tp_done) tasks);
+            c_total = List.length tasks;
+            c_shots = shots;
+            c_new_shots = new_shots;
+            c_rate = rate;
+            c_remaining = remaining;
+            c_eta_s = (if rate > 0. then Some (float_of_int remaining /. rate) else None);
+            c_tasks = tasks }
+
+  (* Forget the delta baseline (called by [Obs.reset]): the next record's
+     deltas measure from zero instead of going negative against counters
+     that were just zeroed. *)
+  let reset_baseline () =
+    Mutex.protect lock (fun () ->
+        Hashtbl.reset prev_counters;
+        let st = Gc.quick_stat () in
+        prev_gc := (st.Gc.minor_collections, st.Gc.major_collections))
+
+  let task_json t =
+    Json.Obj
+      [ ("id", Json.String t.tp_id);
+        ("kind", Json.String t.tp_kind);
+        ("shots", Json.Int t.tp_shots);
+        ("errors", Json.Int t.tp_errors);
+        ("rel_halfwidth",
+         if Float.is_nan t.tp_rel_halfwidth then Json.Null
+         else Json.Float t.tp_rel_halfwidth);
+        ("remaining", Json.Int t.tp_remaining);
+        ("done", Json.Bool t.tp_done) ]
+
+  (* Must be called with [lock] held. *)
+  let emit oc now =
+    let elapsed_s = Int64.to_float (Int64.sub now !t_enable) /. 1e9 in
+    let dt_s =
+      if !seq = 0 then 0.
+      else Int64.to_float (Int64.sub now !last_ns) /. 1e9
+    in
+    let counters =
+      Hashtbl.fold
+        (fun name c acc -> (name, Counter.value c) :: acc)
+        Counter.registry []
+      |> List.sort compare
+    in
+    let deltas =
+      List.map
+        (fun (name, v) ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt prev_counters name) in
+          (* Clamp: a counter reset between ticks must not produce negative
+             deltas (reset_baseline handles Obs.reset; the clamp covers any
+             other external zeroing). *)
+          (name, max 0 (v - prev)))
+        counters
+    in
+    let rates =
+      if dt_s > 0. then
+        List.filter_map
+          (fun (name, d) ->
+            if d > 0 then Some (name, Json.Float (float_of_int d /. dt_s))
+            else None)
+          deltas
+      else []
+    in
+    let st = Gc.quick_stat () in
+    let pminor, pmajor = !prev_gc in
+    let campaign =
+      match campaign_snapshot () with
+      | None -> []
+      | Some c ->
+          [ ( "campaign",
+              Json.Obj
+                [ ("tasks_done", Json.Int c.c_done);
+                  ("tasks", Json.Int c.c_total);
+                  ("shots", Json.Int c.c_shots);
+                  ("new_shots", Json.Int c.c_new_shots);
+                  ("shots_per_s", Json.Float c.c_rate);
+                  ("remaining_shots", Json.Int c.c_remaining);
+                  ("eta_s",
+                   match c.c_eta_s with Some e -> Json.Float e | None -> Json.Null);
+                  ("task_progress", Json.List (List.map task_json c.c_tasks)) ] ) ]
+    in
+    let doc =
+      Json.Obj
+        ([ ("schema", Json.String "hetarch.telemetry/1");
+           ("seq", Json.Int !seq);
+           ("elapsed_s", Json.Float elapsed_s);
+           ("dt_s", Json.Float dt_s);
+           ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) counters));
+           ("deltas", Json.Obj (List.map (fun (n, d) -> (n, Json.Int d)) deltas));
+           ("rates", Json.Obj rates);
+           ( "gc",
+             Json.Obj
+               [ ("minor_delta", Json.Int (max 0 (st.Gc.minor_collections - pminor)));
+                 ("major_delta", Json.Int (max 0 (st.Gc.major_collections - pmajor)));
+                 ("heap_words", Json.Int st.Gc.heap_words);
+                 ("top_heap_words", Json.Int st.Gc.top_heap_words) ] ) ]
+        @ campaign)
+    in
+    output_string oc (Json.to_string doc);
+    output_char oc '\n';
+    flush oc;
+    incr seq;
+    last_ns := now;
+    prev_gc := (st.Gc.minor_collections, st.Gc.major_collections);
+    List.iter (fun (name, v) -> Hashtbl.replace prev_counters name v) counters
+
+  let tick ?(force = false) () =
+    if Atomic.get enabled_flag then begin
+      let now = now_ns () in
+      (* Throttle check before taking the lock: the Parallel chunk hook
+         costs one atomic load plus one clock read when idle. *)
+      if force || Int64.sub now !last_ns >= !interval_ns then
+        Mutex.protect lock (fun () ->
+            if force || Int64.sub now !last_ns >= !interval_ns then
+              match !sink with None -> () | Some oc -> emit oc now)
+    end
+
+  let disable () =
+    Mutex.protect lock (fun () ->
+        (match !sink with
+        | Some oc ->
+            (* Final record so the file always ends with the run's last
+               state, then close. *)
+            emit oc (now_ns ());
+            close_out oc
+        | None -> ());
+        sink := None;
+        Atomic.set enabled_flag false)
+
+  let enable ~path ~interval_s =
+    if not (interval_s >= 0.) then invalid_arg "Obs.Telemetry.enable: interval";
+    (match !sink with Some _ -> disable () | None -> ());
+    Mutex.protect lock (fun () ->
+        let oc = open_out path in
+        sink := Some oc;
+        interval_ns := Int64.of_float (interval_s *. 1e9);
+        t_enable := now_ns ();
+        last_ns := 0L;
+        seq := 0;
+        Hashtbl.reset prev_counters;
+        let st = Gc.quick_stat () in
+        prev_gc := (st.Gc.minor_collections, st.Gc.major_collections);
+        (* Baseline record at enable time: seq 0, dt 0. *)
+        emit oc (now_ns ());
+        Atomic.set enabled_flag true)
+end
+
+(* ------------------------------------------------------------------ diff *)
+
+(* Manifest/bench comparison: extract the time-like metrics of two parsed
+   documents and flag relative regressions past a threshold.  Understands
+   hetarch.bench/2 (kernel ns/run) and hetarch.obs/* run manifests (span
+   total_ns and histogram means); CI uses it warn-only as a perf-trend
+   report, and scripts can use the exit status as a hard gate. *)
+
+module Diff = struct
+  type entry = {
+    metric : string;
+    a : float;
+    b : float;
+    pct : float;  (* 100 * (b - a) / a; 0 when both sides are 0 *)
+    regression : bool;
+  }
+
+  type result = {
+    entries : entry list;  (* intersection of both docs, sorted by metric *)
+    regressions : entry list;  (* entries past the threshold, worst first *)
+    only_a : string list;
+    only_b : string list;
+  }
+
+  let default_threshold_pct = 20.
+
+  (* (metric, value) list for one document; higher is always worse. *)
+  let metrics_of doc =
+    let schema =
+      match Json.member "schema" doc with Some (Json.String s) -> s | _ -> ""
+    in
+    if String.length schema >= 13 && String.sub schema 0 13 = "hetarch.bench" then
+      match Json.member "kernels" doc with
+      | Some (Json.List ks) ->
+          List.filter_map
+            (fun k ->
+              match (Json.member "name" k, Json.member "ns_per_run" k) with
+              | Some (Json.String n), Some v -> (
+                  try Some ("kernel:" ^ n, Json.to_float v) with Failure _ -> None)
+              | _ -> None)
+            ks
+      | _ -> []
+    else if String.length schema >= 11 && String.sub schema 0 11 = "hetarch.obs" then begin
+      let section name f =
+        match Json.member name doc with
+        | Some (Json.Obj kvs) -> List.filter_map f kvs
+        | _ -> []
+      in
+      section "spans" (fun (name, v) ->
+          match Json.member "total_ns" v with
+          | Some t -> (try Some ("span:" ^ name, Json.to_float t) with Failure _ -> None)
+          | None -> None)
+      @ section "histograms" (fun (name, v) ->
+            match Json.member "mean" v with
+            | Some m -> (
+                try
+                  let x = Json.to_float m in
+                  if Float.is_finite x then Some ("hist:" ^ name ^ ".mean", x)
+                  else None
+                with Failure _ -> None)
+            | None -> None)
+    end
+    else failwith "Obs.Diff: unrecognized schema (want hetarch.bench/* or hetarch.obs/*)"
+
+  let compare_docs ?(threshold_pct = default_threshold_pct) a b =
+    let ma = metrics_of a and mb = metrics_of b in
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) ma;
+    let entries =
+      List.filter_map
+        (fun (k, vb) ->
+          match Hashtbl.find_opt tbl k with
+          | None -> None
+          | Some va ->
+              let pct =
+                if va > 0. then 100. *. (vb -. va) /. va
+                else if vb > 0. then infinity
+                else 0.
+              in
+              Some
+                { metric = k;
+                  a = va;
+                  b = vb;
+                  pct;
+                  regression = va > 0. && pct > threshold_pct })
+        mb
+      |> List.sort (fun x y -> compare x.metric y.metric)
+    in
+    let names m = List.map fst m in
+    let diff_names xs ys = List.filter (fun x -> not (List.mem x ys)) xs in
+    { entries;
+      regressions =
+        List.filter (fun e -> e.regression) entries
+        |> List.sort (fun x y -> compare y.pct x.pct);
+      only_a = List.sort compare (diff_names (names ma) (names mb));
+      only_b = List.sort compare (diff_names (names mb) (names ma)) }
 end
 
 (* --------------------------------------------------------------- reports *)
@@ -649,4 +1139,19 @@ let reset () =
           h.Histogram.hi <- neg_infinity;
           Stats.running_reset h.Histogram.welford))
     Histogram.registry;
-  Trace.reset ()
+  Trace.reset ();
+  Telemetry.reset_baseline ()
+
+(* Hook the deterministic executor (which sits below this library in the
+   dependency order and therefore cannot call it directly):
+   - workers inherit the submitting caller's span path, so profile trees
+     and folded stacks are identical at any --jobs setting;
+   - every completed task offers the telemetry heartbeat a (throttled,
+     domain-safe) chance to tick, so long fan-outs stream progress without
+     a background thread. *)
+let () =
+  Parallel.task_context :=
+    (fun () ->
+      let inherited = !(Domain.DLS.get Trace.stack_key) in
+      fun () -> Domain.DLS.get Trace.stack_key := inherited);
+  Parallel.on_task_done := (fun () -> Telemetry.tick ())

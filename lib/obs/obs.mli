@@ -99,8 +99,9 @@ module Histogram : sig
   val quantile : t -> float -> float
   (** [quantile t q] for [q] in [0, 1]: bucket-interpolated estimate (linear
       within the bucket holding rank [q * count], edges clamped to the
-      observed min/max).  [nan] when empty; raises [Invalid_argument] on
-      [q] outside [0, 1]. *)
+      observed min/max).  With a single sample — or when every sample was
+      the same value — returns that exact value.  [nan] when empty; raises
+      [Invalid_argument] on [q] outside [0, 1]. *)
 
   val min_value : t -> float
   (** [infinity] when empty. *)
@@ -122,6 +123,13 @@ module Trace : sig
     start_ns : int64;  (** relative to process start of tracing *)
     dur_ns : int64;
     depth : int;  (** 0 = root; nesting depth at entry *)
+    domain : int;  (** id of the domain that recorded the span *)
+    path : string;
+        (** caller path including the span itself, [";"]-separated — e.g.
+            ["cmd.fig6;qec.logical_error_rate"].  Spans recorded inside
+            [Parallel] tasks inherit the submitting caller's path, so paths
+            are identical at any job count.  Span names should therefore
+            avoid [';']. *)
     attrs : (string * string) list;
   }
 
@@ -139,13 +147,159 @@ module Trace : sig
   (** Per-name [(name, count, total_ns)] aggregates over {e all} spans,
       sorted by name; unaffected by ring eviction. *)
 
+  val by_path : unit -> (string * int * int64) list
+  (** Per-caller-path [(path, count, total_ns)] aggregates over {e all}
+      spans, sorted by path; unaffected by ring eviction.  The profiler's
+      input. *)
+
   val set_capacity : int -> unit
   (** Resize the ring (clears retained spans); default 65536. *)
 
   val export : path:string -> unit
   (** Write retained spans as JSONL, one Chrome-trace complete event per
-      line: [{"name":…,"ph":"X","ts":µs,"dur":µs,"pid":0,"tid":depth,
-      "args":{…}}]. *)
+      line: [{"name":…,"ph":"X","ts":µs,"dur":µs,"pid":0,"tid":domain,
+      "args":{"depth":…,"path":…,…}}].  [tid] is the recording domain, so
+      Perfetto renders one track per domain; nesting depth and the caller
+      path travel in [args]. *)
+end
+
+(** Call-tree profiler over caller-path-keyed span aggregates.
+
+    Cumulative time is summed per exact caller path; {e self} time is
+    cumulative minus the cumulative time of direct children, so self times
+    telescope — summed over the whole tree they equal the root spans'
+    cumulative time exactly (up to clamping of clock jitter).  All
+    renderings sort lexicographically by path and are therefore
+    deterministic regardless of span completion order across domains. *)
+module Profile : sig
+  type node = {
+    path : string;  (** full [";"]-separated caller path *)
+    name : string;  (** leaf segment of [path] *)
+    count : int;
+    cum_ns : int64;
+    self_ns : int64;  (** [cum_ns] minus direct children's [cum_ns], >= 0 *)
+    children : node list;  (** sorted by name *)
+  }
+
+  val tree : unit -> node list
+  (** Roots of the call tree aggregated from {!Trace.by_path}. *)
+
+  val of_totals : (string * int * int64) list -> node list
+  (** Build a tree from explicit [(path, count, total_ns)] aggregates, e.g.
+      re-aggregated from an exported trace file.  Paths appearing without
+      their parent produce implicit zero-count interior nodes. *)
+
+  val folded : ?weight:[ `Self_ns | `Count ] -> node list -> string
+  (** Folded-stack text ([root;child;leaf weight], one line per node with a
+      positive weight, sorted by path) — the input format of flamegraph.pl
+      and speedscope.  [`Self_ns] (default) weights by self nanoseconds;
+      [`Count] weights by span count, which is byte-identical across
+      [--jobs] settings for a deterministic workload. *)
+
+  val top : ?limit:int -> node list -> node list
+  (** Flattened nodes ranked by self time, descending (path breaks ties). *)
+
+  val top_table : ?limit:int -> node list -> string
+  (** Rendered self-time table (self ms, count, cumulative ms, self%, path);
+      [limit] defaults to 20. *)
+end
+
+(** Append-only JSONL telemetry heartbeat, schema [hetarch.telemetry/1].
+
+    One record per tick: monotonic elapsed seconds, every counter's value
+    and its delta since the previous record (plus derived per-second rates),
+    GC minor/major deltas, and — when a campaign registered a progress
+    provider — per-task progress (shots, errors, Wilson half-width,
+    remaining shots) and a campaign ETA at the current rate.
+
+    Ticks are driven {e synchronously} from [Parallel] chunk boundaries and
+    [Collect] batch completions; there is no background thread, so enabling
+    telemetry cannot change any computed result.  A disabled tick costs one
+    atomic load; an enabled one is throttled to the configured interval. *)
+module Telemetry : sig
+  type task_progress = {
+    tp_id : string;
+    tp_kind : string;
+    tp_shots : int;
+    tp_errors : int;
+    tp_resumed : int;  (** shots replayed from a ledger *)
+    tp_rel_halfwidth : float;  (** [nan] when undefined (zero errors) *)
+    tp_remaining : int;  (** shots to the task's ceiling; 0 once stopped *)
+    tp_done : bool;
+  }
+
+  type campaign = {
+    c_elapsed_s : float;  (** since the provider registered *)
+    c_done : int;
+    c_total : int;
+    c_shots : int;  (** merged, including resumed *)
+    c_new_shots : int;  (** sampled by this run *)
+    c_rate : float;  (** new shots per second *)
+    c_remaining : int;
+    c_eta_s : float option;
+    c_tasks : task_progress list;
+  }
+
+  val enable : path:string -> interval_s:float -> unit
+  (** Open (truncating) [path], write a baseline record (seq 0), and start
+      accepting ticks at most every [interval_s] seconds ([0.] = every
+      tick).  Re-enabling closes the previous sink first. *)
+
+  val disable : unit -> unit
+  (** Write one final forced record and close the sink.  No-op when
+      telemetry was never enabled. *)
+
+  val enabled : unit -> bool
+
+  val tick : ?force:bool -> unit -> unit
+  (** Append a record if enabled and the interval has elapsed ([force]
+      bypasses the throttle).  Domain-safe. *)
+
+  val set_campaign : (unit -> task_progress list) option -> unit
+  (** Register (or clear) the campaign progress provider and restart the
+      campaign clock.  The provider is called at each tick and by
+      {!campaign_snapshot}; it must be cheap and domain-safe. *)
+
+  val campaign_snapshot : unit -> campaign option
+  (** Aggregate the provider's current task list into campaign totals, rate
+      and ETA — the single code path behind both the telemetry records and
+      the collect [--progress] line.  [None] when no provider is set. *)
+
+  val reset_baseline : unit -> unit
+  (** Forget the counter/GC delta baseline (done by [Obs.reset]) so the
+      next record's deltas measure from zero rather than going negative. *)
+end
+
+(** Manifest and bench comparison: a perf-regression gate.
+
+    Extracts the time-like metrics of two parsed documents — kernel ns/run
+    from [hetarch.bench/2], span [total_ns] and histogram means from
+    [hetarch.obs/*] — and flags relative regressions past a threshold
+    (higher is always worse). *)
+module Diff : sig
+  type entry = {
+    metric : string;
+    a : float;
+    b : float;
+    pct : float;  (** [100 * (b - a) / a]; [0.] when both sides are zero *)
+    regression : bool;
+  }
+
+  type result = {
+    entries : entry list;  (** metric intersection, sorted by name *)
+    regressions : entry list;  (** past the threshold, worst first *)
+    only_a : string list;  (** metrics present only in the first document *)
+    only_b : string list;
+  }
+
+  val default_threshold_pct : float
+  (** 20%. *)
+
+  val metrics_of : Json.t -> (string * float) list
+  (** Raises [Failure] on an unrecognized schema. *)
+
+  val compare_docs : ?threshold_pct:float -> Json.t -> Json.t -> result
+  (** [compare_docs a b] treats [a] as the baseline. *)
 end
 
 (** One-document run manifest: the registry plus span summaries.

@@ -32,6 +32,22 @@ let tasks_total = Atomic.make 0
 let domains_spawned_total = Atomic.make 0
 let stats () = (Atomic.get tasks_total, Atomic.get domains_spawned_total)
 
+(* Upward hooks (installed by lib/obs, which sits above this library).
+
+   [task_context] is called once in the submitting domain per [run]; the
+   closure it returns is called once in each worker domain before that
+   domain claims its first task.  lib/obs uses it to seed the worker's
+   span-path stack with the caller's, so spans recorded inside tasks carry
+   the same caller path whether they run inline (jobs = 1) or in a worker
+   domain — the determinism the folded-stack profiler depends on.
+
+   [on_task_done] fires after every completed task, in whichever domain ran
+   it.  lib/obs points it at the telemetry tick, giving long fan-outs a
+   live heartbeat at chunk boundaries without any background thread; the
+   default is free, and implementations must be domain-safe and cheap. *)
+let task_context : (unit -> unit -> unit) ref = ref (fun () () -> ())
+let on_task_done : (unit -> unit) ref = ref (fun () -> ())
+
 (* Run every thunk, returning results in task order.  Tasks are claimed from
    a shared atomic cursor, so domains stay busy under uneven task costs; the
    result array is indexed by task id, which makes the output independent of
@@ -42,19 +58,29 @@ let run ?jobs:requested tasks =
   ignore (Atomic.fetch_and_add tasks_total n);
   let j = max 1 (min (match requested with Some j -> j | None -> jobs ()) n) in
   if n = 0 then [||]
-  else if j = 1 then Array.map (fun f -> f ()) tasks
+  else if j = 1 then
+    Array.map
+      (fun f ->
+        let v = f () in
+        !on_task_done ();
+        v)
+      tasks
   else begin
     let results = Array.make n None in
     let error = Atomic.make None in
     let next = Atomic.make 0 in
+    let setup = !task_context () in
     let worker () =
+      setup ();
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n || Atomic.get error <> None then continue := false
         else
           match tasks.(i) () with
-          | v -> results.(i) <- Some v
+          | v ->
+              results.(i) <- Some v;
+              !on_task_done ()
           | exception e -> ignore (Atomic.compare_and_set error None (Some e))
       done
     in

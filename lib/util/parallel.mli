@@ -54,3 +54,15 @@ val monte_carlo_count :
 
 val stats : unit -> int * int
 (** [(tasks_run, domains_spawned)] process totals, for observability. *)
+
+val task_context : (unit -> unit -> unit) ref
+(** Upward hook for layers above this library (installed by [Obs]).  Called
+    once in the submitting domain per {!run}; the returned closure is called
+    once in each worker domain before it claims tasks.  Used to propagate
+    the caller's span path so traces nest identically at any job count.
+    Default: no-op. *)
+
+val on_task_done : (unit -> unit) ref
+(** Upward hook fired after every completed task, in whichever domain ran
+    it — the chunk-boundary heartbeat for telemetry.  Implementations must
+    be domain-safe and cheap; the default is a no-op. *)

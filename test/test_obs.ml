@@ -80,6 +80,27 @@ let test_histogram_quantile () =
   Alcotest.(check bool) "overflow quantile within observed range" true
     (q > 1. && q <= 8.)
 
+let test_histogram_quantile_exact_when_degenerate () =
+  Obs.reset ();
+  (* One sample: every quantile is that exact value, not a bucket-edge
+     interpolation. *)
+  let h = Obs.Histogram.create ~buckets:[| 10.; 20. |] "test.quant_single" in
+  Obs.Histogram.observe h 12.5;
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "single sample exact at q=%g" q)
+        true
+        (feq (Obs.Histogram.quantile h q) 12.5))
+    [ 0.; 0.25; 0.5; 0.9; 1. ];
+  (* Many identical samples (min = max) collapse the same way. *)
+  let d = Obs.Histogram.create ~buckets:[| 10.; 20. |] "test.quant_flat" in
+  for _ = 1 to 7 do
+    Obs.Histogram.observe d 15.
+  done;
+  Alcotest.(check bool) "min = max exact" true
+    (feq (Obs.Histogram.quantile d 0.5) 15.)
+
 let test_histogram_rejects_bad_buckets () =
   Obs.reset ();
   Alcotest.(check bool) "non-increasing rejected" true
@@ -302,7 +323,20 @@ let test_trace_export_jsonl () =
           lines
       in
       Alcotest.(check bool) "completion order" true
-        (names = [ Obs.Json.String "b"; Obs.Json.String "a" ]))
+        (names = [ Obs.Json.String "b"; Obs.Json.String "a" ]);
+      (* Chrome-trace mapping: tid is the recording domain (one Perfetto
+         track per domain), pid is 0, and depth/path travel in args. *)
+      let inner = Obs.Json.parse (List.hd lines) in
+      Alcotest.(check bool) "pid 0" true
+        (Obs.Json.member "pid" inner = Some (Obs.Json.Int 0));
+      Alcotest.(check bool) "tid is the recording domain" true
+        (Obs.Json.member "tid" inner
+        = Some (Obs.Json.Int (Domain.self () :> int)));
+      let args = Option.get (Obs.Json.member "args" inner) in
+      Alcotest.(check bool) "depth in args" true
+        (Obs.Json.member "depth" args = Some (Obs.Json.Int 1));
+      Alcotest.(check bool) "path in args" true
+        (Obs.Json.member "path" args = Some (Obs.Json.String "a;b")))
 
 (* -------------------------------------------------- cache gauge regression *)
 
@@ -359,6 +393,8 @@ let () =
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "histogram degenerate quantile" `Quick
+            test_histogram_quantile_exact_when_degenerate;
           Alcotest.test_case "histogram bad buckets" `Quick
             test_histogram_rejects_bad_buckets ] );
       ( "trace",

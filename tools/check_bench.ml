@@ -51,7 +51,11 @@ let () =
       | _ -> fail "%s: missing or mismatched seed" name)
     kernels;
   (* Kernels the perf trajectory depends on must keep being recorded. *)
-  let required = [ "hetarch collect-ledger-append" ] in
+  let required =
+    [ "hetarch collect-ledger-append";
+      "hetarch span-record";
+      "hetarch telemetry-snapshot" ]
+  in
   let recorded =
     List.filter_map
       (fun k ->
