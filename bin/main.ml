@@ -45,11 +45,16 @@ let run_cells () =
   let pc = Cell.parcheck () in
   let so = Cell.seqop () in
   let uc = Cell.usc () in
-  let load = Characterize.register_load reg in
-  let ret = Characterize.register_retention reg ~dt:10e-6 in
-  let par = Characterize.parity_check pc in
-  let seq = Characterize.sequential_cnots so ~count:5 in
-  let stab = Characterize.stabilizer_check uc ~weight:4 ~serialized:true in
+  (* Routed through the memo hook: with --cache-dir the second run serves
+     these from the persistent store; the table bytes are identical either
+     way because the codec round-trips bit-exactly. *)
+  let memo = Char_store.memo () in
+  let ch cell op = (Characterize.characterize_op ~memo cell op).Characterize.perf in
+  let load = ch reg Characterize.Load in
+  let ret = ch reg (Characterize.Retention { dt = 10e-6 }) in
+  let par = ch pc Characterize.Parity_check in
+  let seq = ch so (Characterize.Seq_cnots { count = 5 }) in
+  let stab = ch uc (Characterize.Stabilizer { weight = 4; serialized = true }) in
   Tableio.print ~align:Tableio.Left
     ~header:[ "Operation"; "Duration (us)"; "Error" ]
     [ [ "Register load (SWAP in)"; g (load.Characterize.duration *. 1e6); g load.Characterize.error ];
@@ -277,6 +282,56 @@ let run_burden () =
     ~header:[ "Module"; "Qubits"; "Flat cost"; "Hierarchical"; "Reduction" ]
     rows;
   print_endline "\n(The paper's claim: reduction by a factor of 10^4 or more.)"
+
+(* ----------------------------------------------------------- charsweep *)
+
+(* Characterization sweep over storage-coherence scaling: every point
+   re-characterizes the storage-bearing cells by density-matrix simulation,
+   which is exactly the workload the persistent store (--cache-dir)
+   warm-starts.  The stdout table depends only on the characterized values,
+   so it is byte-identical cold, warm, half-warm, or with no store at all;
+   cache statistics go to stderr (and the --metrics manifest) only. *)
+let run_charsweep n =
+  print_endline
+    "Characterization sweep: storage-cell operations vs coherence scaling alpha";
+  let memo = Char_store.memo () in
+  let alphas = Sweep.linspace ~lo:1. ~hi:5. ~n in
+  let point alpha =
+    let base = Device.multimode_resonator_3d in
+    let storage =
+      Device.with_coherence base ~t1:(alpha *. base.Device.t1)
+        ~t2:(alpha *. base.Device.t2)
+    in
+    let ch cell op = (Characterize.characterize_op ~memo cell op).Characterize.perf in
+    let load = ch (Cell.register ~storage ()) Characterize.Load in
+    let ret =
+      ch (Cell.register ~storage ()) (Characterize.Retention { dt = 10e-6 })
+    in
+    let seq =
+      ch (Cell.seqop ~storage ()) (Characterize.Seq_cnots { count = 5 })
+    in
+    let stab =
+      ch (Cell.usc ~storage ())
+        (Characterize.Stabilizer { weight = 4; serialized = true })
+    in
+    [ g alpha; g load.Characterize.error; g ret.Characterize.error;
+      g seq.Characterize.error; g stab.Characterize.error ]
+  in
+  let rows = List.map snd (Sweep.sweep ?store:(Char_store.store ()) alphas ~f:point) in
+  Tableio.print
+    ~header:
+      [ "alpha"; "load err"; "retention err (10us)"; "seqop err (5 CX)";
+        "USC w4 err" ]
+    rows;
+  print_endline "(alpha scales storage T1/T2; characterized via density-matrix simulation)";
+  let paid = Cache.cost_paid Char_store.cache
+  and avoided = Cache.cost_avoided Char_store.cache in
+  Printf.eprintf "%s\n" (Char_store.stats ());
+  if paid > 0. then
+    Printf.eprintf "burden reduction vs recompute: %.2fx\n"
+      ((paid +. avoided) /. paid)
+  else if avoided > 0. then
+    Printf.eprintf "burden reduction vs recompute: inf (all served from cache)\n"
 
 (* ----------------------------------------------------------- ablations *)
 
@@ -713,16 +768,25 @@ let run_obs_tail file =
              | _ -> []))
         (campaign last)
 
-let run_obs_diff file_a file_b threshold =
+let run_obs_diff file_a file_b threshold noise_floor normalize =
   let doc_a = load_json file_a and doc_b = load_json file_b in
   let r =
-    try Obs.Diff.compare_docs ?threshold_pct:threshold doc_a doc_b
+    try
+      Obs.Diff.compare_docs ?threshold_pct:threshold
+        ?noise_floor_ns:noise_floor ~normalize doc_a doc_b
     with Failure msg ->
       Printf.eprintf "hetarch obs diff: %s\n" msg;
       exit 2
   in
   let thr = Option.value ~default:Obs.Diff.default_threshold_pct threshold in
-  Printf.printf "diff %s -> %s (threshold %g%%)\n" file_a file_b thr;
+  Printf.printf "diff %s -> %s (threshold %g%%%s%s)\n" file_a file_b thr
+    (match noise_floor with
+     | Some f -> Printf.sprintf ", noise floor %g ns" f
+     | None -> "")
+    (if normalize then
+       Printf.sprintf ", current normalized by /%.3f (median machine ratio)"
+         r.Obs.Diff.scale
+     else "");
   Tableio.print ~align:Tableio.Left
     ~header:[ "metric"; "baseline"; "current"; "delta" ]
     (List.map
@@ -763,6 +827,19 @@ let jobs_arg =
            $(b,HETARCH_JOBS) (or 1).  Output is bit-identical for a given \
            seed at any job count.")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent characterization store: serve cell characterizations \
+           from the content-addressed store in $(docv) instead of re-running \
+           density-matrix simulation, writing new results back (crash-safe: \
+           temp file + atomic rename; corrupt entries degrade to misses).  \
+           Output is byte-identical with the store cold, warm, or absent, \
+           at any $(b,--jobs).")
+
 let metrics_arg =
   Arg.(
     value
@@ -801,8 +878,12 @@ let telemetry_interval_arg =
    Parallel chunk boundaries and Collect batches — no background thread);
    the final forced record is written on the way out. *)
 let cmd name doc term =
-  let wrap jobs metrics trace telemetry interval f =
+  let wrap jobs cache_dir metrics trace telemetry interval f =
     Parallel.set_jobs jobs;
+    (try Char_store.set_dir cache_dir
+     with Invalid_argument msg | Sys_error msg ->
+       Printf.eprintf "hetarch: cannot open --cache-dir: %s\n" msg;
+       exit 1);
     (try
        Option.iter
          (fun path -> Obs.Telemetry.enable ~path ~interval_s:interval)
@@ -821,8 +902,8 @@ let cmd name doc term =
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const wrap $ jobs_arg $ metrics_arg $ trace_arg $ telemetry_arg
-      $ telemetry_interval_arg $ term)
+      const wrap $ jobs_arg $ cache_dir_arg $ metrics_arg $ trace_arg
+      $ telemetry_arg $ telemetry_interval_arg $ term)
 
 let collect_term =
   let campaign =
@@ -939,6 +1020,26 @@ let obs_cmd =
       & info [ "threshold" ] ~docv:"PCT"
           ~doc:"Regression threshold in percent (default 20)")
   in
+  let noise_floor_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "noise-floor-ns" ] ~docv:"NS"
+          ~doc:
+            "Never flag metrics whose baseline and current values are both \
+             below $(docv) nanoseconds — relative thresholds are \
+             meaningless under scheduling noise")
+  in
+  let normalize_arg =
+    Arg.(
+      value & flag
+      & info [ "normalize" ]
+          ~doc:
+            "Divide current values by the median current/baseline ratio \
+             before comparing, cancelling a uniform machine-speed \
+             difference (gate CI runners against a baseline from different \
+             hardware)")
+  in
   let manifest_pos =
     Arg.(
       required
@@ -985,8 +1086,9 @@ let obs_cmd =
       cmd "diff"
         "Compare two manifests or bench documents; exit 1 on perf regressions"
         Term.(
-          const (fun a b thr () -> run_obs_diff a b thr)
-          $ baseline_pos $ current_pos $ threshold_arg) ]
+          const (fun a b thr floor norm () -> run_obs_diff a b thr floor norm)
+          $ baseline_pos $ current_pos $ threshold_arg $ noise_floor_arg
+          $ normalize_arg) ]
 
 let commands =
   [ cmd "devices" "Table 1: device catalog" Term.(const run_devices);
@@ -1021,6 +1123,14 @@ let commands =
     cmd "protocol" "Timed six-step CT protocol: throughput and latency"
       Term.(const run_protocol);
     cmd "burden" "DSE simulation-burden accounting" Term.(const run_burden);
+    cmd "charsweep"
+      "Characterization sweep over storage coherence (warm-startable via \
+       --cache-dir)"
+      Term.(
+        const (fun n () -> run_charsweep n)
+        $ Arg.(
+            value & opt int 5
+            & info [ "n" ] ~docv:"N" ~doc:"Number of alpha points (>= 2)"));
     cmd "hierarchy" "Module hierarchy trees" Term.(const run_hierarchy) ]
 
 let default =

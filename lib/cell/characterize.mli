@@ -67,3 +67,59 @@ val retention_with_spectators :
 val simulation_dimension : Cell.t -> int
 (** Hilbert-space dimension a naive device-level simulation of the full cell
     would need — the denominator of the DSE burden-reduction accounting. *)
+
+(** {1 Channel characterization}
+
+    First-class description of the characterizable operations, so the DSE
+    layer can memoize results — in memory and across process restarts via
+    the persistent store — keyed by a content hash of the full
+    characterization input. *)
+
+type op =
+  | Load  (** {!register_load} *)
+  | Retention of { dt : float }  (** {!register_retention} *)
+  | Idle of { dt : float }  (** {!compute_idle} on the cell's compute *)
+  | Parity_check  (** {!parity_check} *)
+  | Seq_cnots of { count : int }  (** {!sequential_cnots} *)
+  | Stabilizer of { weight : int; serialized : bool }  (** {!stabilizer_check} *)
+
+type characterized = {
+  perf : perf;
+  channel : Channel.t;
+      (** Effective channel abstraction of the operation: exact Kraus
+          composition for the single-qubit register operations, a
+          Pauli-twirled depolarizing channel at the simulated error for the
+          multi-qubit ones. *)
+}
+
+(** Memoization hook, injected by the DSE layer (lib/cell sits below it in
+    the dependency order).  [kind]/[fields] are a content-complete
+    description of the characterization input — cell name and topology,
+    storage/compute device parameters, gate times, op parameters — and
+    [dim] is the active simulation dimension for burden accounting. *)
+type memo = {
+  memoize :
+    kind:string ->
+    fields:(string * string) list ->
+    dim:int ->
+    (unit -> characterized) ->
+    characterized;
+}
+
+val no_memo : memo
+(** Computes every time; the default. *)
+
+val op_name : op -> string
+val op_dim : op -> int
+(** Active-subspace Hilbert dimension of the op's density-matrix
+    simulation (same accounting as [Burden.active_qubits]). *)
+
+val key_fields : ?times:gate_times -> Cell.t -> op -> (string * string) list
+(** The content-complete key the memo hook receives — exposed so tests can
+    pin key stability. *)
+
+val characterize_op :
+  ?times:gate_times -> ?memo:memo -> Cell.t -> op -> characterized
+(** Characterize one operation of a cell, routing through [memo] so repeat
+    characterizations hit the cache (and the persistent store, when one is
+    installed) instead of re-running density-matrix simulation. *)

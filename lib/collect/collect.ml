@@ -16,30 +16,12 @@
 
 (* ------------------------------------------------------------ hashing -- *)
 
-(* Hand-rolled 64-bit content hash (rotate-multiply absorption with a
-   murmur-style finalizer — deliberately not Hashtbl.hash, whose value is
-   not specified across OCaml versions).  Stable across runs and platforms:
-   task identity must outlive any one process. *)
+(* Stable 64-bit content hash, shared with the DSE characterization store;
+   the implementation (and the ledger compatibility it implies) lives in
+   Content_hash and is guarded there by pinned-value tests. *)
 
-let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
-
-let fmix64 h =
-  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
-  let h = Int64.mul h 0xFF51AFD7ED558CCDL in
-  let h = Int64.logxor h (Int64.shift_right_logical h 29) in
-  let h = Int64.mul h 0xC4CEB9FE1A85EC53L in
-  Int64.logxor h (Int64.shift_right_logical h 32)
-
-let hash64 s =
-  let h = ref 0x2545F4914F6CDD1DL in
-  String.iteri
-    (fun i c ->
-      let x = Int64.logxor !h (Int64.of_int ((Char.code c + 1) * (i + 1))) in
-      h := Int64.add (Int64.mul (rotl x 23) 0x9E3779B97F4A7C15L) 0x165667B19E3779F9L)
-    s;
-  fmix64 (Int64.logxor !h (Int64.of_int (String.length s)))
-
-let hash_hex s = Printf.sprintf "%016Lx" (hash64 s)
+let hash64 = Content_hash.hash64
+let hash_hex = Content_hash.hash_hex
 
 (* -------------------------------------------------------------- tasks -- *)
 
@@ -58,22 +40,14 @@ module Task = struct
     { kind; fields; sample }
 
   (* Canonical form: kind then fields sorted by key, every component
-     length-prefixed so the encoding is injective (no delimiter collisions)
+     length-prefixed (Content_hash.canonical) so the encoding is injective
      and the hash is independent of the order fields were listed in. *)
   let canonical t =
-    let b = Buffer.create 64 in
-    let add s =
-      Buffer.add_string b (string_of_int (String.length s));
-      Buffer.add_char b ':';
-      Buffer.add_string b s
-    in
-    add t.kind;
-    List.iter
-      (fun (k, v) ->
-        add k;
-        add v)
-      (List.sort (fun (a, _) (b, _) -> compare a b) t.fields);
-    Buffer.contents b
+    Content_hash.canonical
+      (t.kind
+      :: List.concat_map
+           (fun (k, v) -> [ k; v ])
+           (List.sort (fun (a, _) (b, _) -> compare a b) t.fields))
 
   let id t = hash_hex (canonical t)
 

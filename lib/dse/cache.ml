@@ -1,15 +1,22 @@
 type 'v t = {
   table : (string, 'v) Hashtbl.t;
   lock : Mutex.t;
-  mutable hits : int;
-  mutable misses : int;
+  mutable hits : int;  (* memory tier *)
+  mutable disk_hits : int;  (* persistent tier *)
+  mutable misses : int;  (* computed *)
   mutable paid : float;
   mutable avoided : float;
 }
 
+type 'v codec = { encode : 'v -> string; decode : string -> 'v option }
+
 (* Process-wide gauges aggregate over every cache instance; the per-instance
-   accessors below stay the source of truth for a single cache. *)
+   accessors below stay the source of truth for a single cache.  Hits are
+   split by tier: dse.cache_hits counts memory hits, dse.cache_disk_hits
+   counts hits served from a persistent store — the cross-process reuse the
+   paper's burden accounting is about. *)
 let g_hits = Obs.Gauge.create "dse.cache_hits"
+let g_disk_hits = Obs.Gauge.create "dse.cache_disk_hits"
 let g_misses = Obs.Gauge.create "dse.cache_misses"
 let g_paid = Obs.Gauge.create "dse.cache_cost_paid"
 let g_avoided = Obs.Gauge.create "dse.cache_cost_avoided"
@@ -18,6 +25,7 @@ let create () =
   { table = Hashtbl.create 64;
     lock = Mutex.create ();
     hits = 0;
+    disk_hits = 0;
     misses = 0;
     paid = 0.;
     avoided = 0. }
@@ -25,36 +33,58 @@ let create () =
 let cube dim = float_of_int dim ** 3.
 
 (* Table and stats are mutex-guarded so sweep points can share a cache
-   across domains.  [f] runs outside the lock — it may be expensive — so two
-   domains racing on the same key may both compute; the first insert wins
-   and the computation is assumed deterministic per key. *)
-let find_or_compute t ~key ~dim f =
-  let cached =
+   across domains.  The expensive paths — computing [f] and the store I/O —
+   run outside the lock, so two domains racing on the same key may both
+   compute (or both read the store); the first memory insert wins and the
+   computation is assumed deterministic per key, so either result is the
+   same value.  Tier order: memory, then the persistent store (a disk hit
+   is promoted into memory), then compute-and-write-back. *)
+let find_or_compute ?disk t ~key ~dim f =
+  let mem_cached =
     Mutex.protect t.lock (fun () ->
         match Hashtbl.find_opt t.table key with
         | Some v ->
             t.hits <- t.hits + 1;
             t.avoided <- t.avoided +. cube dim;
             Some v
-        | None ->
-            t.misses <- t.misses + 1;
-            t.paid <- t.paid +. cube dim;
-            None)
+        | None -> None)
   in
-  match cached with
+  match mem_cached with
   | Some v ->
       Obs.Gauge.add g_hits 1.;
       Obs.Gauge.add g_avoided (cube dim);
       v
-  | None ->
-      Obs.Gauge.add g_misses 1.;
-      Obs.Gauge.add g_paid (cube dim);
-      let v = f () in
-      Mutex.protect t.lock (fun () ->
-          if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
-      v
+  | None -> (
+      let from_disk =
+        match disk with
+        | None -> None
+        | Some (store, codec) -> Option.bind (Store.find store key) codec.decode
+      in
+      match from_disk with
+      | Some v ->
+          Mutex.protect t.lock (fun () ->
+              t.disk_hits <- t.disk_hits + 1;
+              t.avoided <- t.avoided +. cube dim;
+              if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
+          Obs.Gauge.add g_disk_hits 1.;
+          Obs.Gauge.add g_avoided (cube dim);
+          v
+      | None ->
+          Mutex.protect t.lock (fun () ->
+              t.misses <- t.misses + 1;
+              t.paid <- t.paid +. cube dim);
+          Obs.Gauge.add g_misses 1.;
+          Obs.Gauge.add g_paid (cube dim);
+          let v = f () in
+          Option.iter
+            (fun (store, codec) -> Store.put store key (codec.encode v))
+            disk;
+          Mutex.protect t.lock (fun () ->
+              if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
+          v)
 
 let hits t = Mutex.protect t.lock (fun () -> t.hits)
+let disk_hits t = Mutex.protect t.lock (fun () -> t.disk_hits)
 let misses t = Mutex.protect t.lock (fun () -> t.misses)
 let cost_paid t = Mutex.protect t.lock (fun () -> t.paid)
 let cost_avoided t = Mutex.protect t.lock (fun () -> t.avoided)
@@ -63,21 +93,25 @@ let reset t =
   Mutex.protect t.lock (fun () ->
       Hashtbl.reset t.table;
       t.hits <- 0;
+      t.disk_hits <- 0;
       t.misses <- 0;
       t.paid <- 0.;
       t.avoided <- 0.)
 
 let stats t =
-  let hits, misses, paid, avoided =
-    Mutex.protect t.lock (fun () -> (t.hits, t.misses, t.paid, t.avoided))
+  let hits, disk_hits, misses, paid, avoided =
+    Mutex.protect t.lock (fun () ->
+        (t.hits, t.disk_hits, t.misses, t.paid, t.avoided))
   in
-  let total = hits + misses in
+  let total = hits + disk_hits + misses in
   let rate =
-    if total = 0 then 0. else 100. *. float_of_int hits /. float_of_int total
+    if total = 0 then 0.
+    else 100. *. float_of_int (hits + disk_hits) /. float_of_int total
   in
   Printf.sprintf
-    "cache: %d hits / %d misses (%.1f%% hit rate), cost paid %.3g, avoided %.3g"
-    hits misses rate paid avoided
+    "cache: %d mem + %d disk hits / %d misses (%.1f%% hit rate), cost paid \
+     %.3g, avoided %.3g"
+    hits disk_hits misses rate paid avoided
 
 let burden_reduction ~naive_dim t =
   let paid = cost_paid t in

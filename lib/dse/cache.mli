@@ -3,35 +3,60 @@
     The HetArch methodology characterizes each cell once by density-matrix
     simulation and reuses the resulting channel everywhere; this cache
     implements the reuse and tracks how much device-level simulation was
-    avoided, reproducing the paper's >= 10^4 burden-reduction estimate. *)
+    avoided, reproducing the paper's >= 10^4 burden-reduction estimate.
+
+    The cache is two-tiered: an in-process memory table, optionally backed
+    by a persistent content-addressed {!Store} so the reuse survives process
+    restarts.  Hits are split by tier in both the per-instance statistics
+    and the process-wide [dse.cache_*] gauges: [hits] is the memory tier,
+    [disk_hits] the persistent tier. *)
 
 type 'v t
 
+(** Serialization for the persistent tier.  [decode] must return [None] on
+    malformed bytes (it is fed store payloads that already passed the
+    checksum, but version skew within a valid record is still possible);
+    a failed decode degrades to a miss.  For warm runs to be byte-identical
+    to cold ones, [decode (encode v)] must reconstruct [v] bit-exactly. *)
+type 'v codec = { encode : 'v -> string; decode : string -> 'v option }
+
 val create : unit -> 'v t
 
-val find_or_compute : 'v t -> key:string -> dim:int -> (unit -> 'v) -> 'v
+val find_or_compute :
+  ?disk:Store.t * 'v codec -> 'v t -> key:string -> dim:int -> (unit -> 'v) -> 'v
 (** [find_or_compute t ~key ~dim f] returns the cached value for [key] or
-    computes it with [f].  [dim] is the Hilbert-space dimension a device-
-    level simulation of this characterization needs; its cube is the cost
-    unit accounted (dense density-matrix update cost). *)
+    computes it with [f].  Tier order: memory, then (when [disk] is given)
+    the persistent store — a disk hit is promoted into the memory table —
+    then [f], whose result is written back to both tiers (temp file +
+    atomic rename on the store side).  [dim] is the Hilbert-space dimension
+    a device-level simulation of this characterization needs; its cube is
+    the cost unit accounted (dense density-matrix update cost). *)
 
 val hits : 'v t -> int
+(** Memory-tier hits. *)
+
+val disk_hits : 'v t -> int
+(** Persistent-tier hits (entries deserialized from a {!Store}). *)
+
 val misses : 'v t -> int
+(** Values actually computed by [f]. *)
 
 val reset : 'v t -> unit
 (** Drop every cached entry and zero the hit/miss/cost statistics, so a
     multi-phase sweep can report per-phase cache effectiveness instead of
     only cumulative totals.  The process-wide [dse.cache_*] gauges are
-    cumulative and unaffected. *)
+    cumulative and unaffected; the persistent store is untouched. *)
 
 val stats : 'v t -> string
-(** One-line summary: hits, misses, hit rate, cost paid/avoided. *)
+(** One-line summary: per-tier hits, misses, hit rate, cost paid/avoided. *)
 
 val cost_paid : 'v t -> float
 (** Total dim^3 cost actually simulated (misses only). *)
 
 val cost_avoided : 'v t -> float
-(** dim^3 cost that cache hits would otherwise have re-simulated. *)
+(** dim^3 cost that cache hits — memory or disk — would otherwise have
+    re-simulated.  Disk hits in a fresh process measure the cross-restart
+    burden reduction the persistent store buys. *)
 
 val burden_reduction : naive_dim:int -> 'v t -> float
 (** The paper's headline accounting: cost of one naive device-level

@@ -1,0 +1,35 @@
+(** Glue between {!Characterize}'s memo hook and the two-tier {!Cache} /
+    persistent {!Store}: install a store directory once (CLI [--cache-dir],
+    or [~store] on the {!Sweep} combinators) and every cell characterization
+    in the process — at any [--jobs] — is served from memory, then disk,
+    then density-matrix simulation with write-back.
+
+    Warm-start contract: the value codec round-trips bit-exactly, so
+    results are byte-identical with the store cold, warm, half-warm, or
+    absent. *)
+
+val codec : Characterize.characterized Cache.codec
+(** duration/error as raw float bits + [Channel.to_bytes]. *)
+
+val cache : Characterize.characterized Cache.t
+(** The process-wide memory tier (source of the [dse.cache_*] gauges'
+    characterization traffic; reset it to measure a phase in isolation). *)
+
+val set_dir : string option -> unit
+(** Install (or clear) the ambient persistent store by directory. *)
+
+val store : unit -> Store.t option
+(** Currently installed ambient store, if any. *)
+
+val with_store : Store.t -> (unit -> 'a) -> 'a
+(** Run with the given store installed, restoring the previous one after —
+    the implementation of [Sweep]'s [~store] parameter. *)
+
+val memo : unit -> Characterize.memo
+(** Memo hook for [Characterize.characterize_op]: hashes the hook's key
+    fields with {!Store.key} and resolves through {!cache} backed by the
+    ambient store (consulted per call, so worker domains and mid-sweep
+    installs behave). *)
+
+val stats : unit -> string
+(** One-line cache summary (per-tier hits, misses, cost paid/avoided). *)

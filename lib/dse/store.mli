@@ -1,0 +1,61 @@
+(** Persistent content-addressed store for standard-cell characterizations.
+
+    The HetArch methodology characterizes each cell once by density-matrix
+    simulation and reuses the resulting channel everywhere; {!Cache} makes
+    the reuse process-wide, and this store makes it survive process
+    restarts, so a warm second sweep (or CI run, or resumed campaign) skips
+    device-level simulation entirely.
+
+    {b Key discipline}: a key is the 64-bit content hash (16 hex digits) of
+    the length-prefixed canonical encoding of the full characterization
+    input — device parameters, cell topology, noise/timing settings — plus
+    the {!version_tag} of the characterization code, so position in a sweep
+    never matters and stale entries from older code are unreachable rather
+    than silently wrong.
+
+    {b Crash/corruption semantics}: records are framed with a magic, a
+    format version, a payload length, and a 64-bit checksum trailer.  A
+    missing, truncated, corrupt, or version-mismatched entry is reported as
+    a miss, never an error.  Writes go to a unique temp file and are
+    atomically renamed into place, so concurrent writers (any [--jobs], or
+    several processes sharing one cache dir) are safe: readers only ever
+    see absent or complete records, and racing writers produce identical
+    bytes because values are pure functions of their key. *)
+
+type t
+
+type stats = { hits : int; misses : int; corrupt : int; writes : int }
+
+val open_dir : string -> t
+(** Open (creating if needed, like [mkdir -p]) a store rooted at the given
+    directory.  Raises [Invalid_argument] if the path exists but is not a
+    directory. *)
+
+val dir : t -> string
+
+val version_tag : string
+(** Code-version tag mixed into every key; bump when the meaning of a
+    characterization changes so old entries become unreachable. *)
+
+val key : kind:string -> fields:(string * string) list -> string
+(** Content hash of [version_tag], [kind], and the fields sorted by key,
+    each component length-prefixed (injective encoding).  Field order is
+    irrelevant; every parameter that influences the value must be a field. *)
+
+val find : t -> string -> string option
+(** Verified payload for a key, or [None] on a miss — including the
+    degraded corrupt/version-mismatch cases, which additionally bump the
+    [corrupt] statistic and the [dse.store_corrupt_total] counter. *)
+
+val put : t -> string -> string -> unit
+(** Write a payload under a key: temp file + atomic rename.  I/O errors are
+    swallowed (the store is an accelerator, not a source of truth); a
+    failed put simply leaves the entry absent. *)
+
+val entry_path : t -> string -> string
+(** Filesystem path an entry lives at (exposed for tests and the CI
+    corruption smoke, which truncates an entry in place). *)
+
+val stats : t -> stats
+(** Per-store counters; process-wide totals are exported as the
+    [dse.store_*_total] observability counters. *)

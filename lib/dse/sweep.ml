@@ -21,36 +21,50 @@ let point_span ~index f x =
 
 let indexed points = List.mapi (fun i x -> (i, x)) points
 
+(* [~store] installs a persistent characterization store for the duration
+   of the sweep (restoring the previous one after), so any
+   Characterize.characterize_op the points perform — on any worker domain —
+   warm-starts from disk instead of re-running density-matrix simulation. *)
+let with_store_opt store f =
+  match store with None -> f () | Some s -> Char_store.with_store s f
+
 (* Sweep points are independent, so they fan across domains.  Results come
    back in point order regardless of which domain evaluated what; [f] itself
    must be deterministic per point (e.g. take a fresh seed per point, as the
-   figure drivers do) for the sweep to be seed-stable at any job count. *)
-let sweep ?jobs points ~f =
-  Parallel.map_list ?jobs
-    (fun (i, x) -> (x, point_span ~index:i f x))
-    (indexed points)
+   figure drivers do) for the sweep to be seed-stable at any job count.
+   The characterization store never breaks this: its values are bit-exact
+   round trips of deterministic computations, so results are byte-identical
+   with the store cold, warm, or absent. *)
+let sweep ?jobs ?store points ~f =
+  with_store_opt store (fun () ->
+      Parallel.map_list ?jobs
+        (fun (i, x) -> (x, point_span ~index:i f x))
+        (indexed points))
 
-let grid ?jobs xs ys ~f =
-  Parallel.map_list ?jobs
-    (fun (i, (x, y)) -> (x, y, point_span ~index:i (f x) y))
-    (indexed (List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs))
+let grid ?jobs ?store xs ys ~f =
+  with_store_opt store (fun () ->
+      Parallel.map_list ?jobs
+        (fun (i, (x, y)) -> (x, y, point_span ~index:i (f x) y))
+        (indexed (List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs)))
 
 (* Campaign-backed sweeps: each point becomes one Collect task, so a long
    sweep inherits the ledger's resume and adaptive stopping.  Points must map
    to distinct tasks (distinct identity fields) or Collect.run rejects the
    campaign; results pair each point with its merged ledger stat, in point
    order. *)
-let collect ?ledger ?resume ?progress ?stop ?halt_after ~seed points ~task =
-  let tasks = List.map task points in
-  let outcome =
-    Collect.run ?ledger ?resume ?progress ?stop ?halt_after ~seed tasks
-  in
-  (* Collect.run returns stats in task (= point) order. *)
-  (List.combine points outcome.Collect.stats, outcome)
+let collect ?ledger ?resume ?progress ?stop ?halt_after ?store ~seed points ~task =
+  with_store_opt store (fun () ->
+      let tasks = List.map task points in
+      let outcome =
+        Collect.run ?ledger ?resume ?progress ?stop ?halt_after ~seed tasks
+      in
+      (* Collect.run returns stats in task (= point) order. *)
+      (List.combine points outcome.Collect.stats, outcome))
 
-let collect_grid ?ledger ?resume ?progress ?stop ?halt_after ~seed xs ys ~task =
+let collect_grid ?ledger ?resume ?progress ?stop ?halt_after ?store ~seed xs ys
+    ~task =
   let points = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs in
-  collect ?ledger ?resume ?progress ?stop ?halt_after ~seed points
+  collect ?ledger ?resume ?progress ?stop ?halt_after ?store ~seed points
     ~task:(fun (x, y) -> task x y)
 
 let argmin = function

@@ -6,15 +6,27 @@ val linspace : lo:float -> hi:float -> n:int -> float list
 val logspace : lo:float -> hi:float -> n:int -> float list
 (** Log-spaced points; [lo], [hi] must be positive. *)
 
-val sweep : ?jobs:int -> 'a list -> f:('a -> 'b) -> ('a * 'b) list
+val sweep :
+  ?jobs:int -> ?store:Store.t -> 'a list -> f:('a -> 'b) -> ('a * 'b) list
 (** Evaluate [f] at every point, fanning points across domains via
     {!Parallel}.  Results are in point order regardless of [jobs]; for
     seed-stable output, [f] must be deterministic per point (derive a fresh
     RNG per point rather than sharing a sequential stream).  Each point is
     timed under a [dse.sweep_point] span carrying the point's index as a
-    [point] attribute. *)
+    [point] attribute.
 
-val grid : ?jobs:int -> 'a list -> 'b list -> f:('a -> 'b -> 'c) -> ('a * 'b * 'c) list
+    [store] installs a persistent characterization store for the duration
+    of the sweep (see {!Char_store.with_store}): cell characterizations
+    inside the points warm-start from disk, and results stay byte-identical
+    with the store cold, warm, half-warm, or absent, at any [jobs]. *)
+
+val grid :
+  ?jobs:int ->
+  ?store:Store.t ->
+  'a list ->
+  'b list ->
+  f:('a -> 'b -> 'c) ->
+  ('a * 'b * 'c) list
 (** Cartesian product sweep, row-major; parallelised like {!sweep}. *)
 
 val collect :
@@ -23,6 +35,7 @@ val collect :
   ?progress:bool ->
   ?stop:Collect.stop_rule ->
   ?halt_after:int ->
+  ?store:Store.t ->
   seed:int ->
   'a list ->
   task:('a -> Collect.Task.t) ->
@@ -39,6 +52,7 @@ val collect_grid :
   ?progress:bool ->
   ?stop:Collect.stop_rule ->
   ?halt_after:int ->
+  ?store:Store.t ->
   seed:int ->
   'a list ->
   'b list ->

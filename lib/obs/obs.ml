@@ -941,9 +941,19 @@ module Diff = struct
     regressions : entry list;  (* entries past the threshold, worst first *)
     only_a : string list;
     only_b : string list;
+    scale : float;  (* divisor applied to current values; 1 unless normalized *)
   }
 
   let default_threshold_pct = 20.
+
+  let median = function
+    | [] -> 1.
+    | xs ->
+        let arr = Array.of_list xs in
+        Array.sort compare arr;
+        let n = Array.length arr in
+        if n mod 2 = 1 then arr.(n / 2)
+        else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.
 
   (* (metric, value) list for one document; higher is always worse. *)
   let metrics_of doc =
@@ -983,16 +993,39 @@ module Diff = struct
     end
     else failwith "Obs.Diff: unrecognized schema (want hetarch.bench/* or hetarch.obs/*)"
 
-  let compare_docs ?(threshold_pct = default_threshold_pct) a b =
+  (* [normalize] divides every current value by the median current/baseline
+     ratio across the common metrics, cancelling a uniform machine-speed
+     difference (CI runners vs the machine that produced the committed
+     baseline) while leaving genuine per-metric regressions — which move
+     against the median — visible.  [noise_floor_ns] keeps sub-floor
+     metrics listed but never flags them: a 50% swing on a 300 ns kernel
+     is scheduling noise, not a regression. *)
+  let compare_docs ?(threshold_pct = default_threshold_pct)
+      ?(noise_floor_ns = 0.) ?(normalize = false) a b =
     let ma = metrics_of a and mb = metrics_of b in
     let tbl = Hashtbl.create 32 in
     List.iter (fun (k, v) -> Hashtbl.replace tbl k v) ma;
+    let scale =
+      if not normalize then 1.
+      else
+        let ratios =
+          List.filter_map
+            (fun (k, vb) ->
+              match Hashtbl.find_opt tbl k with
+              | Some va when va > 0. && vb > 0. -> Some (vb /. va)
+              | _ -> None)
+            mb
+        in
+        let m = median ratios in
+        if Float.is_finite m && m > 0. then m else 1.
+    in
     let entries =
       List.filter_map
-        (fun (k, vb) ->
+        (fun (k, vb_raw) ->
           match Hashtbl.find_opt tbl k with
           | None -> None
           | Some va ->
+              let vb = vb_raw /. scale in
               let pct =
                 if va > 0. then 100. *. (vb -. va) /. va
                 else if vb > 0. then infinity
@@ -1003,7 +1036,9 @@ module Diff = struct
                   a = va;
                   b = vb;
                   pct;
-                  regression = va > 0. && pct > threshold_pct })
+                  regression =
+                    va > 0. && pct > threshold_pct
+                    && Float.max va vb >= noise_floor_ns })
         mb
       |> List.sort (fun x y -> compare x.metric y.metric)
     in
@@ -1014,7 +1049,8 @@ module Diff = struct
         List.filter (fun e -> e.regression) entries
         |> List.sort (fun x y -> compare y.pct x.pct);
       only_a = List.sort compare (diff_names (names ma) (names mb));
-      only_b = List.sort compare (diff_names (names mb) (names ma)) }
+      only_b = List.sort compare (diff_names (names mb) (names ma));
+      scale }
 end
 
 (* --------------------------------------------------------------- reports *)

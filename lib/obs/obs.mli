@@ -290,6 +290,10 @@ module Diff : sig
     regressions : entry list;  (** past the threshold, worst first *)
     only_a : string list;  (** metrics present only in the first document *)
     only_b : string list;
+    scale : float;
+        (** Divisor applied to every current value before comparison: the
+            median current/baseline ratio when [normalize] was set,
+            [1.] otherwise. *)
   }
 
   val default_threshold_pct : float
@@ -298,8 +302,26 @@ module Diff : sig
   val metrics_of : Json.t -> (string * float) list
   (** Raises [Failure] on an unrecognized schema. *)
 
-  val compare_docs : ?threshold_pct:float -> Json.t -> Json.t -> result
-  (** [compare_docs a b] treats [a] as the baseline. *)
+  val compare_docs :
+    ?threshold_pct:float ->
+    ?noise_floor_ns:float ->
+    ?normalize:bool ->
+    Json.t ->
+    Json.t ->
+    result
+  (** [compare_docs a b] treats [a] as the baseline.
+
+      [noise_floor_ns] (default 0): metrics whose baseline and current
+      values are both below the floor stay listed but are never flagged
+      as regressions — relative thresholds are meaningless under the
+      machine's scheduling noise.
+
+      [normalize] (default false): divide every current value by the
+      median current/baseline ratio across the common metrics before
+      comparing, cancelling a uniform machine-speed difference between
+      the two documents; a genuine single-metric regression moves against
+      the median and survives normalization.  Use when gating CI runners
+      against a baseline produced on different hardware. *)
 end
 
 (** One-document run manifest: the registry plus span summaries.

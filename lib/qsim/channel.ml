@@ -106,6 +106,88 @@ let apply t ~targets ~nqubits:n rho =
       Cmat.add acc (Cmat.sandwich full rho))
     (Cmat.create dim dim) t.kraus
 
+(* ------------------------------------------------------ serialization -- *)
+
+(* Binary payload for the persistent characterization store: versioned and
+   length-prefixed throughout, floats as raw IEEE-754 bits so a
+   serialize/deserialize round trip is bit-exact (warm-started sweeps must
+   be byte-identical to cold ones).  The integrity checksum lives in the
+   store's record framing, not here; [of_bytes] still validates structure
+   exhaustively and returns [None] on any malformation, never raising. *)
+
+let codec_version = 1
+
+let max_name_len = 4096
+let max_kraus = 4096
+let max_dim = 4096
+
+let to_bytes t =
+  let b = Buffer.create 256 in
+  Buffer.add_uint8 b codec_version;
+  Buffer.add_int32_le b (Int32.of_int (String.length t.name));
+  Buffer.add_string b t.name;
+  Buffer.add_int32_le b (Int32.of_int (List.length t.kraus));
+  List.iter
+    (fun (k : Cmat.t) ->
+      Buffer.add_int32_le b (Int32.of_int k.Cmat.rows);
+      Buffer.add_int32_le b (Int32.of_int k.Cmat.cols);
+      let n = k.Cmat.rows * k.Cmat.cols in
+      for i = 0 to n - 1 do
+        Buffer.add_int64_le b (Int64.bits_of_float k.Cmat.re.(i))
+      done;
+      for i = 0 to n - 1 do
+        Buffer.add_int64_le b (Int64.bits_of_float k.Cmat.im.(i))
+      done)
+    t.kraus;
+  Buffer.contents b
+
+let of_bytes s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let exception Bad in
+  let need n = if len - !pos < n then raise Bad in
+  let u8 () =
+    need 1;
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let i32 () =
+    need 4;
+    let v = Int32.to_int (String.get_int32_le s !pos) in
+    pos := !pos + 4;
+    v
+  in
+  let f64 () =
+    need 8;
+    let v = Int64.float_of_bits (String.get_int64_le s !pos) in
+    pos := !pos + 8;
+    v
+  in
+  try
+    if u8 () <> codec_version then raise Bad;
+    let name_len = i32 () in
+    if name_len < 0 || name_len > max_name_len then raise Bad;
+    need name_len;
+    let name = String.sub s !pos name_len in
+    pos := !pos + name_len;
+    let nk = i32 () in
+    if nk < 0 || nk > max_kraus then raise Bad;
+    let kraus =
+      List.init nk (fun _ ->
+          let rows = i32 () in
+          let cols = i32 () in
+          if rows < 1 || rows > max_dim || cols < 1 || cols > max_dim then raise Bad;
+          let n = rows * cols in
+          let re = Array.init n (fun _ -> f64 ()) in
+          let im = Array.init n (fun _ -> f64 ()) in
+          Cmat.init rows cols (fun i j ->
+              { Complex.re = re.((i * cols) + j); im = im.((i * cols) + j) }))
+    in
+    if !pos <> len then raise Bad;
+    Some { name; kraus }
+  with Bad -> None
+
 let average_gate_fidelity_vs_identity t =
   match t.kraus with
   | [] -> 0.

@@ -51,6 +51,18 @@ val is_cptp : ?tol:float -> t -> bool
 val apply : t -> targets:int list -> nqubits:int -> Cmat.t -> Cmat.t
 (** Apply the channel to the given qubits of a [2^nqubits] density matrix. *)
 
+val to_bytes : t -> string
+(** Versioned, length-prefixed binary encoding of the channel with raw
+    IEEE-754 float bits, so [of_bytes (to_bytes t)] reconstructs every Kraus
+    matrix bit-exactly.  This is the value format of the persistent
+    characterization store (the store adds its own framing and checksum
+    trailer on top). *)
+
+val of_bytes : string -> t option
+(** Inverse of {!to_bytes}.  Returns [None] — never raises — on a codec
+    version mismatch, truncation, trailing garbage, or any structurally
+    invalid field, so store corruption degrades to a cache miss. *)
+
 val average_gate_fidelity_vs_identity : t -> float
 (** Average gate fidelity of the channel relative to the identity, computed by
     the entanglement-fidelity formula

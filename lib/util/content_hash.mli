@@ -1,0 +1,23 @@
+(** Stable 64-bit content hashing for cross-process identities.
+
+    Task ids in the collect-campaign ledger and keys in the persistent
+    characterization store are content hashes of a canonical description,
+    never positional indices — so identity survives process restarts, sweep
+    reordering, and OCaml upgrades.  The hash is hand-rolled (rotate-multiply
+    absorption with a murmur-style finalizer) precisely because
+    [Hashtbl.hash] is unspecified across compiler versions; its value is
+    frozen and guarded by pinned-value tests. *)
+
+val hash64 : string -> int64
+(** 64-bit content hash of a byte string. *)
+
+val hash_hex : string -> string
+(** [hash64] rendered as 16 lowercase hex digits. *)
+
+val canonical : string list -> string
+(** Length-prefixed encoding ["<len>:<bytes>..."] of the components, in
+    order.  Injective: distinct component lists produce distinct strings, so
+    hashing the result never conflates ["ab","c"] with ["a","bc"]. *)
+
+val of_components : string list -> string
+(** [hash_hex (canonical components)] — the standard key discipline. *)

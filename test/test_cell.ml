@@ -208,6 +208,79 @@ let test_simulation_dimension () =
   Alcotest.(check int) "register dim" (1 lsl 11)
     (Characterize.simulation_dimension (Cell.register ()))
 
+(* ---------------------------------------------------- op characterization *)
+
+(* The op-based entry point must agree exactly with the legacy per-function
+   entry points: characterize_op is the same computation routed through the
+   memo hook, so a store-served warm run can only be byte-identical to a
+   cold one if this equality is float-for-float. *)
+let test_characterize_op_matches_legacy () =
+  let check name (expected : Characterize.perf) cell op =
+    let got = (Characterize.characterize_op cell op).Characterize.perf in
+    Alcotest.(check bool)
+      (name ^ " duration bit-equal") true
+      (Int64.bits_of_float got.Characterize.duration
+      = Int64.bits_of_float expected.Characterize.duration);
+    Alcotest.(check bool)
+      (name ^ " error bit-equal") true
+      (Int64.bits_of_float got.Characterize.error
+      = Int64.bits_of_float expected.Characterize.error)
+  in
+  let reg = Cell.register () in
+  check "load" (Characterize.register_load reg) reg Characterize.Load;
+  check "retention"
+    (Characterize.register_retention reg ~dt:5e-6)
+    reg
+    (Characterize.Retention { dt = 5e-6 });
+  let pc = Cell.parcheck () in
+  check "parity" (Characterize.parity_check pc) pc Characterize.Parity_check;
+  let so = Cell.seqop () in
+  check "seq cnots"
+    (Characterize.sequential_cnots so ~count:3)
+    so
+    (Characterize.Seq_cnots { count = 3 });
+  let uc = Cell.usc () in
+  check "stabilizer"
+    (Characterize.stabilizer_check uc ~weight:4 ~serialized:true)
+    uc
+    (Characterize.Stabilizer { weight = 4; serialized = true })
+
+let test_characterize_op_memo_and_channel () =
+  let reg = Cell.register () in
+  let calls = ref 0 in
+  let memo =
+    { Characterize.memoize =
+        (fun ~kind ~fields ~dim f ->
+          incr calls;
+          Alcotest.(check string) "kind" "cell_char" kind;
+          Alcotest.(check bool) "fields content-complete" true
+            (List.mem_assoc "cell" fields
+            && List.mem_assoc "topology" fields
+            && List.mem_assoc "storage.t1" fields
+            && List.mem_assoc "compute.t1" fields
+            && List.assoc_opt "op" fields = Some "load");
+          Alcotest.(check int) "dim matches op_dim" (Characterize.op_dim Characterize.Load) dim;
+          f ()) }
+  in
+  let c = Characterize.characterize_op ~memo reg Characterize.Load in
+  Alcotest.(check int) "memo hook consulted" 1 !calls;
+  Alcotest.(check bool) "channel is CPTP" true (Channel.is_cptp c.Characterize.channel)
+
+let test_key_fields_sensitivity () =
+  let reg = Cell.register () in
+  let kf cell op = Characterize.key_fields cell op in
+  Alcotest.(check bool) "op parameter changes fields" true
+    (kf reg (Characterize.Retention { dt = 1e-6 })
+    <> kf reg (Characterize.Retention { dt = 2e-6 }));
+  let slow = Device.with_coherence Device.multimode_resonator_3d ~t1:1. ~t2:1. in
+  Alcotest.(check bool) "storage device changes fields" true
+    (kf reg Characterize.Load <> kf (Cell.register ~storage:slow ()) Characterize.Load);
+  let times = { Characterize.paper_times with Characterize.t2q = 123e-9 } in
+  Alcotest.(check bool) "gate times change fields" true
+    (Characterize.key_fields ~times reg Characterize.Load <> kf reg Characterize.Load);
+  Alcotest.(check bool) "same input same fields" true
+    (kf reg Characterize.Load = kf (Cell.register ()) Characterize.Load)
+
 let () =
   Alcotest.run "cell"
     [ ( "design rules",
@@ -231,4 +304,11 @@ let () =
           Alcotest.test_case "sequential cnots" `Quick test_sequential_cnots_scaling;
           Alcotest.test_case "serialization cost" `Quick test_stabilizer_check_serialization_cost;
           Alcotest.test_case "simulation dimension" `Quick test_simulation_dimension;
-          Alcotest.test_case "spectators factor out" `Slow test_spectator_modes_factor_out ] ) ]
+          Alcotest.test_case "spectators factor out" `Slow test_spectator_modes_factor_out ] );
+      ( "op characterization",
+        [ Alcotest.test_case "matches legacy entry points" `Quick
+            test_characterize_op_matches_legacy;
+          Alcotest.test_case "memo hook and channel" `Quick
+            test_characterize_op_memo_and_channel;
+          Alcotest.test_case "key fields sensitivity" `Quick
+            test_key_fields_sensitivity ] ) ]

@@ -173,6 +173,59 @@ let test_channel_vs_manual_kraus () =
   Alcotest.(check bool) "kraus sum matches" true
     (Cmat.approx_equal ~tol:1e-12 manual (Dm.rho dm))
 
+(* ------------------------------------------------- channel serialization *)
+
+(* Bit-exact equality: the persistent characterization store requires that
+   a deserialized channel reproduce the serialized one float-for-float, so
+   warm-start runs are byte-identical to cold ones. *)
+let channel_bits_equal a b =
+  a.Channel.name = b.Channel.name
+  && List.length a.Channel.kraus = List.length b.Channel.kraus
+  && List.for_all2
+       (fun (ka : Cmat.t) (kb : Cmat.t) ->
+         ka.Cmat.rows = kb.Cmat.rows
+         && ka.Cmat.cols = kb.Cmat.cols
+         && (let eq = ref true in
+             for i = 0 to ka.Cmat.rows - 1 do
+               for j = 0 to ka.Cmat.cols - 1 do
+                 let x = Cmat.get ka i j and y = Cmat.get kb i j in
+                 if
+                   Int64.bits_of_float x.Complex.re
+                   <> Int64.bits_of_float y.Complex.re
+                   || Int64.bits_of_float x.Complex.im
+                      <> Int64.bits_of_float y.Complex.im
+                 then eq := false
+               done
+             done;
+             !eq))
+       a.Channel.kraus b.Channel.kraus
+
+let test_channel_serialization_roundtrip () =
+  List.iter
+    (fun (name, ch) ->
+      match Channel.of_bytes (Channel.to_bytes ch) with
+      | None -> Alcotest.failf "%s: round trip failed to decode" name
+      | Some ch' ->
+          Alcotest.(check bool) (name ^ " bit-exact round trip") true
+            (channel_bits_equal ch ch'))
+    all_channels
+
+let test_channel_deserialization_rejects_garbage () =
+  let bytes = Channel.to_bytes (Channel.depolarizing1 0.1) in
+  Alcotest.(check bool) "empty" true (Channel.of_bytes "" = None);
+  Alcotest.(check bool) "truncated" true
+    (Channel.of_bytes (String.sub bytes 0 (String.length bytes - 3)) = None);
+  Alcotest.(check bool) "trailing junk" true
+    (Channel.of_bytes (bytes ^ "x") = None);
+  (* Flipping the leading codec-version byte must read as version skew,
+     never a crash. *)
+  let skewed = Bytes.of_string bytes in
+  Bytes.set skewed 0 '\xff';
+  Alcotest.(check bool) "version skew" true
+    (Channel.of_bytes (Bytes.to_string skewed) = None);
+  Alcotest.(check bool) "random junk" true
+    (Channel.of_bytes (String.make 64 '\x7f') = None)
+
 let test_swap_gate_moves_state () =
   let dm = Dm.create 2 in
   Dm.apply_unitary dm Gate.x [ 0 ];
@@ -345,7 +398,11 @@ let () =
           Alcotest.test_case "T2 coherence" `Quick test_idle_t2_coherence_decay;
           Alcotest.test_case "depolarizing bloch" `Quick test_depolarizing_shrinks_bloch;
           Alcotest.test_case "avg gate fidelity" `Quick test_gate_fidelity_of_depolarizing;
-          Alcotest.test_case "nqubits" `Quick test_channel_nqubits ] );
+          Alcotest.test_case "nqubits" `Quick test_channel_nqubits;
+          Alcotest.test_case "serialization round trip" `Quick
+            test_channel_serialization_roundtrip;
+          Alcotest.test_case "deserialization rejects garbage" `Quick
+            test_channel_deserialization_rejects_garbage ] );
       ( "states",
         [ Alcotest.test_case "initial" `Quick test_initial_state;
           Alcotest.test_case "x flips" `Quick test_x_flips;

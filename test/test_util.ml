@@ -487,6 +487,29 @@ let prop_uf_transitive =
           Union_find.same uf a b)
         pairs)
 
+(* --------------------------------------------------------- content hash *)
+
+let test_content_hash_pinned () =
+  (* Pin concrete values: the hash feeds persistent store keys and the
+     collect ledger's task identities, so any change to the absorption or
+     finalization breaks every store and ledger on disk.  These must never
+     change (see Content_hash's interface). *)
+  Alcotest.(check string) "empty string" "c3ef85611eb0dfce"
+    (Content_hash.hash_hex "");
+  Alcotest.(check string) "abc" "36b4ab7a96d69856" (Content_hash.hash_hex "abc");
+  Alcotest.(check string) "components pinned" "071b41bec1a39260"
+    (Content_hash.of_components [ "alpha"; "beta"; "gamma" ])
+
+let test_content_hash_canonical_injective () =
+  (* Length-prefixing means concatenation ambiguities hash differently. *)
+  Alcotest.(check bool) "ab+c vs a+bc" false
+    (Content_hash.of_components [ "ab"; "c" ]
+    = Content_hash.of_components [ "a"; "bc" ]);
+  Alcotest.(check bool) "split vs joined" false
+    (Content_hash.of_components [ "ab" ] = Content_hash.of_components [ "a"; "b" ]);
+  Alcotest.(check bool) "order matters" false
+    (Content_hash.of_components [ "a"; "b" ] = Content_hash.of_components [ "b"; "a" ])
+
 let prop_stats_running_matches_batch =
   QCheck.Test.make ~name:"running stats match batch stats" ~count:100
     QCheck.(list_of_size (Gen.int_range 2 100) (float_bound_inclusive 100.))
@@ -560,6 +583,10 @@ let () =
           Alcotest.test_case "lines" `Quick test_plot_lines_basic;
           Alcotest.test_case "empty/nan" `Quick test_plot_lines_empty_and_nonfinite;
           Alcotest.test_case "logy" `Quick test_plot_logy_drops_nonpositive ] );
+      ( "content_hash",
+        [ Alcotest.test_case "pinned values" `Quick test_content_hash_pinned;
+          Alcotest.test_case "canonical injective" `Quick
+            test_content_hash_canonical_injective ] );
       ( "properties",
         qc
           [ prop_heap_sorted;

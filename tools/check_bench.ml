@@ -97,6 +97,52 @@ let () =
         List.length ps
     | _ -> fail "missing pairs array"
   in
+  (* Cold/warm warm-start pairs: both sides must be recorded and the
+     measured cold/warm ratio must clear the pair's min_speedup floor —
+     the persistent characterization store has to actually pay off. *)
+  let ns_of name =
+    List.find_map
+      (fun k ->
+        match (Obs.Json.member "name" k, Obs.Json.member "ns_per_run" k) with
+        | Some (Obs.Json.String n), Some v when n = name ->
+            (try Some (Obs.Json.to_float v) with Failure _ -> None)
+        | _ -> None)
+      kernels
+  in
+  let nwarm =
+    match Obs.Json.member "warm_pairs" doc with
+    | Some (Obs.Json.List ps) ->
+        List.iter
+          (fun p ->
+            let str field =
+              match Obs.Json.member field p with
+              | Some (Obs.Json.String s) when s <> "" -> s
+              | _ -> fail "warm_pair entry missing %s" field
+            in
+            let name = str "name" in
+            let floor =
+              match Obs.Json.member "min_speedup" p with
+              | Some v ->
+                  (try Obs.Json.to_float v
+                   with Failure _ -> fail "warm_pair %s: min_speedup not numeric" name)
+              | None -> fail "warm_pair %s: missing min_speedup" name
+            in
+            let side field =
+              let k = str field in
+              match ns_of k with
+              | Some ns when Float.is_finite ns && ns > 0. -> ns
+              | Some _ -> fail "warm_pair %s: %s kernel %s has no usable ns_per_run" name field k
+              | None -> fail "warm_pair %s: %s kernel %s not in kernels" name field k
+            in
+            let cold = side "cold" and warm = side "warm" in
+            let speedup = cold /. warm in
+            if speedup < floor then
+              fail "warm_pair %s: warm start only %.2fx faster than cold (floor %gx)"
+                name speedup floor)
+          ps;
+        List.length ps
+    | _ -> fail "missing warm_pairs array"
+  in
   if Obs.Json.member "metrics" doc = None then fail "missing metrics snapshot";
-  Printf.printf "%s OK: %d kernels, %d pairs, seed %d\n" path (List.length kernels)
-    npairs seed
+  Printf.printf "%s OK: %d kernels, %d pairs, %d warm pairs, seed %d\n" path
+    (List.length kernels) npairs nwarm seed
