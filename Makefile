@@ -15,7 +15,7 @@
 DUNE ?= dune
 SMOKE_ARTIFACTS ?=
 
-.PHONY: all build test bench ci jobs-smoke collect-smoke obs-smoke cache-smoke clean
+.PHONY: all build test bench ci jobs-smoke collect-smoke obs-smoke obs-merge-smoke cache-smoke clean
 
 all: build
 
@@ -84,6 +84,58 @@ obs-smoke: build
 	  || { echo "obs-smoke: folded stacks depend on --jobs"; exit 1; }; } && \
 	echo "obs-smoke: artifacts analyzable; folded stacks byte-identical across --jobs 1/2"
 
+# The fleet-observability contract, end to end: three CONCURRENT
+# shard-labelled collect processes (different --jobs each) record snapshots
+# into a shared run registry; merging them must be byte-identical whether
+# the sources are given as file paths in forward order or registry run-id
+# prefixes in reverse order, with counters summing exactly (6 tasks x 1024
+# shots).  The registry lists all three runs with their shard labels, and
+# the trend watchdog judges a fresh run against registry history — warn-only
+# here, hard gate in GitHub CI via TREND_GATE=--gate.  Also covers `obs
+# tail` on empty and mid-record-truncated telemetry streams.
+#
+# Runs the built binary directly: three concurrent `dune exec` invocations
+# would race on the build lock.
+MERGE_FLAGS = threshold --seed 7 --max-shots 1024 --batch 256
+TREND_GATE ?=
+obs-merge-smoke: build
+	@d=$$(mktemp -d); \
+	trap 'rc=$$?; if [ $$rc -ne 0 ] && [ -n "$(SMOKE_ARTIFACTS)" ]; then \
+	       mkdir -p "$(SMOKE_ARTIFACTS)" && cp -r "$$d" "$(SMOKE_ARTIFACTS)/obs-merge-smoke"; fi; \
+	     rm -rf "$$d"; exit $$rc' EXIT; \
+	bin=$$PWD/_build/default/bin/main.exe; \
+	$$bin collect $(MERGE_FLAGS) --shards 3 --shard 0 --jobs 2 --obs-dir $$d/reg > /dev/null & p0=$$!; \
+	$$bin collect $(MERGE_FLAGS) --shards 3 --shard 1 --jobs 1 --obs-dir $$d/reg > /dev/null & p1=$$!; \
+	$$bin collect $(MERGE_FLAGS) --shards 3 --shard 2 --jobs 3 --obs-dir $$d/reg > /dev/null & p2=$$!; \
+	wait $$p0 && wait $$p1 && wait $$p2 && \
+	{ test $$(ls $$d/reg/snapshots | wc -l) -eq 3 \
+	  || { echo "obs-merge-smoke: expected 3 snapshots"; exit 1; }; } && \
+	$$bin obs merge -o $$d/fleet_fwd.json $$d/reg/snapshots/*.json && \
+	$$bin obs merge --obs-dir $$d/reg -o $$d/fleet_rev.json \
+	  $$(ls $$d/reg/snapshots | sed 's/\.json//' | sort -r) && \
+	{ cmp -s $$d/fleet_fwd.json $$d/fleet_rev.json \
+	  || { echo "obs-merge-smoke: fleet view depends on merge order"; exit 1; }; } && \
+	{ grep -q '"collect.shots_total":6144' $$d/fleet_fwd.json \
+	  || { echo "obs-merge-smoke: merged shot counter is not 6*1024"; exit 1; }; } && \
+	for s in shard0/3 shard1/3 shard2/3; do \
+	  $$bin obs runs --obs-dir $$d/reg | grep -q $$s \
+	    || { echo "obs-merge-smoke: registry misses $$s"; exit 1; }; \
+	done && \
+	$$bin obs show --obs-dir $$d/reg $$d/fleet_fwd.json > /dev/null && \
+	for i in 1 2 3; do \
+	  $$bin collect $(MERGE_FLAGS) --obs-dir $$d/trendreg > /dev/null \
+	    || { echo "obs-merge-smoke: trend-history run $$i failed"; exit 1; }; \
+	done && \
+	$$bin obs compare --obs-dir $$d/trendreg --last 2 \
+	  --threshold 50 --noise-floor-ns 1000000 $(TREND_GATE) && \
+	printf '' > $$d/empty.jsonl && \
+	{ $$bin obs tail $$d/empty.jsonl | grep -q empty \
+	  || { echo "obs-merge-smoke: obs tail chokes on an empty stream"; exit 1; }; } && \
+	$$bin collect $(MERGE_FLAGS) --telemetry $$d/tel.jsonl --telemetry-interval 0 > /dev/null && \
+	head -c $$(($$(wc -c < $$d/tel.jsonl) - 37)) $$d/tel.jsonl > $$d/torn.jsonl && \
+	$$bin obs tail $$d/torn.jsonl > /dev/null && \
+	echo "obs-merge-smoke: 3-shard fleet view order-insensitive, counters exact, trend watchdog ran"
+
 # The warm-start contract, end to end: a characterization sweep against a
 # fresh --cache-dir (cold: every point pays density-matrix simulation,
 # write-back to the store) must produce byte-identical stdout to the same
@@ -119,7 +171,7 @@ cache-smoke: build
 	       cat $$d/corrupt.err; exit 1; }; } && \
 	echo "cache-smoke: warm start from disk, byte-identical output, corruption degrades to miss"
 
-ci: build test jobs-smoke collect-smoke obs-smoke cache-smoke
+ci: build test jobs-smoke collect-smoke obs-smoke obs-merge-smoke cache-smoke
 	$(DUNE) exec bench/main.exe -- --quick
 	$(DUNE) exec tools/check_bench.exe -- BENCH_hetarch.json
 	@$(DUNE) exec bin/main.exe -- obs diff BENCH_baseline.json BENCH_hetarch.json \

@@ -161,6 +161,29 @@ let kernel_telemetry_snapshot () =
   Lazy.force telemetry_sink;
   Obs.Telemetry.tick ~force:true ()
 
+(* Fleet-observability kernels: one full snapshot capture + atomic write —
+   the fixed cost every registry-recording run pays at exit — and one 3-way
+   fleet merge + serialization, the per-merge cost of `hetarch obs merge`.
+   check_bench requires both so the snapshot-path overhead trend stays
+   machine-readable. *)
+let snapshot_path =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hetarch_bench_snapshot.%d.json" (Unix.getpid ()))
+
+let kernel_snapshot_write () =
+  Obs.Snapshot.write ~path:snapshot_path (Obs.Snapshot.capture ())
+
+let merge_sources =
+  lazy
+    (let base = Obs.Snapshot.capture () in
+     List.map
+       (fun i -> { base with Obs.Snapshot.run_id = Printf.sprintf "%016x" i })
+       [ 1; 2; 3 ])
+
+let kernel_obs_merge () =
+  Obs.Json.to_string
+    (Obs.Merge.to_json (Obs.Merge.of_snapshots (Lazy.force merge_sources)))
+
 let kernel_burden () =
   List.map Burden.reduction
     [ Burden.distillation_module (); Burden.uec_module (); Burden.ct_module () ]
@@ -185,6 +208,8 @@ let tests =
       Test.make ~name:"collect-ledger-append" (Staged.stage kernel_ledger_append);
       Test.make ~name:"span-record" (Staged.stage kernel_span_record);
       Test.make ~name:"telemetry-snapshot" (Staged.stage kernel_telemetry_snapshot);
+      Test.make ~name:"obs-snapshot-write" (Staged.stage kernel_snapshot_write);
+      Test.make ~name:"obs-merge" (Staged.stage kernel_obs_merge);
       Test.make ~name:"dse-burden" (Staged.stage kernel_burden) ]
 
 let run_benchmarks () =
@@ -372,6 +397,7 @@ let () =
     try Sys.remove ledger_path with Sys_error _ -> ()
   end;
   if Lazy.is_val telemetry_sink then Obs.Telemetry.disable ();
+  (try Sys.remove snapshot_path with Sys_error _ -> ());
   write_bench_json kernels;
   Printf.printf "\nwrote BENCH_hetarch.json (%d kernels, seed %d, jobs %d)\n"
     (List.length kernels) seed (Parallel.jobs ())

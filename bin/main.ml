@@ -504,9 +504,24 @@ let rec campaign_tasks = function
         other;
       exit 2
 
-let run_collect campaign seed ledger resume progress max_shots max_errors
-    rel_ci min_shots batch halt_after csv_path =
-  let tasks = campaign_tasks campaign in
+let run_collect campaign seed shards shard ledger resume progress max_shots
+    max_errors rel_ci min_shots batch halt_after csv_path =
+  let all_tasks = campaign_tasks campaign in
+  let tasks =
+    if shards = 1 && shard = 0 then all_tasks
+    else begin
+      (* Content-hash partitioning: every process of the fleet computes the
+         same split from the task descriptions alone, no coordination. *)
+      (match Collect.shard_filter ~shards ~shard all_tasks with
+      | filtered ->
+          if Obs.Run.shard () = "" then
+            Obs.Run.set_shard (Printf.sprintf "shard%d/%d" shard shards);
+          filtered
+      | exception Invalid_argument msg ->
+          Printf.eprintf "hetarch collect: %s\n" msg;
+          exit 2)
+    end
+  in
   let stop =
     { Collect.max_shots; max_errors; rel_ci; min_shots; batch }
   in
@@ -515,8 +530,12 @@ let run_collect campaign seed ledger resume progress max_shots max_errors
   in
   (* Deterministic summary: counts and rates only, no wall-clock numbers, so
      resumed and uninterrupted runs print identical tables. *)
-  Printf.printf "campaign %s: %d tasks, seed %d%s\n" campaign
+  Printf.printf "campaign %s: %d tasks, seed %d%s%s\n" campaign
     (List.length tasks) seed
+    (if shards > 1 then
+       Printf.sprintf " (shard %d/%d of %d tasks)" shard shards
+         (List.length all_tasks)
+     else "")
     (if outcome.Collect.halted then " [halted]" else "");
   Tableio.print ~align:Tableio.Left
     ~header:[ "task"; "kind"; "shots"; "errors"; "rate"; "95% CI"; "stop" ]
@@ -543,13 +562,15 @@ let run_collect campaign seed ledger resume progress max_shots max_errors
       outcome.Collect.stats
   in
   let fixed_shots = List.length tasks * max_shots in
+  let saved_pct =
+    if fixed_shots = 0 then 0.
+    else 100. *. (1. -. (float_of_int total_shots /. float_of_int fixed_shots))
+  in
   Printf.printf
     "shots: %d merged (%d new this run) vs %d at a fixed --max-shots \
      budget (%.0f%% saved by adaptive stopping)\n"
-    total_shots outcome.Collect.new_shots fixed_shots
-    (100. *. (1. -. (float_of_int total_shots /. float_of_int fixed_shots)));
-  Obs.Gauge.set (Obs.Gauge.create "collect.campaign_shots_saved_pct")
-    (100. *. (1. -. (float_of_int total_shots /. float_of_int fixed_shots)));
+    total_shots outcome.Collect.new_shots fixed_shots saved_pct;
+  Obs.Gauge.set (Obs.Gauge.create "collect.campaign_shots_saved_pct") saved_pct;
   Option.iter
     (fun path ->
       Collect.write_csv ~path outcome.Collect.stats;
@@ -568,6 +589,10 @@ let load_json path =
     ~finally:(fun () -> close_in ic)
     (fun () -> Obs.Json.parse (really_input_string ic (in_channel_length ic)))
 
+(* Torn-tail tolerant: skips blank and unparsable lines — the truncated
+   final record a killed writer leaves behind — mirroring the collect
+   ledger's replay, so `obs tail` and `obs flame` work on the artifacts of
+   a run that died mid-append. *)
 let fold_jsonl path f init =
   let ic = open_in path in
   Fun.protect
@@ -577,7 +602,10 @@ let fold_jsonl path f init =
         match input_line ic with
         | exception End_of_file -> acc
         | line when String.trim line = "" -> go acc
-        | line -> go (f acc (Obs.Json.parse line))
+        | line -> (
+            match Obs.Json.parse line with
+            | j -> go (f acc j)
+            | exception Failure _ -> go acc)
       in
       go init)
 
@@ -610,6 +638,9 @@ let trace_totals path =
   let tbl : (string, int * int64) Hashtbl.t = Hashtbl.create 256 in
   fold_jsonl path
     (fun () ev ->
+      match mem_string "ph" ev with
+      | Some ph when ph <> "X" -> () (* metadata events carry no duration *)
+      | _ ->
       let name = Option.value ~default:"?" (mem_string "name" ev) in
       let span_path =
         match Option.bind (Obs.Json.member "args" ev) (mem_string "path") with
@@ -637,8 +668,16 @@ let run_obs_top file limit =
 let render_manifest doc =
   Option.iter
     (fun p ->
+      (* Snapshots keep wall time in the run section, manifests in the
+         process section — accept either. *)
+      let wall =
+        match mem_float "wall_seconds" p with
+        | Some s -> Some s
+        | None ->
+            Option.bind (Obs.Json.member "run" doc) (mem_float "wall_seconds")
+      in
       Printf.printf "process: wall %ss, GC minor/major/compact %d/%d/%d, peak heap %d words\n"
-        (match mem_float "wall_seconds" p with Some s -> Printf.sprintf "%.3f" s | None -> "?")
+        (match wall with Some s -> Printf.sprintf "%.3f" s | None -> "?")
         (Option.value ~default:0 (mem_int "minor_collections" p))
         (Option.value ~default:0 (mem_int "major_collections" p))
         (Option.value ~default:0 (mem_int "compactions" p))
@@ -728,13 +767,13 @@ let run_obs_tail file =
                 | None -> "-");
                ci "shots";
                (match Option.bind c (mem_float "shots_per_s") with
-                | Some v -> Printf.sprintf "%.0f" v
+                | Some v -> Printf.sprintf "%.0f" (Float.max 0. v)
                 | None -> "-");
                (match (Option.bind c (mem_int "tasks_done"), Option.bind c (mem_int "tasks")) with
                 | Some d, Some t -> Printf.sprintf "%d/%d" d t
                 | _ -> "-");
                (match Option.bind c (mem_float "eta_s") with
-                | Some v -> Printf.sprintf "%.1f" v
+                | Some v -> Printf.sprintf "%.1f" (Float.max 0. v)
                 | None -> "-") ])
            records);
       let last = List.nth records (List.length records - 1) in
@@ -807,6 +846,283 @@ let run_obs_diff file_a file_b threshold noise_floor normalize =
         (List.hd regs).Obs.Diff.metric (List.hd regs).Obs.Diff.pct;
       exit 1
 
+(* ------------------------------------------------- obs fleet commands *)
+
+let obs_fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "hetarch obs: %s\n" msg;
+      exit 2)
+    fmt
+
+let utc_stamp unix =
+  let tm = Unix.gmtime unix in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* A snapshot reference on the command line is either a file path or a
+   run-id prefix resolved through the registry. *)
+let resolve_snapshot_ref arg =
+  if Sys.file_exists arg then `Doc (load_json arg)
+  else
+    match (try Obs.Registry.find arg with Failure msg -> obs_fail "%s" msg) with
+    | Some e -> `Snap (Obs.Registry.load e)
+    | None -> (
+        match Obs.Registry.dir () with
+        | None ->
+            obs_fail
+              "%s: no such file, and no run registry is configured (set \
+               HETARCH_OBS_DIR or pass --obs-dir)"
+              arg
+        | Some d -> obs_fail "%s: no such file or run-id prefix in %s" arg d)
+
+let run_obs_runs limit =
+  match Obs.Registry.dir () with
+  | None ->
+      obs_fail
+        "no run registry configured (set HETARCH_OBS_DIR or pass --obs-dir)"
+  | Some d ->
+      let all = Obs.Registry.entries () in
+      let shown =
+        if limit > 0 && List.length all > limit then
+          (* keep the most recent [limit] entries, preserving index order *)
+          List.filteri (fun i _ -> i >= List.length all - limit) all
+        else all
+      in
+      Printf.printf "registry %s: %d run(s)%s\n" d (List.length all)
+        (if List.length shown < List.length all then
+           Printf.sprintf " (last %d shown)" (List.length shown)
+         else "");
+      if shown <> [] then
+        Tableio.print ~align:Tableio.Left
+          ~header:[ "run"; "started (UTC)"; "cmd"; "shard"; "hash" ]
+          (List.map
+             (fun (e : Obs.Registry.entry) ->
+               [ e.Obs.Registry.e_run_id;
+                 utc_stamp e.Obs.Registry.e_unix;
+                 e.Obs.Registry.e_cmd;
+                 (if e.Obs.Registry.e_shard = "" then "-"
+                  else e.Obs.Registry.e_shard);
+                 String.sub e.Obs.Registry.e_hash 0 12 ])
+             shown)
+
+let render_snapshot_doc doc =
+  (match Obs.Json.member "run" doc with
+  | Some run ->
+      Printf.printf "run %s%s: %s\n  started %s, wall %.3fs, jobs %d\n"
+        (Option.value ~default:"?" (mem_string "id" run))
+        (match mem_string "shard" run with
+        | Some s when s <> "" -> Printf.sprintf " [%s]" s
+        | _ -> "")
+        (String.concat " "
+           (match Obs.Json.member "argv" run with
+           | Some (Obs.Json.List vs) -> List.filter_map jstring vs
+           | _ -> []))
+        (match mem_float "started_unix" run with
+        | Some t -> utc_stamp t
+        | None -> "?")
+        (Option.value ~default:0. (mem_float "wall_seconds" run))
+        (Option.value ~default:1 (mem_int "jobs" run))
+  | None -> ());
+  Option.iter
+    (fun h -> Printf.printf "  content hash %s\n" h)
+    (mem_string "content_hash" doc);
+  render_manifest doc
+
+let render_fleet_doc doc =
+  Printf.printf "fleet view: %d run(s)\n"
+    (Option.value ~default:0 (mem_int "runs" doc));
+  Option.iter
+    (fun w ->
+      match (mem_float "started_unix" w, mem_float "wall_span_seconds" w) with
+      | Some t0, Some span ->
+          Printf.printf
+            "window: started %s, wall span %.3fs, total wall %.3fs\n"
+            (utc_stamp t0) span
+            (Option.value ~default:0. (mem_float "total_wall_seconds" w))
+      | _ -> ())
+    (Obs.Json.member "window" doc);
+  (match Obs.Json.member "attribution" doc with
+  | Some (Obs.Json.List srcs) when srcs <> [] ->
+      Printf.printf "\nattribution:\n";
+      Tableio.print ~align:Tableio.Left
+        ~header:[ "run"; "shard"; "started (UTC)"; "wall s"; "jobs" ]
+        (List.map
+           (fun s ->
+             [ Option.value ~default:"?" (mem_string "run" s);
+               (match mem_string "shard" s with
+               | Some sh when sh <> "" -> sh
+               | _ -> "-");
+               (match mem_float "started_unix" s with
+               | Some t -> utc_stamp t
+               | None -> "?");
+               Printf.sprintf "%.3f"
+                 (Option.value ~default:0. (mem_float "wall_seconds" s));
+               string_of_int (Option.value ~default:1 (mem_int "jobs" s)) ])
+           srcs)
+  | _ -> ());
+  let section title header rows =
+    if rows <> [] then begin
+      Printf.printf "\n%s:\n" title;
+      Tableio.print ~align:Tableio.Left ~header rows
+    end
+  in
+  let fields name =
+    obj_fields
+      (Option.value ~default:Obs.Json.Null (Obs.Json.member name doc))
+  in
+  section "counters (summed)" [ "counter"; "value" ]
+    (List.map (fun (k, v) -> [ k; string_of_int (jint v) ]) (fields "counters"));
+  (* Fleet gauges are per-source aggregates, not scalars. *)
+  section "gauges" [ "gauge"; "n"; "min"; "max"; "sum" ]
+    (List.map
+       (fun (k, v) ->
+         let f name = match mem_float name v with Some x -> g x | None -> "-" in
+         [ k; string_of_int (Option.value ~default:0 (mem_int "n" v));
+           f "min"; f "max"; f "sum" ])
+       (fields "gauges"));
+  section "histograms (bucket-merged)"
+    [ "histogram"; "count"; "mean"; "min"; "max" ]
+    (List.map
+       (fun (k, h) ->
+         let f name = match mem_float name h with Some v -> g v | None -> "-" in
+         [ k; string_of_int (Option.value ~default:0 (mem_int "count" h));
+           f "mean"; f "min"; f "max" ])
+       (fields "histograms"));
+  section "spans (summed)" [ "span"; "count"; "total ms" ]
+    (List.map
+       (fun (k, s) ->
+         [ k; string_of_int (Option.value ~default:0 (mem_int "count" s));
+           Printf.sprintf "%.3f"
+             (Option.value ~default:0. (mem_float "total_ns" s) /. 1e6) ])
+       (fields "spans"))
+
+let run_obs_show ref_ =
+  let doc =
+    match resolve_snapshot_ref ref_ with
+    | `Doc d -> d
+    | `Snap s -> Obs.Snapshot.to_json s
+  in
+  match schema_of doc with
+  | s when s = Obs.Snapshot.schema -> render_snapshot_doc doc
+  | s when s = Obs.Merge.schema -> render_fleet_doc doc
+  | s -> obs_fail "%s: unsupported schema %s (want %s or %s)" ref_ s
+           Obs.Snapshot.schema Obs.Merge.schema
+
+let run_obs_merge refs out =
+  let merge_of arg =
+    match resolve_snapshot_ref arg with
+    | `Doc doc -> (
+        try Obs.Merge.of_json doc
+        with Failure msg -> obs_fail "%s: %s" arg msg)
+    | `Snap s -> Obs.Merge.of_snapshots [ s ]
+  in
+  let merged =
+    List.fold_left
+      (fun acc r -> Obs.Merge.union acc (merge_of r))
+      (Obs.Merge.of_snapshots []) refs
+  in
+  let text = Obs.Json.to_string (Obs.Merge.to_json merged) ^ "\n" in
+  match out with
+  | None -> print_string text
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc text);
+      Printf.printf "fleet view: %d run(s) -> %s\n"
+        (List.length (Obs.Merge.sources merged))
+        path
+
+let run_obs_compare current_ref last nmad min_pct noise_floor gate =
+  if Obs.Registry.dir () = None then
+    obs_fail
+      "no run registry configured (set HETARCH_OBS_DIR or pass --obs-dir)";
+  let entries = Obs.Registry.entries () in
+  let current =
+    match current_ref with
+    | Some arg -> (
+        if Sys.file_exists arg then
+          try Obs.Snapshot.of_json (load_json arg)
+          with Failure msg -> obs_fail "%s: %s" arg msg
+        else
+          match
+            (try Obs.Registry.find arg with Failure msg -> obs_fail "%s" msg)
+          with
+          | Some e -> Obs.Registry.load e
+          | None -> obs_fail "%s: no such file or run-id prefix" arg)
+    | None -> (
+        match List.rev entries with
+        | [] ->
+            obs_fail
+              "registry is empty; record runs first (any hetarch command \
+               with --obs-dir or HETARCH_OBS_DIR set)"
+        | e :: _ -> Obs.Registry.load e)
+  in
+  let cur_hash = Obs.Snapshot.content_hash current in
+  let cur_cmd = Obs.Registry.cmd_of_argv current.Obs.Snapshot.argv in
+  let cur_shard = current.Obs.Snapshot.shard in
+  (* History = the last K other runs of the same command and shard. *)
+  let history_entries =
+    List.filter
+      (fun (e : Obs.Registry.entry) ->
+        e.Obs.Registry.e_cmd = cur_cmd
+        && e.Obs.Registry.e_shard = cur_shard
+        && e.Obs.Registry.e_hash <> cur_hash)
+      entries
+  in
+  let history_entries =
+    let n = List.length history_entries in
+    if last > 0 && n > last then
+      List.filteri (fun i _ -> i >= n - last) history_entries
+    else history_entries
+  in
+  let history =
+    List.filter_map
+      (fun e ->
+        try Some (Obs.Diff.metrics_of (Obs.Snapshot.to_json (Obs.Registry.load e)))
+        with Failure _ | Sys_error _ -> None)
+      history_entries
+  in
+  let current_metrics = Obs.Diff.metrics_of (Obs.Snapshot.to_json current) in
+  let verdicts =
+    Obs.Trend.judge ?nmad ?min_pct ?noise_floor_ns:noise_floor
+      ~history current_metrics
+  in
+  Printf.printf
+    "trend: run %s (%s%s) vs median of last %d same-command run(s)\n"
+    current.Obs.Snapshot.run_id cur_cmd
+    (if cur_shard = "" then "" else Printf.sprintf ", shard %s" cur_shard)
+    (List.length history);
+  Tableio.print ~align:Tableio.Left
+    ~header:[ "metric"; "current"; "median"; "mad"; "limit"; "status" ]
+    (List.map
+       (fun (v : Obs.Trend.verdict) ->
+         [ v.Obs.Trend.v_metric;
+           g v.Obs.Trend.v_current;
+           g v.Obs.Trend.v_median;
+           g v.Obs.Trend.v_mad;
+           (if v.Obs.Trend.v_limit = infinity then "-"
+            else g v.Obs.Trend.v_limit);
+           (if v.Obs.Trend.v_regression then "REGRESSION"
+            else if v.Obs.Trend.v_samples < 2 then
+              Printf.sprintf "thin history (%d)" v.Obs.Trend.v_samples
+            else "ok") ])
+       verdicts);
+  let regressions =
+    List.filter (fun (v : Obs.Trend.verdict) -> v.Obs.Trend.v_regression)
+      verdicts
+  in
+  match regressions with
+  | [] ->
+      Printf.printf "no trend regressions (%d metrics, history depth %d)\n"
+        (List.length verdicts) (List.length history)
+  | worst :: _ ->
+      Printf.printf "%d trend regression(s), worst %s (%s > limit %s)\n"
+        (List.length regressions) worst.Obs.Trend.v_metric
+        (g worst.Obs.Trend.v_current) (g worst.Obs.Trend.v_limit);
+      if gate then exit 1
+      else print_endline "warn-only: pass --gate to fail on trend regressions"
+
 (* ----------------------------------------------------------------- CLI *)
 
 open Cmdliner
@@ -860,9 +1176,38 @@ let telemetry_arg =
     & opt (some string) None
     & info [ "telemetry" ] ~docv:"FILE"
         ~doc:
-          "Stream live JSONL telemetry records (schema hetarch.telemetry/1) \
+          "Stream live JSONL telemetry records (schema hetarch.telemetry/2) \
            to $(docv) while the command runs; inspect with $(b,hetarch obs \
            tail)")
+
+let obs_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-dir" ] ~docv:"DIR"
+        ~doc:
+          "Run registry directory (defaults to $(b,HETARCH_OBS_DIR)): on \
+           exit the run's obs snapshot is written under $(docv)/snapshots \
+           and indexed in $(docv)/index.jsonl; inspect with $(b,hetarch obs \
+           runs/show/merge/compare)")
+
+let shard_label_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "shard-label" ] ~docv:"LABEL"
+        ~doc:
+          "Shard label stamped into every observability artifact of this \
+           run (manifest, telemetry, trace metadata, snapshot) for \
+           fleet-merge attribution")
+
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's obs snapshot (schema hetarch.snapshot/1) to \
+           $(docv) on exit, independent of the run registry")
 
 let telemetry_interval_arg =
   Arg.(
@@ -876,14 +1221,24 @@ let telemetry_interval_arg =
    flags are given, so the stdout of an uninstrumented invocation is
    untouched.  Telemetry streams while the command runs (ticks come from
    Parallel chunk boundaries and Collect batches — no background thread);
-   the final forced record is written on the way out. *)
-let cmd name doc term =
-  let wrap jobs cache_dir metrics trace telemetry interval f =
+   the final forced record is written on the way out.
+
+   Finalization (telemetry flush, metrics/trace export, snapshot capture +
+   registry record) runs exactly once, both on the normal path — where a
+   write failure exits 1 — and via [at_exit], so early [exit] paths (obs
+   diff/compare gates, collect validation) and killed-early runs still
+   leave complete artifacts.  [record=false] keeps the pure-reader obs
+   analysis subcommands from polluting the run registry. *)
+let cmd ?(record = true) name doc term =
+  let wrap jobs cache_dir obs_dir shard metrics trace telemetry interval
+      snapshot f =
     Parallel.set_jobs jobs;
     (try Char_store.set_dir cache_dir
      with Invalid_argument msg | Sys_error msg ->
        Printf.eprintf "hetarch: cannot open --cache-dir: %s\n" msg;
        exit 1);
+    Option.iter (fun d -> Obs.Registry.set_dir (Some d)) obs_dir;
+    if shard <> "" then Obs.Run.set_shard shard;
     (try
        Option.iter
          (fun path -> Obs.Telemetry.enable ~path ~interval_s:interval)
@@ -891,19 +1246,37 @@ let cmd name doc term =
      with Sys_error msg ->
        Printf.eprintf "hetarch: cannot open telemetry sink: %s\n" msg;
        exit 1);
+    let finalized = ref false in
+    let finalize () =
+      if not !finalized then begin
+        finalized := true;
+        Obs.Telemetry.disable ();
+        Option.iter (fun path -> Obs.Report.write ~path) metrics;
+        Option.iter (fun path -> Obs.Trace.export ~path) trace;
+        if snapshot <> None || (record && Obs.Registry.dir () <> None) then begin
+          let snap = Obs.Snapshot.capture () in
+          Option.iter (fun path -> Obs.Snapshot.write ~path snap) snapshot;
+          if record then ignore (Obs.Registry.record snap)
+        end
+      end
+    in
+    at_exit (fun () ->
+        (* never [exit] inside an at_exit handler — warn and carry on *)
+        try finalize ()
+        with Sys_error msg ->
+          Printf.eprintf "hetarch: cannot write observability output: %s\n"
+            msg);
     Obs.Trace.with_span ("cmd." ^ name) f;
-    try
-      Obs.Telemetry.disable ();
-      Option.iter (fun path -> Obs.Report.write ~path) metrics;
-      Option.iter (fun path -> Obs.Trace.export ~path) trace
+    try finalize ()
     with Sys_error msg ->
       Printf.eprintf "hetarch: cannot write observability output: %s\n" msg;
       exit 1
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const wrap $ jobs_arg $ cache_dir_arg $ metrics_arg $ trace_arg
-      $ telemetry_arg $ telemetry_interval_arg $ term)
+      const wrap $ jobs_arg $ cache_dir_arg $ obs_dir_arg $ shard_label_arg
+      $ metrics_arg $ trace_arg $ telemetry_arg $ telemetry_interval_arg
+      $ snapshot_arg $ term)
 
 let collect_term =
   let campaign =
@@ -912,6 +1285,25 @@ let collect_term =
       & pos 0 string "threshold"
       & info [] ~docv:"CAMPAIGN"
           ~doc:"Campaign to run: threshold, uec, distill, or all")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the campaign across $(docv) cooperating processes by \
+             task content hash; each process runs with a distinct \
+             $(b,--shard) and the fleet is merged with $(b,hetarch obs \
+             merge)")
+  in
+  let shard =
+    Arg.(
+      value & opt int 0
+      & info [ "shard" ] ~docv:"I"
+          ~doc:
+            "This process's shard index in [0, shards).  Also sets the \
+             run's shard label (shardI/N) unless $(b,--shard-label) is \
+             given.")
   in
   let ledger =
     Arg.(
@@ -982,12 +1374,12 @@ let collect_term =
           ~doc:"Write merged per-task statistics to $(docv)")
   in
   Term.(
-    const (fun campaign seed ledger resume progress max_shots max_errors
-               rel_ci min_shots batch halt_after csv () ->
-        run_collect campaign seed ledger resume progress max_shots max_errors
-          rel_ci min_shots batch halt_after csv)
-    $ campaign $ seed_arg $ ledger $ resume $ progress $ max_shots
-    $ max_errors $ rel_ci $ min_shots $ batch $ halt_after $ csv)
+    const (fun campaign seed shards shard ledger resume progress max_shots
+               max_errors rel_ci min_shots batch halt_after csv () ->
+        run_collect campaign seed shards shard ledger resume progress
+          max_shots max_errors rel_ci min_shots batch halt_after csv)
+    $ campaign $ seed_arg $ shards $ shard $ ledger $ resume $ progress
+    $ max_shots $ max_errors $ rel_ci $ min_shots $ batch $ halt_after $ csv)
 
 (* Offline analysis command group over observability artifacts.  The leaves
    go through the same [cmd] wrapper as the experiments so that every
@@ -1066,11 +1458,67 @@ let obs_cmd =
       & info [] ~docv:"TELEMETRY"
           ~doc:"Telemetry JSONL stream written by --telemetry")
   in
+  let run_ref_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RUN"
+          ~doc:
+            "Snapshot/fleet JSON file, or a run-id prefix resolved through \
+             the registry")
+  in
+  let current_opt_pos =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"RUN"
+          ~doc:
+            "Snapshot file or run-id prefix to judge (default: the latest \
+             registry run)")
+  in
+  let merge_refs_pos =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"RUN"
+          ~doc:"Snapshot/fleet JSON files or registry run-id prefixes")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the fleet view to $(docv) instead of stdout")
+  in
+  let last_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "last" ] ~docv:"K"
+          ~doc:"History depth: the most recent $(docv) same-command runs")
+  in
+  let nmad_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "nmad" ] ~docv:"N"
+          ~doc:"MAD multiplier of the trend noise band (default 5)")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Exit 1 on trend regressions (CI hard gate); the default is \
+             warn-only for local runs")
+  in
+  (* Analysis leaves are pure readers — [~record:false] keeps them out of
+     the run registry they inspect. *)
+  let cmd = cmd ~record:false in
   Cmd.group
     (Cmd.info "obs"
        ~doc:
          "Analyze observability artifacts: manifests, traces, telemetry, \
-          bench JSON")
+          bench JSON, run snapshots, fleet views")
     [ cmd "report" "Summarize a run manifest or bench JSON document"
         Term.(const (fun file () -> run_obs_report file) $ manifest_pos);
       cmd "flame" "Render a trace as folded stacks (flamegraph.pl input)"
@@ -1088,7 +1536,25 @@ let obs_cmd =
         Term.(
           const (fun a b thr floor norm () -> run_obs_diff a b thr floor norm)
           $ baseline_pos $ current_pos $ threshold_arg $ noise_floor_arg
-          $ normalize_arg) ]
+          $ normalize_arg);
+      cmd "runs" "List the run registry (--obs-dir / HETARCH_OBS_DIR)"
+        Term.(const (fun limit () -> run_obs_runs limit) $ limit_arg);
+      cmd "show" "Render a run snapshot or merged fleet view"
+        Term.(const (fun r () -> run_obs_show r) $ run_ref_pos);
+      cmd "merge"
+        "Merge run snapshots into one fleet view (order-insensitive, \
+         byte-deterministic)"
+        Term.(
+          const (fun refs out () -> run_obs_merge refs out)
+          $ merge_refs_pos $ out_arg);
+      cmd "compare"
+        "Judge a run against the registry trend (median + MAD of last K); \
+         warn-only unless --gate"
+        Term.(
+          const (fun cur last nmad thr floor gate () ->
+              run_obs_compare cur last nmad thr floor gate)
+          $ current_opt_pos $ last_arg $ nmad_arg $ threshold_arg
+          $ noise_floor_arg $ gate_arg) ]
 
 let commands =
   [ cmd "devices" "Table 1: device catalog" Term.(const run_devices);

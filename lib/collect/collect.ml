@@ -66,6 +66,26 @@ module Task = struct
     |> String.concat ";"
 end
 
+(* ----------------------------------------------------------- sharding -- *)
+
+(* Deterministic task partitioning for multi-process campaigns: a task's
+   shard is a pure function of its content hash, so every process of a
+   fleet — given the same campaign definition — agrees on the split without
+   coordination, and the same property will key per-shard ledger files.
+   Shard identity survives task reordering and campaign growth (adding a
+   task never moves existing ones), unlike position-based striping. *)
+
+let shard_of ~shards task =
+  if shards < 1 then invalid_arg "Collect.shard_of: shards must be >= 1";
+  Int64.to_int
+    (Int64.rem (Int64.logand (hash64 (Task.canonical task)) Int64.max_int)
+       (Int64.of_int shards))
+
+let shard_filter ~shards ~shard tasks =
+  if shard < 0 || shard >= shards then
+    invalid_arg "Collect.shard_filter: shard out of range";
+  List.filter (fun t -> shard_of ~shards t = shard) tasks
+
 (* ------------------------------------------------------------- ledger -- *)
 
 module Ledger = struct
@@ -314,7 +334,10 @@ let run ?ledger ?(resume = false) ?(progress = false) ?(stop = default_stop)
       Hashtbl.add seen id ())
     ids;
   Obs.Trace.with_span "collect.campaign"
-    ~attrs:[ ("tasks", string_of_int n); ("seed", string_of_int seed) ]
+    ~attrs:
+      (("tasks", string_of_int n)
+      :: ("seed", string_of_int seed)
+      :: (match Obs.Run.shard () with "" -> [] | s -> [ ("shard", s) ]))
     (fun () ->
       let start_ns = Obs.now_ns () in
       let replayed =

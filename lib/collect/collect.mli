@@ -49,6 +49,17 @@ module Task : sig
   (** Sorted ["k=v;k=v"] rendering with CSV delimiters sanitized. *)
 end
 
+val shard_of : shards:int -> Task.t -> int
+(** Deterministic shard assignment for multi-process campaigns: the task's
+    content hash modulo [shards].  A pure function of the task description,
+    so every process of a fleet agrees on the split without coordination,
+    and adding tasks never moves existing ones.  Raises [Invalid_argument]
+    when [shards < 1]. *)
+
+val shard_filter : shards:int -> shard:int -> Task.t list -> Task.t list
+(** The tasks {!shard_of} assigns to [shard], preserving input order.
+    Raises [Invalid_argument] unless [0 <= shard < shards]. *)
+
 (** Append-only JSONL ledger of batch records. *)
 module Ledger : sig
   type record = {

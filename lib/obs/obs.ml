@@ -271,6 +271,43 @@ module Json = struct
     | _ -> failwith "Obs.Json.to_float: not a number"
 end
 
+(* ------------------------------------------------------------------- run *)
+
+(* Process-level run identity.  Every observability artifact a process
+   writes — run manifest, telemetry stream, Chrome-trace export, snapshot —
+   carries the same 64-bit run-id, so fleet tooling can correlate them
+   after the fact.  The id hashes argv, pid, wall-clock and monotonic start
+   time; HETARCH_RUN_ID (16 hex digits) overrides it for reproducible
+   fixtures.  The shard label is free-form attribution ("shard0/3", a host
+   name, ...) set once at startup and stamped into the same artifacts. *)
+
+module Run = struct
+  let started_unix = Unix.gettimeofday ()
+  let shard_label = ref ""
+
+  let set_shard s = shard_label := s
+  let shard () = !shard_label
+
+  let is_hex = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+
+  let computed_id =
+    lazy
+      (match Sys.getenv_opt "HETARCH_RUN_ID" with
+      | Some s when String.length s = 16 && String.for_all is_hex s -> s
+      | _ ->
+          Content_hash.of_components
+            ("hetarch-run/1"
+            :: string_of_int (Unix.getpid ())
+            :: Printf.sprintf "%.17g" started_unix
+            :: Int64.to_string (now_ns ())
+            :: Array.to_list Sys.argv))
+
+  let id () = Lazy.force computed_id
+
+  let json () =
+    Json.Obj [ ("id", Json.String (id ())); ("shard", Json.String (shard ())) ]
+end
+
 (* --------------------------------------------------------------- metrics *)
 
 (* Domain safety: shot loops now fan out across Domains (Parallel), and any
@@ -548,6 +585,18 @@ module Trace = struct
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
+        (* First line is a Chrome-trace metadata event (ph "M") carrying the
+           run identity; trace readers aggregate "X" events only. *)
+        let meta =
+          Json.Obj
+            [ ("name", Json.String "hetarch.run");
+              ("ph", Json.String "M");
+              ("pid", Json.Int 0);
+              ("tid", Json.Int 0);
+              ("args", Run.json ()) ]
+        in
+        output_string oc (Json.to_string meta);
+        output_char oc '\n';
         List.iter
           (fun s ->
             output_string oc (Json.to_string (span_json s));
@@ -855,7 +904,8 @@ module Telemetry = struct
     in
     let doc =
       Json.Obj
-        ([ ("schema", Json.String "hetarch.telemetry/1");
+        ([ ("schema", Json.String "hetarch.telemetry/2");
+           ("run", Run.json ());
            ("seq", Json.Int !seq);
            ("elapsed_s", Json.Float elapsed_s);
            ("dt_s", Json.Float dt_s);
@@ -901,9 +951,18 @@ module Telemetry = struct
         sink := None;
         Atomic.set enabled_flag false)
 
+  (* Registered once, lazily: a run killed between ticks (or leaving via
+     [exit] from deep inside a command) still flushes one final forced
+     record, so the stream always ends with the run's last state. *)
+  let exit_flush_registered = ref false
+
   let enable ~path ~interval_s =
     if not (interval_s >= 0.) then invalid_arg "Obs.Telemetry.enable: interval";
     (match !sink with Some _ -> disable () | None -> ());
+    if not !exit_flush_registered then begin
+      exit_flush_registered := true;
+      at_exit (fun () -> if Atomic.get enabled_flag then disable ())
+    end;
     Mutex.protect lock (fun () ->
         let oc = open_out path in
         sink := Some oc;
@@ -971,7 +1030,11 @@ module Diff = struct
               | _ -> None)
             ks
       | _ -> []
-    else if String.length schema >= 11 && String.sub schema 0 11 = "hetarch.obs" then begin
+    else if
+      List.exists
+        (fun p -> String.length schema >= String.length p && String.sub schema 0 (String.length p) = p)
+        [ "hetarch.obs"; "hetarch.snapshot"; "hetarch.fleet" ]
+    then begin
       let section name f =
         match Json.member name doc with
         | Some (Json.Obj kvs) -> List.filter_map f kvs
@@ -991,7 +1054,10 @@ module Diff = struct
                 with Failure _ -> None)
             | None -> None)
     end
-    else failwith "Obs.Diff: unrecognized schema (want hetarch.bench/* or hetarch.obs/*)"
+    else
+      failwith
+        "Obs.Diff: unrecognized schema (want hetarch.bench/*, hetarch.obs/*, \
+         hetarch.snapshot/* or hetarch.fleet/*)"
 
   (* [normalize] divides every current value by the median current/baseline
      ratio across the common metrics, cancelling a uniform machine-speed
@@ -1144,7 +1210,8 @@ module Report = struct
         (Trace.summaries ())
     in
     Json.Obj
-      [ ("schema", Json.String "hetarch.obs/2");
+      [ ("schema", Json.String "hetarch.obs/3");
+        ("run", Run.json ());
         ("process", process_json ());
         ("counters", Json.Obj counters);
         ("gauges", Json.Obj gauges);
@@ -1158,6 +1225,672 @@ module Report = struct
       (fun () ->
         output_string oc (Json.to_string (to_json ()));
         output_char oc '\n')
+end
+
+(* ------------------------------------------------------------- snapshots *)
+
+(* Complete, versioned serialization of one process's obs state — the unit
+   of fleet-scale aggregation.  Unlike the Report manifest (a human-facing
+   summary with lossy derived quantities), a snapshot carries the *raw*
+   mergeable state: integer bucket counts, Welford (n, mean, m2) triples,
+   and per-caller-path span aggregates (from which the profile trie is
+   reconstructed exactly).  Serialization is canonical — sections sorted by
+   name, floats via the round-tripping emitter — so parse ∘ serialize is the
+   identity on bytes and the content hash is well-defined. *)
+
+module Snapshot = struct
+  let schema = "hetarch.snapshot/1"
+
+  type hist = {
+    h_bounds : float array;
+    h_counts : int array;
+    h_overflow : int;
+    h_count : int;
+    h_mean : float;
+    h_m2 : float;  (* Welford sum of squared deviations *)
+    h_min : float;
+    h_max : float;
+  }
+
+  type process = {
+    p_minor_collections : int;
+    p_major_collections : int;
+    p_compactions : int;
+    p_minor_words : float;
+    p_promoted_words : float;
+    p_major_words : float;
+    p_heap_words : int;
+    p_top_heap_words : int;
+  }
+
+  type t = {
+    run_id : string;
+    shard : string;
+    argv : string list;
+    started_unix : float;
+    wall_seconds : float;
+    jobs : int;
+    counters : (string * int) list;  (* sorted by name *)
+    gauges : (string * float) list;
+    histograms : (string * hist) list;
+    spans : (string * int * int64) list;  (* (name, count, total_ns) *)
+    paths : (string * int * int64) list;  (* profile trie, keyed by path *)
+    process : process;
+  }
+
+  let capture () =
+    Report.snapshot_parallel ();
+    let histograms =
+      Report.sorted_fold Histogram.registry (fun h ->
+          Mutex.protect h.Histogram.lock (fun () ->
+              { h_bounds = Array.copy h.Histogram.bounds;
+                h_counts = Array.copy h.Histogram.counts;
+                h_overflow = h.Histogram.over;
+                h_count = Stats.running_count h.Histogram.welford;
+                h_mean = Stats.running_mean h.Histogram.welford;
+                h_m2 = Stats.running_m2 h.Histogram.welford;
+                h_min = h.Histogram.lo;
+                h_max = h.Histogram.hi }))
+    in
+    let st = Gc.quick_stat () in
+    { run_id = Run.id ();
+      shard = Run.shard ();
+      argv = Array.to_list Sys.argv;
+      started_unix = Run.started_unix;
+      wall_seconds = Int64.to_float (Int64.sub (now_ns ()) Trace.t0) /. 1e9;
+      jobs = Parallel.jobs ();
+      counters = Report.sorted_fold Counter.registry Counter.value;
+      gauges = Report.sorted_fold Gauge.registry Gauge.value;
+      histograms;
+      spans = Trace.summaries ();
+      paths = Trace.by_path ();
+      process =
+        { p_minor_collections = st.Gc.minor_collections;
+          p_major_collections = st.Gc.major_collections;
+          p_compactions = st.Gc.compactions;
+          p_minor_words = st.Gc.minor_words;
+          p_promoted_words = st.Gc.promoted_words;
+          p_major_words = st.Gc.major_words;
+          p_heap_words = st.Gc.heap_words;
+          p_top_heap_words = st.Gc.top_heap_words } }
+
+  let hist_json h =
+    Json.Obj
+      [ ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) h.h_bounds)));
+        ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.h_counts)));
+        ("overflow", Json.Int h.h_overflow);
+        ("count", Json.Int h.h_count);
+        ("mean", Json.Float h.h_mean);
+        ("m2", Json.Float h.h_m2);
+        ("min", Json.Float h.h_min);
+        ("max", Json.Float h.h_max) ]
+
+  let agg_json (name, count, total_ns) =
+    ( name,
+      Json.Obj
+        [ ("count", Json.Int count); ("total_ns", Json.Int (Int64.to_int total_ns)) ] )
+
+  let process_json p =
+    Json.Obj
+      [ ("minor_collections", Json.Int p.p_minor_collections);
+        ("major_collections", Json.Int p.p_major_collections);
+        ("compactions", Json.Int p.p_compactions);
+        ("minor_words", Json.Float p.p_minor_words);
+        ("promoted_words", Json.Float p.p_promoted_words);
+        ("major_words", Json.Float p.p_major_words);
+        ("heap_words", Json.Int p.p_heap_words);
+        ("top_heap_words", Json.Int p.p_top_heap_words) ]
+
+  (* Every field except the content hash itself; the hash is computed over
+     this serialization, so any bit of state change changes the hash. *)
+  let body t =
+    [ ("schema", Json.String schema);
+      ( "run",
+        Json.Obj
+          [ ("id", Json.String t.run_id);
+            ("shard", Json.String t.shard);
+            ("argv", Json.List (List.map (fun a -> Json.String a) t.argv));
+            ("started_unix", Json.Float t.started_unix);
+            ("wall_seconds", Json.Float t.wall_seconds);
+            ("jobs", Json.Int t.jobs) ] );
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) t.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) t.gauges));
+      ("histograms", Json.Obj (List.map (fun (n, h) -> (n, hist_json h)) t.histograms));
+      ("spans", Json.Obj (List.map agg_json t.spans));
+      ("paths", Json.Obj (List.map agg_json t.paths));
+      ("process", process_json t.process) ]
+
+  let content_hash t =
+    Content_hash.of_components [ schema; Json.to_string (Json.Obj (body t)) ]
+
+  let to_json t =
+    Json.Obj (body t @ [ ("content_hash", Json.String (content_hash t)) ])
+
+  let of_json doc =
+    let fail fmt = Printf.ksprintf (fun m -> failwith ("Obs.Snapshot.of_json: " ^ m)) fmt in
+    (match Json.member "schema" doc with
+    | Some (Json.String s) when s = schema -> ()
+    | Some (Json.String s) -> fail "schema %s (want %s)" s schema
+    | _ -> fail "missing schema");
+    let section name =
+      match Json.member name doc with
+      | Some (Json.Obj kvs) -> kvs
+      | _ -> fail "missing %s section" name
+    in
+    let str name j =
+      match Json.member name j with
+      | Some (Json.String s) -> s
+      | _ -> fail "missing string %s" name
+    in
+    let int_ name j =
+      match Json.member name j with
+      | Some (Json.Int i) -> i
+      | _ -> fail "missing integer %s" name
+    in
+    let float_ name j =
+      match Json.member name j with
+      | Some v -> ( try Json.to_float v with Failure _ -> fail "non-numeric %s" name)
+      | None -> fail "missing number %s" name
+    in
+    let run = Json.Obj (section "run") in
+    let hist_of j =
+      let arr name f =
+        match Json.member name j with
+        | Some (Json.List xs) -> Array.of_list (List.map f xs)
+        | _ -> fail "missing array %s" name
+      in
+      { h_bounds = arr "bounds" Json.to_float;
+        h_counts = arr "counts" (function Json.Int i -> i | _ -> fail "non-integer bucket count");
+        h_overflow = int_ "overflow" j;
+        h_count = int_ "count" j;
+        h_mean = float_ "mean" j;
+        h_m2 = float_ "m2" j;
+        h_min = float_ "min" j;
+        h_max = float_ "max" j }
+    in
+    let agg_of (name, j) = (name, int_ "count" j, Int64.of_int (int_ "total_ns" j)) in
+    let p = Json.Obj (section "process") in
+    { run_id = str "id" run;
+      shard = str "shard" run;
+      argv =
+        (match Json.member "argv" run with
+        | Some (Json.List xs) ->
+            List.map (function Json.String s -> s | _ -> fail "non-string argv entry") xs
+        | _ -> fail "missing argv");
+      started_unix = float_ "started_unix" run;
+      wall_seconds = float_ "wall_seconds" run;
+      jobs = int_ "jobs" run;
+      counters =
+        List.sort compare
+          (List.map
+             (fun (n, v) -> match v with Json.Int i -> (n, i) | _ -> fail "non-integer counter %s" n)
+             (section "counters"));
+      gauges =
+        List.sort compare
+          (List.map
+             (fun (n, v) -> (n, (try Json.to_float v with Failure _ -> fail "non-numeric gauge %s" n)))
+             (section "gauges"));
+      histograms = List.sort compare (List.map (fun (n, v) -> (n, hist_of v)) (section "histograms"));
+      spans = List.sort compare (List.map agg_of (section "spans"));
+      paths = List.sort compare (List.map agg_of (section "paths"));
+      process =
+        { p_minor_collections = int_ "minor_collections" p;
+          p_major_collections = int_ "major_collections" p;
+          p_compactions = int_ "compactions" p;
+          p_minor_words = float_ "minor_words" p;
+          p_promoted_words = float_ "promoted_words" p;
+          p_major_words = float_ "major_words" p;
+          p_heap_words = int_ "heap_words" p;
+          p_top_heap_words = int_ "top_heap_words" p } }
+
+  (* Atomic write: temp file in the destination directory, then rename — a
+     concurrent reader (or a kill mid-write) never sees a torn snapshot. *)
+  let write ~path t =
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    let oc = open_out tmp in
+    (try
+       output_string oc (Json.to_string (to_json t));
+       output_char oc '\n';
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp path
+
+  let load path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_json (Json.parse (really_input_string ic (in_channel_length ic))))
+end
+
+(* ----------------------------------------------------------------- merge *)
+
+(* Order-insensitive union of snapshots into one fleet view.  The merged
+   document embeds its full source snapshots and recomputes every aggregate
+   by folding over them in a canonical order (run-id, then content hash,
+   duplicates removed) — so merging A∪B and B∪A, or (A∪B)∪C and A∪(B∪C),
+   produces byte-identical output even though float addition itself is not
+   associative.  Histograms bucket-merge and combine their Welford states
+   with Chan's parallel update; gauges cannot be meaningfully summed across
+   processes, so they carry per-source values plus min/max/sum. *)
+
+module Merge = struct
+  let schema = "hetarch.fleet/1"
+
+  type t = { keyed : (string * Snapshot.t) list }  (* (content_hash, snapshot) *)
+
+  let canonicalize keyed =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun (h, _) ->
+        if Hashtbl.mem seen h then false
+        else begin
+          Hashtbl.add seen h ();
+          true
+        end)
+      keyed
+    |> List.sort (fun (ha, a) (hb, b) ->
+           match compare a.Snapshot.run_id b.Snapshot.run_id with
+           | 0 -> compare ha hb
+           | c -> c)
+
+  let of_snapshots snaps =
+    { keyed = canonicalize (List.map (fun s -> (Snapshot.content_hash s, s)) snaps) }
+
+  let union a b = { keyed = canonicalize (a.keyed @ b.keyed) }
+  let sources t = List.map snd t.keyed
+
+  let names proj ss = List.sort_uniq compare (List.concat_map proj ss)
+
+  let merged_counters ss =
+    List.map
+      (fun k ->
+        ( k,
+          List.fold_left
+            (fun acc (s : Snapshot.t) ->
+              acc + Option.value ~default:0 (List.assoc_opt k s.counters))
+            0 ss ))
+      (names (fun (s : Snapshot.t) -> List.map fst s.counters) ss)
+
+  let merged_gauges ss =
+    List.map
+      (fun k ->
+        let per_source =
+          List.filter_map
+            (fun (s : Snapshot.t) ->
+              Option.map (fun v -> (s.run_id, s.shard, v)) (List.assoc_opt k s.gauges))
+            ss
+        in
+        let sum = List.fold_left (fun acc (_, _, v) -> acc +. v) 0. per_source in
+        let mn = List.fold_left (fun acc (_, _, v) -> Float.min acc v) infinity per_source in
+        let mx = List.fold_left (fun acc (_, _, v) -> Float.max acc v) neg_infinity per_source in
+        ( k,
+          Json.Obj
+            [ ("n", Json.Int (List.length per_source));
+              ("sum", Json.Float sum);
+              ("min", Json.Float mn);
+              ("max", Json.Float mx);
+              ( "by_source",
+                Json.List
+                  (List.map
+                     (fun (run, shard, v) ->
+                       Json.Obj
+                         [ ("run", Json.String run);
+                           ("shard", Json.String shard);
+                           ("value", Json.Float v) ])
+                     per_source) ) ] ))
+      (names (fun (s : Snapshot.t) -> List.map fst s.gauges) ss)
+
+  let merge_hist name (a : Snapshot.hist) (b : Snapshot.hist) =
+    if a.h_bounds <> b.h_bounds then
+      failwith
+        (Printf.sprintf "Obs.Merge: histogram %s bucket bounds differ across snapshots" name);
+    let n = a.h_count + b.h_count in
+    let mean, m2 =
+      if a.h_count = 0 then (b.h_mean, b.h_m2)
+      else if b.h_count = 0 then (a.h_mean, a.h_m2)
+      else begin
+        (* Chan's pairwise Welford merge: exact combination of two
+           (n, mean, m2) accumulators without revisiting samples. *)
+        let fa = float_of_int a.h_count
+        and fb = float_of_int b.h_count
+        and fn = float_of_int n in
+        let delta = b.h_mean -. a.h_mean in
+        ( a.h_mean +. (delta *. fb /. fn),
+          a.h_m2 +. b.h_m2 +. (delta *. delta *. fa *. fb /. fn) )
+      end
+    in
+    { Snapshot.h_bounds = a.h_bounds;
+      h_counts = Array.mapi (fun i c -> c + b.h_counts.(i)) a.h_counts;
+      h_overflow = a.h_overflow + b.h_overflow;
+      h_count = n;
+      h_mean = mean;
+      h_m2 = m2;
+      h_min = Float.min a.h_min b.h_min;
+      h_max = Float.max a.h_max b.h_max }
+
+  let merged_histograms ss =
+    List.map
+      (fun k ->
+        let hs =
+          List.filter_map (fun (s : Snapshot.t) -> List.assoc_opt k s.histograms) ss
+        in
+        match hs with
+        | [] -> assert false
+        | first :: rest -> (k, List.fold_left (merge_hist k) first rest))
+      (names (fun (s : Snapshot.t) -> List.map fst s.histograms) ss)
+
+  (* Spans and paths share the (name, count, total_ns) aggregate shape;
+     merging path aggregates is exactly grafting profile tries by path. *)
+  let merged_aggs proj ss =
+    List.map
+      (fun k ->
+        let c, tns =
+          List.fold_left
+            (fun (c, tns) s ->
+              match List.find_opt (fun (n, _, _) -> n = k) (proj s) with
+              | Some (_, c', t') -> (c + c', Int64.add tns t')
+              | None -> (c, tns))
+            (0, 0L) ss
+        in
+        (k, c, tns))
+      (names (fun s -> List.map (fun (n, _, _) -> n) (proj s)) ss)
+
+  let merged_process ss =
+    let sum f = List.fold_left (fun acc s -> acc + f s) 0 ss in
+    let sumf f = List.fold_left (fun acc s -> acc +. f s) 0. ss in
+    { Snapshot.p_minor_collections = sum (fun (s : Snapshot.t) -> s.process.p_minor_collections);
+      p_major_collections = sum (fun (s : Snapshot.t) -> s.process.p_major_collections);
+      p_compactions = sum (fun (s : Snapshot.t) -> s.process.p_compactions);
+      p_minor_words = sumf (fun (s : Snapshot.t) -> s.process.p_minor_words);
+      p_promoted_words = sumf (fun (s : Snapshot.t) -> s.process.p_promoted_words);
+      p_major_words = sumf (fun (s : Snapshot.t) -> s.process.p_major_words);
+      p_heap_words = sum (fun (s : Snapshot.t) -> s.process.p_heap_words);
+      p_top_heap_words =
+        List.fold_left (fun acc (s : Snapshot.t) -> max acc s.process.p_top_heap_words) 0 ss }
+
+  let to_json t =
+    let ss = sources t in
+    let runs = List.length ss in
+    let window =
+      if runs = 0 then Json.Obj []
+      else begin
+        let started =
+          List.fold_left (fun acc (s : Snapshot.t) -> Float.min acc s.started_unix) infinity ss
+        in
+        let ended =
+          List.fold_left
+            (fun acc (s : Snapshot.t) -> Float.max acc (s.started_unix +. s.wall_seconds))
+            neg_infinity ss
+        in
+        Json.Obj
+          [ ("started_unix", Json.Float started);
+            ("ended_unix", Json.Float ended);
+            ("wall_span_seconds", Json.Float (ended -. started));
+            ( "total_wall_seconds",
+              Json.Float
+                (List.fold_left (fun acc (s : Snapshot.t) -> acc +. s.wall_seconds) 0. ss) ) ]
+      end
+    in
+    let attribution =
+      Json.List
+        (List.map
+           (fun (h, (s : Snapshot.t)) ->
+             Json.Obj
+               [ ("run", Json.String s.run_id);
+                 ("shard", Json.String s.shard);
+                 ("content_hash", Json.String h);
+                 ("started_unix", Json.Float s.started_unix);
+                 ("wall_seconds", Json.Float s.wall_seconds);
+                 ("jobs", Json.Int s.jobs) ])
+           t.keyed)
+    in
+    let body =
+      [ ("schema", Json.String schema);
+        ("runs", Json.Int runs);
+        ("window", window);
+        ("attribution", attribution);
+        ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (merged_counters ss)));
+        ("gauges", Json.Obj (merged_gauges ss));
+        ( "histograms",
+          Json.Obj
+            (List.map (fun (n, h) -> (n, Snapshot.hist_json h)) (merged_histograms ss)) );
+        ( "spans",
+          Json.Obj
+            (List.map Snapshot.agg_json (merged_aggs (fun (s : Snapshot.t) -> s.spans) ss)) );
+        ( "paths",
+          Json.Obj
+            (List.map Snapshot.agg_json (merged_aggs (fun (s : Snapshot.t) -> s.paths) ss)) );
+        ("process", Snapshot.process_json (merged_process ss));
+        ("sources", Json.List (List.map Snapshot.to_json ss)) ]
+    in
+    Json.Obj
+      (body
+      @ [ ( "content_hash",
+            Json.String (Content_hash.of_components [ schema; Json.to_string (Json.Obj body) ]) )
+        ])
+
+  (* Accepts a single snapshot or a fleet document; a fleet input is
+     flattened back to its sources, so merging merged documents is exact. *)
+  let of_json doc =
+    match Json.member "schema" doc with
+    | Some (Json.String s) when s = schema -> (
+        match Json.member "sources" doc with
+        | Some (Json.List ss) -> of_snapshots (List.map Snapshot.of_json ss)
+        | _ -> failwith "Obs.Merge.of_json: fleet document without sources")
+    | Some (Json.String s) when s = Snapshot.schema -> of_snapshots [ Snapshot.of_json doc ]
+    | _ ->
+        failwith
+          (Printf.sprintf "Obs.Merge.of_json: unrecognized schema (want %s or %s)"
+             Snapshot.schema schema)
+end
+
+(* -------------------------------------------------------------- registry *)
+
+(* Append-only run registry: HETARCH_OBS_DIR (or an explicit [set_dir])
+   names a directory holding one snapshot file per run plus an index.jsonl
+   with one line per recorded run.  Appends are single flushed lines, so
+   concurrent shard processes interleave whole records; replay skips a torn
+   tail exactly like the collect ledger does. *)
+
+module Registry = struct
+  type entry = {
+    e_run_id : string;
+    e_shard : string;
+    e_cmd : string;  (* leading non-flag argv words, e.g. "collect uec" *)
+    e_file : string;  (* snapshot file name, relative to <dir>/snapshots *)
+    e_hash : string;  (* snapshot content hash *)
+    e_unix : float;  (* run start, unix seconds *)
+  }
+
+  let override : string option ref = ref None
+  let set_dir d = override := d
+
+  let dir () =
+    match !override with Some _ as d -> d | None -> Sys.getenv_opt "HETARCH_OBS_DIR"
+
+  let resolve = function Some d -> Some d | None -> dir ()
+
+  let rec mkdir_p path =
+    if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+    else begin
+      mkdir_p (Filename.dirname path);
+      try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let snapshots_dir d = Filename.concat d "snapshots"
+  let index_path d = Filename.concat d "index.jsonl"
+
+  let cmd_of_argv = function
+    | [] -> "?"
+    | exe :: rest -> (
+        let rec leading acc = function
+          | a :: tl when a <> "" && a.[0] <> '-' -> leading (a :: acc) tl
+          | _ -> List.rev acc
+        in
+        match leading [] rest with
+        | [] -> Filename.basename exe
+        | words -> String.concat " " words)
+
+  let entry_to_json e =
+    Json.Obj
+      [ ("run_id", Json.String e.e_run_id);
+        ("shard", Json.String e.e_shard);
+        ("cmd", Json.String e.e_cmd);
+        ("file", Json.String e.e_file);
+        ("hash", Json.String e.e_hash);
+        ("unix", Json.Float e.e_unix) ]
+
+  let entry_of_json j =
+    let str k = match Json.member k j with Some (Json.String s) -> Some s | _ -> None in
+    let num k =
+      match Json.member k j with
+      | Some v -> ( try Some (Json.to_float v) with Failure _ -> None)
+      | None -> None
+    in
+    match (str "run_id", str "shard", str "cmd", str "file", str "hash", num "unix") with
+    | Some e_run_id, Some e_shard, Some e_cmd, Some e_file, Some e_hash, Some e_unix ->
+        Some { e_run_id; e_shard; e_cmd; e_file; e_hash; e_unix }
+    | _ -> None
+
+  let record ?dir snap =
+    match resolve dir with
+    | None -> None
+    | Some d ->
+        mkdir_p (snapshots_dir d);
+        let file = snap.Snapshot.run_id ^ ".json" in
+        Snapshot.write ~path:(Filename.concat (snapshots_dir d) file) snap;
+        let e =
+          { e_run_id = snap.Snapshot.run_id;
+            e_shard = snap.Snapshot.shard;
+            e_cmd = cmd_of_argv snap.Snapshot.argv;
+            e_file = file;
+            e_hash = Snapshot.content_hash snap;
+            e_unix = snap.Snapshot.started_unix }
+        in
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 (index_path d) in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Json.to_string (entry_to_json e));
+            output_char oc '\n');
+        Some e
+
+  (* Index order = append order; blank and unparsable lines (torn tail of a
+     killed process) are skipped, mirroring Collect.Ledger.fold. *)
+  let entries ?dir () =
+    match resolve dir with
+    | None -> []
+    | Some d ->
+        let path = index_path d in
+        if not (Sys.file_exists path) then []
+        else
+          In_channel.with_open_text path (fun ic ->
+              let rec go acc =
+                match In_channel.input_line ic with
+                | None -> List.rev acc
+                | Some line ->
+                    let acc =
+                      if String.trim line = "" then acc
+                      else
+                        match
+                          (try entry_of_json (Json.parse line) with Failure _ -> None)
+                        with
+                        | Some e -> e :: acc
+                        | None -> acc
+                    in
+                    go acc
+              in
+              go [])
+
+  let load ?dir e =
+    match resolve dir with
+    | None -> failwith "Obs.Registry.load: no registry directory (set HETARCH_OBS_DIR)"
+    | Some d -> Snapshot.load (Filename.concat (snapshots_dir d) e.e_file)
+
+  (* Latest entry whose run id starts with [prefix]; ambiguous prefixes
+     (matching several distinct run ids) raise rather than guessing. *)
+  let find ?dir prefix =
+    let matches =
+      List.filter
+        (fun e ->
+          String.length e.e_run_id >= String.length prefix
+          && String.sub e.e_run_id 0 (String.length prefix) = prefix)
+        (entries ?dir ())
+    in
+    let ids = List.sort_uniq compare (List.map (fun e -> e.e_run_id) matches) in
+    match (ids, List.rev matches) with
+    | [], _ | _, [] -> None
+    | [ _ ], latest :: _ -> Some latest
+    | _ :: _ :: _, _ ->
+        failwith
+          (Printf.sprintf "Obs.Registry.find: run id prefix %s is ambiguous (%s)" prefix
+             (String.concat ", " ids))
+end
+
+(* ----------------------------------------------------------------- trend *)
+
+(* Registry-backed regression watchdog: instead of one committed baseline,
+   judge the current run against the median of the last K runs with a
+   median-absolute-deviation noise band.  The MAD is a robust spread
+   estimate — one historic outlier cannot widen or shift the gate the way
+   it would a mean/stddev band — and 1.4826·MAD estimates sigma for
+   normally-distributed noise.  A floor of min_pct% of the median keeps
+   near-deterministic metrics (MAD ≈ 0) from flagging on harmless jitter,
+   and nothing is flagged with fewer than two history points. *)
+
+module Trend = struct
+  type verdict = {
+    v_metric : string;
+    v_current : float;
+    v_median : float;
+    v_mad : float;
+    v_limit : float;  (* regression boundary; infinity with thin history *)
+    v_samples : int;  (* history points that carried this metric *)
+    v_regression : bool;
+  }
+
+  let default_nmad = 5.
+  let default_min_pct = 10.
+
+  let median = function
+    | [] -> 0.
+    | xs ->
+        let arr = Array.of_list xs in
+        Array.sort compare arr;
+        let n = Array.length arr in
+        if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.
+
+  let judge ?(nmad = default_nmad) ?(min_pct = default_min_pct) ?(noise_floor_ns = 0.)
+      ~history current =
+    List.map
+      (fun (metric, cur) ->
+        let vals = List.filter_map (List.assoc_opt metric) history in
+        let samples = List.length vals in
+        if samples < 2 then
+          { v_metric = metric;
+            v_current = cur;
+            v_median = (match vals with [ v ] -> v | _ -> cur);
+            v_mad = 0.;
+            v_limit = infinity;
+            v_samples = samples;
+            v_regression = false }
+        else begin
+          let med = median vals in
+          let mad = median (List.map (fun v -> Float.abs (v -. med)) vals) in
+          let limit = med +. Float.max (nmad *. 1.4826 *. mad) (min_pct /. 100. *. med) in
+          { v_metric = metric;
+            v_current = cur;
+            v_median = med;
+            v_mad = mad;
+            v_limit = limit;
+            v_samples = samples;
+            v_regression = cur > limit && Float.max cur med >= noise_floor_ns }
+        end)
+      current
+    |> List.sort (fun a b -> compare a.v_metric b.v_metric)
 end
 
 (* Zero values in place rather than dropping registrations: modules hold

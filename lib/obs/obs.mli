@@ -51,6 +51,29 @@ module Json : sig
   (** Numeric value of [Int] or [Float]; raises [Failure] otherwise. *)
 end
 
+(** Process-level run identity, stamped into every observability artifact
+    (run manifests, telemetry records, Chrome-trace exports, snapshots) so
+    fleet tooling can correlate the artifacts of one run after the fact. *)
+module Run : sig
+  val id : unit -> string
+  (** Stable 64-bit run id as 16 hex digits: a content hash of argv, pid
+      and the process start time, computed once per process.
+      [HETARCH_RUN_ID] (16 hex digits) overrides it — used by tests and
+      fixtures that need reproducible ids. *)
+
+  val started_unix : float
+  (** Wall-clock process start, unix seconds. *)
+
+  val set_shard : string -> unit
+  (** Set the free-form shard label ("shard0/3", a host name, ...) carried
+      by every artifact; empty by default.  Set once at startup. *)
+
+  val shard : unit -> string
+
+  val json : unit -> Json.t
+  (** [{"id": ..., "shard": ...}] — the stamp embedded in documents. *)
+end
+
 (** Monotonically increasing integer metric. *)
 module Counter : sig
   type t
@@ -204,7 +227,8 @@ module Profile : sig
       [limit] defaults to 20. *)
 end
 
-(** Append-only JSONL telemetry heartbeat, schema [hetarch.telemetry/1].
+(** Append-only JSONL telemetry heartbeat, schema [hetarch.telemetry/2]
+    (v2 adds the {!Run} stamp to every record).
 
     One record per tick: monotonic elapsed seconds, every counter's value
     and its delta since the previous record (plus derived per-second rates),
@@ -247,7 +271,9 @@ module Telemetry : sig
 
   val disable : unit -> unit
   (** Write one final forced record and close the sink.  No-op when
-      telemetry was never enabled. *)
+      telemetry was never enabled.  Also installed as an [at_exit] hook by
+      {!enable}, so a run that exits between ticks (including via [exit]
+      deep inside a command) still leaves a complete final heartbeat. *)
 
   val enabled : unit -> bool
 
@@ -274,8 +300,8 @@ end
 
     Extracts the time-like metrics of two parsed documents — kernel ns/run
     from [hetarch.bench/2], span [total_ns] and histogram means from
-    [hetarch.obs/*] — and flags relative regressions past a threshold
-    (higher is always worse). *)
+    [hetarch.obs/*], [hetarch.snapshot/*] and [hetarch.fleet/*] — and flags
+    relative regressions past a threshold (higher is always worse). *)
 module Diff : sig
   type entry = {
     metric : string;
@@ -326,14 +352,207 @@ end
 
 (** One-document run manifest: the registry plus span summaries.
 
-    Schema [hetarch.obs/2]: adds a [process] section (GC collection and
-    allocation counters from [Gc.quick_stat], peak heap words, wall-clock
-    run seconds), p50/p90/p99 quantile estimates on every histogram, and
-    [p50_ns]/[p90_ns]/[p99_ns] per span name computed over the retained
-    trace ring (absent when the ring holds no spans of that name). *)
+    Schema [hetarch.obs/3]: a [run] stamp ({!Run.json}), a [process]
+    section (GC collection and allocation counters from [Gc.quick_stat],
+    peak heap words, wall-clock run seconds), p50/p90/p99 quantile
+    estimates on every histogram, and [p50_ns]/[p90_ns]/[p99_ns] per span
+    name computed over the retained trace ring (absent when the ring holds
+    no spans of that name). *)
 module Report : sig
   val to_json : unit -> Json.t
   (** Keys sorted within each section for deterministic output. *)
 
   val write : path:string -> unit
+end
+
+(** Complete, versioned, content-hashed serialization of one process's obs
+    state — the unit of fleet-scale aggregation (schema
+    [hetarch.snapshot/1]).
+
+    Where the {!Report} manifest is a human-facing summary with lossy
+    derived quantities (quantile estimates, variance), a snapshot carries
+    the {e raw mergeable state}: integer bucket counts, Welford
+    [(count, mean, m2)] triples, per-span-name and per-caller-path
+    aggregates (the latter reconstruct the profile trie exactly via
+    {!Profile.of_totals}), the GC/process section, and run metadata (run
+    id, shard label, argv, wall span, jobs).
+
+    Serialization is canonical — sections sorted by name, floats emitted in
+    round-tripping form — so [of_json] ∘ [to_json] is the identity and the
+    content hash (computed over the serialization minus the hash field
+    itself) is well defined.  The record type is exposed so tests and
+    benches can build synthetic snapshots. *)
+module Snapshot : sig
+  type hist = {
+    h_bounds : float array;  (** bucket upper bounds, as configured *)
+    h_counts : int array;  (** raw per-bucket counts *)
+    h_overflow : int;
+    h_count : int;
+    h_mean : float;
+    h_m2 : float;  (** Welford sum of squared deviations from the mean *)
+    h_min : float;  (** [infinity] when empty *)
+    h_max : float;  (** [neg_infinity] when empty *)
+  }
+
+  type process = {
+    p_minor_collections : int;
+    p_major_collections : int;
+    p_compactions : int;
+    p_minor_words : float;
+    p_promoted_words : float;
+    p_major_words : float;
+    p_heap_words : int;
+    p_top_heap_words : int;
+  }
+
+  type t = {
+    run_id : string;
+    shard : string;
+    argv : string list;
+    started_unix : float;
+    wall_seconds : float;
+    jobs : int;
+    counters : (string * int) list;  (** sorted by name *)
+    gauges : (string * float) list;
+    histograms : (string * hist) list;
+    spans : (string * int * int64) list;  (** (name, count, total_ns) *)
+    paths : (string * int * int64) list;  (** profile trie, keyed by path *)
+    process : process;
+  }
+
+  val schema : string
+
+  val capture : unit -> t
+  (** Snapshot the whole registry plus trace aggregates, process stats and
+      run metadata.  Histograms are read under their locks; domain-safe. *)
+
+  val to_json : t -> Json.t
+  val of_json : Json.t -> t
+  (** Raises [Failure] on an unrecognized schema or a malformed document. *)
+
+  val content_hash : t -> string
+  (** 16-hex-digit hash of the canonical serialization (excluding the
+      [content_hash] field itself). *)
+
+  val write : path:string -> t -> unit
+  (** Atomic: temp file in the destination directory, then rename — a kill
+      mid-write never leaves a torn snapshot. *)
+
+  val load : string -> t
+end
+
+(** Deterministic, order-insensitive union of snapshots into one fleet view
+    (schema [hetarch.fleet/1]).
+
+    The merged document embeds its full source snapshots and recomputes
+    every aggregate by folding them in a canonical order (run id, then
+    content hash, duplicates removed) — so the output is {e byte-identical}
+    regardless of merge order, merge grouping, or the [--jobs] setting of
+    the source processes, even though float addition itself is not
+    associative.  Counters and span/path aggregates sum; histograms
+    bucket-merge and combine Welford states exactly (Chan's parallel
+    update), raising [Failure] on mismatched bucket bounds; gauges — not
+    meaningfully summable across processes — carry per-source values with
+    n/sum/min/max; the process section sums, keeping the max peak heap. *)
+module Merge : sig
+  type t
+
+  val schema : string
+
+  val of_snapshots : Snapshot.t list -> t
+  val union : t -> t -> t
+  (** Commutative, associative and idempotent up to byte equality of
+      [to_json]. *)
+
+  val sources : t -> Snapshot.t list
+  (** Deduplicated sources in canonical order. *)
+
+  val to_json : t -> Json.t
+
+  val of_json : Json.t -> t
+  (** Accepts a snapshot document or a fleet document (flattened back to
+      its sources, so merging merged documents is exact). *)
+end
+
+(** Append-only run registry under [HETARCH_OBS_DIR].
+
+    Layout: [<dir>/snapshots/<run_id>.json] (atomic writes) plus
+    [<dir>/index.jsonl] with one line per recorded run.  Appends are
+    single flushed lines, so concurrent shard processes interleave whole
+    records; replay skips blank and torn lines like the collect ledger. *)
+module Registry : sig
+  type entry = {
+    e_run_id : string;
+    e_shard : string;
+    e_cmd : string;  (** leading non-flag argv words, e.g. ["collect uec"] *)
+    e_file : string;  (** snapshot file name relative to [<dir>/snapshots] *)
+    e_hash : string;  (** snapshot content hash *)
+    e_unix : float;  (** run start, unix seconds *)
+  }
+
+  val cmd_of_argv : string list -> string
+  (** The command key index entries group runs under: the leading non-flag
+      argv words after the executable (e.g. ["collect uec"]), falling back
+      to the executable basename. *)
+
+  val set_dir : string option -> unit
+  (** Override the registry directory ([Some dir]), or fall back to the
+      [HETARCH_OBS_DIR] environment variable ([None], the default). *)
+
+  val dir : unit -> string option
+  (** Effective registry directory; [None] disables the registry. *)
+
+  val record : ?dir:string -> Snapshot.t -> entry option
+  (** Write the snapshot into the registry and append an index entry.
+      [None] when no directory is configured. *)
+
+  val entries : ?dir:string -> unit -> entry list
+  (** Index entries in append order; [] without a configured directory. *)
+
+  val load : ?dir:string -> entry -> Snapshot.t
+
+  val find : ?dir:string -> string -> entry option
+  (** Latest entry whose run id starts with the given prefix; [None] on no
+      match; raises [Failure] when the prefix matches several run ids. *)
+end
+
+(** Trend-based regression watchdog over registry history.
+
+    Generalizes the single-baseline {!Diff} gate: the current value of each
+    metric is judged against the {e median} of the last K runs with a
+    median-absolute-deviation noise band —
+    [limit = median + max(nmad * 1.4826 * MAD, min_pct% of median)].
+    The MAD is robust (one historic outlier cannot shift or widen the
+    gate), 1.4826·MAD estimates sigma under normal noise, and the
+    [min_pct] floor keeps near-deterministic metrics (MAD ≈ 0) from
+    flagging on harmless jitter.  Metrics with fewer than two history
+    points are never flagged. *)
+module Trend : sig
+  type verdict = {
+    v_metric : string;
+    v_current : float;
+    v_median : float;
+    v_mad : float;
+    v_limit : float;  (** regression boundary; [infinity] on thin history *)
+    v_samples : int;  (** history points that carried this metric *)
+    v_regression : bool;
+  }
+
+  val default_nmad : float
+  (** 5.0 — flag only ~5-sigma excursions. *)
+
+  val default_min_pct : float
+  (** 10%. *)
+
+  val judge :
+    ?nmad:float ->
+    ?min_pct:float ->
+    ?noise_floor_ns:float ->
+    history:(string * float) list list ->
+    (string * float) list ->
+    verdict list
+  (** [judge ~history current] with metric lists as produced by
+      {!Diff.metrics_of}.  [noise_floor_ns] (default 0) never flags a
+      metric whose current and median values are both below the floor.
+      Verdicts are sorted by metric name. *)
 end

@@ -88,4 +88,5 @@ let running_add r x =
 
 let running_count r = r.n
 let running_mean r = r.m
+let running_m2 r = r.m2
 let running_variance r = if r.n < 2 then 0. else r.m2 /. float_of_int (r.n - 1)

@@ -39,4 +39,10 @@ val running_reset : running -> unit
 val running_add : running -> float -> unit
 val running_count : running -> int
 val running_mean : running -> float
+
+val running_m2 : running -> float
+(** Raw sum of squared deviations from the mean (Welford's M2).  Exposed so
+    accumulators can be serialized and later pairwise-merged (Chan's
+    parallel update) without losing the exact variance state. *)
+
 val running_variance : running -> float

@@ -228,8 +228,16 @@ let test_report_process_section () =
   Obs.reset ();
   ignore (Sys.opaque_identity (Array.init 10_000 (fun i -> float_of_int i)));
   let doc = Obs.Json.parse (Obs.Json.to_string (Obs.Report.to_json ())) in
-  Alcotest.(check bool) "schema v2" true
-    (Obs.Json.member "schema" doc = Some (Obs.Json.String "hetarch.obs/2"));
+  Alcotest.(check bool) "schema v3" true
+    (Obs.Json.member "schema" doc = Some (Obs.Json.String "hetarch.obs/3"));
+  (* every manifest carries the run stamp for fleet attribution *)
+  let run = Option.get (Obs.Json.member "run" doc) in
+  Alcotest.(check bool) "run id is 16 hex digits" true
+    (match Obs.Json.member "id" run with
+    | Some (Obs.Json.String id) ->
+        String.length id = 16
+        && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) id
+    | _ -> false);
   let proc = Option.get (Obs.Json.member "process" doc) in
   let f name = Obs.Json.to_float (Option.get (Obs.Json.member name proc)) in
   Alcotest.(check bool) "wall clock nonnegative" true (f "wall_seconds" >= 0.);
@@ -302,9 +310,27 @@ let test_trace_export_jsonl () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Obs.Trace.export ~path;
-      let lines =
+      let all_lines =
         In_channel.with_open_text path In_channel.input_lines
         |> List.filter (fun l -> String.trim l <> "")
+      in
+      (* The first record is a ph:"M" metadata event carrying run identity;
+         span aggregation must only ever count ph:"X" events. *)
+      (match all_lines with
+      | meta :: _ ->
+          let m = Obs.Json.parse meta in
+          Alcotest.(check bool) "run metadata event first" true
+            (Obs.Json.member "ph" m = Some (Obs.Json.String "M")
+            && Obs.Json.member "name" m = Some (Obs.Json.String "hetarch.run")
+            && Option.bind (Obs.Json.member "args" m) (Obs.Json.member "id")
+               <> None)
+      | [] -> Alcotest.fail "empty trace export");
+      let lines =
+        List.filter
+          (fun l ->
+            Obs.Json.member "ph" (Obs.Json.parse l)
+            = Some (Obs.Json.String "X"))
+          all_lines
       in
       Alcotest.(check int) "one line per span" 2 (List.length lines);
       List.iter

@@ -165,7 +165,12 @@ let test_telemetry_deltas_across_reset () =
                 (Printf.sprintf "record %d schema" i)
                 true
                 (Obs.Json.member "schema" r
-                = Some (Obs.Json.String "hetarch.telemetry/1"));
+                = Some (Obs.Json.String "hetarch.telemetry/2"));
+              Alcotest.(check bool)
+                (Printf.sprintf "record %d run stamp" i)
+                true
+                (Option.bind (Obs.Json.member "run" r) (Obs.Json.member "id")
+                <> None);
               Alcotest.(check bool)
                 (Printf.sprintf "record %d seq" i)
                 true

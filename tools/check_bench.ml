@@ -54,7 +54,9 @@ let () =
   let required =
     [ "hetarch collect-ledger-append";
       "hetarch span-record";
-      "hetarch telemetry-snapshot" ]
+      "hetarch telemetry-snapshot";
+      "hetarch obs-snapshot-write";
+      "hetarch obs-merge" ]
   in
   let recorded =
     List.filter_map
