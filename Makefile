@@ -15,7 +15,7 @@
 DUNE ?= dune
 SMOKE_ARTIFACTS ?=
 
-.PHONY: all build test bench ci jobs-smoke collect-smoke obs-smoke obs-merge-smoke cache-smoke clean
+.PHONY: all build test bench ci jobs-smoke collect-smoke obs-smoke obs-merge-smoke cache-smoke decode-smoke clean
 
 all: build
 
@@ -171,7 +171,37 @@ cache-smoke: build
 	       cat $$d/corrupt.err; exit 1; }; } && \
 	echo "cache-smoke: warm start from disk, byte-identical output, corruption degrades to miss"
 
-ci: build test jobs-smoke collect-smoke obs-smoke obs-merge-smoke cache-smoke
+# The fused decode contract, end to end: `decode-check` proves the batch
+# arena decoder agrees shot-for-shot with per-shot scalar decoding, its
+# stdout must be byte-identical across --jobs 1/4, and a compiled-DEM
+# store (--cache-dir) must serve the second run from disk (nonzero
+# qec.dem_store_hits_total) without changing a byte of output.
+decode-smoke: build
+	@d=$$(mktemp -d) && \
+	trap 'rc=$$?; if [ $$rc -ne 0 ] && [ -n "$(SMOKE_ARTIFACTS)" ]; then \
+	       mkdir -p "$(SMOKE_ARTIFACTS)" && cp -r "$$d" "$(SMOKE_ARTIFACTS)/decode-smoke"; fi; \
+	     rm -rf "$$d"; exit $$rc' EXIT && \
+	$(DUNE) exec bin/main.exe -- decode-check --shots 512 --seed 7 --jobs 1 \
+	  > $$d/j1.out && \
+	$(DUNE) exec bin/main.exe -- decode-check --shots 512 --seed 7 --jobs 4 \
+	  > $$d/j4.out && \
+	{ diff -u $$d/j1.out $$d/j4.out \
+	  || { echo "decode-smoke: decode-check output depends on --jobs"; exit 1; }; } && \
+	$(DUNE) exec bin/main.exe -- decode-check --shots 512 --seed 7 \
+	  --cache-dir $$d/store --metrics $$d/cold.metrics.json > $$d/cold.out && \
+	$(DUNE) exec bin/main.exe -- decode-check --shots 512 --seed 7 \
+	  --cache-dir $$d/store --metrics $$d/warm.metrics.json > $$d/warm.out && \
+	{ diff -u $$d/cold.out $$d/warm.out \
+	  || { echo "decode-smoke: warm compiled-DEM run output differs from cold"; exit 1; }; } && \
+	{ diff -u $$d/j1.out $$d/cold.out \
+	  || { echo "decode-smoke: --cache-dir changed decode-check output"; exit 1; }; } && \
+	{ grep -Eq '"qec.dem_store_misses_total":[1-9]' $$d/cold.metrics.json \
+	  || { echo "decode-smoke: cold run recorded no compiled-DEM misses"; exit 1; }; } && \
+	{ grep -Eq '"qec.dem_store_hits_total":[1-9]' $$d/warm.metrics.json \
+	  || { echo "decode-smoke: warm run served no compiled DEMs from disk"; exit 1; }; } && \
+	echo "decode-smoke: batch==scalar decode, byte-identical across --jobs and compiled-DEM warm start"
+
+ci: build test jobs-smoke collect-smoke obs-smoke obs-merge-smoke cache-smoke decode-smoke
 	$(DUNE) exec bench/main.exe -- --quick
 	$(DUNE) exec tools/check_bench.exe -- BENCH_hetarch.json
 	@$(DUNE) exec bin/main.exe -- obs diff BENCH_baseline.json BENCH_hetarch.json \

@@ -31,8 +31,15 @@ let kernel_fig4 () =
   let cfg = Distill_module.heterogeneous ~ts:2.5e-3 ~rate_hz:1e6 () in
   Distill_module.run cfg (Rng.create seed) ~horizon:500e-6
 
+(* Sub-threshold operating point (p2 = 1e-3): the regime fig. 6 curves are
+   actually estimated in, where logical errors are rare and per-shot decode
+   work is light.  The default p2 = 1e-2 sits at the code threshold — ~9.5
+   error events per d=7 shot — which benchmarks the decoder on saturated
+   syndromes rather than the estimation pipeline. *)
 let fig6_exp =
-  lazy (Surface_circuit.build { (Surface_circuit.default ~distance:7) with t_data = 5e-4 })
+  lazy
+    (Surface_circuit.build
+       { (Surface_circuit.default ~distance:7) with t_data = 5e-4; p2 = 1e-3 })
 
 let kernel_fig6 () =
   Surface_circuit.logical_error_rate (Lazy.force fig6_exp) (Rng.create seed) ~shots:10
@@ -61,6 +68,37 @@ let kernel_sample_scalar () =
 let kernel_sample_batch () =
   let c = (Lazy.force fig6_exp).Surface_circuit.circuit in
   (Frame_batch.flip_counts (Frame_batch.sample c (Rng.create seed) ~nshots:pair_shots)).(0)
+
+(* Fused sample->decode pair: identical work (estimate the d=7 logical error
+   count over [pair_shots] shots), once via the batch circuit sampler with a
+   per-shot transpose + scalar union-find decode — the pre-fusion pipeline —
+   and once via the fused path: DEM-direct sampling straight into detector
+   bit-planes, batch-decoded on the reusable arena.  check_bench enforces
+   the pair's min_speedup floor, so the fusion payoff is a hard CI gate. *)
+let kernel_sample_decode_scalar () =
+  let exp = Lazy.force fig6_exp in
+  let b =
+    Frame_batch.sample exp.Surface_circuit.circuit (Rng.create seed)
+      ~nshots:pair_shots
+  in
+  let errors = ref 0 in
+  for s = 0 to pair_shots - 1 do
+    let detectors, observables = Frame_batch.shot b s in
+    if Decoder_uf.decode exp.Surface_circuit.graph detectors
+       <> Bitvec.get observables 0
+    then incr errors
+  done;
+  !errors
+
+let kernel_sample_decode_batch () =
+  let exp = Lazy.force fig6_exp in
+  let b =
+    Dem_sampler.sample exp.Surface_circuit.sampler (Rng.create seed)
+      ~nshots:pair_shots
+  in
+  Decoder_uf.decode_batch_count exp.Surface_circuit.graph
+    ~detectors:b.Frame_batch.detectors
+    ~observable:b.Frame_batch.observables.(0) ~nshots:pair_shots
 
 (* Cold-vs-warm characterization pair: identical workload — the charsweep
    alpha sweep's storage-cell operations — once paying density-matrix
@@ -197,6 +235,10 @@ let tests =
       Test.make ~name:"fig6-surface-d7" (Staged.stage kernel_fig6);
       Test.make ~name:"fig6-sample-d7-scalar" (Staged.stage kernel_sample_scalar);
       Test.make ~name:"fig6-sample-d7-batch" (Staged.stage kernel_sample_batch);
+      Test.make ~name:"fig6-sample-decode-d7-scalar"
+        (Staged.stage kernel_sample_decode_scalar);
+      Test.make ~name:"fig6-sample-decode-d7-batch"
+        (Staged.stage kernel_sample_decode_batch);
       Test.make ~name:"fig7-surface-d5" (Staged.stage kernel_fig7);
       Test.make ~name:"char-sweep-cold" (Staged.stage kernel_char_cold);
       Test.make ~name:"char-sweep-warm" (Staged.stage kernel_char_warm);
@@ -211,6 +253,36 @@ let tests =
       Test.make ~name:"obs-snapshot-write" (Staged.stage kernel_snapshot_write);
       Test.make ~name:"obs-merge" (Staged.stage kernel_obs_merge);
       Test.make ~name:"dse-burden" (Staged.stage kernel_burden) ]
+
+(* Kernels whose pair carries a min_speedup floor are a *hard* CI gate, and
+   a single OLS estimate from the 0.25 s quick-mode quota is too fragile for
+   that: one scheduler preemption or major-GC slice landing on a sub-ms
+   kernel inflates its estimate 2x and trips the floor on noise alone.
+   System noise is strictly additive, so the minimum over independent
+   repetitions is the robust per-run estimate — re-measure the gated kernels
+   directly and let the minimum override the OLS number in the JSON. *)
+let gated_kernels =
+  [ ("hetarch fig6-sample-decode-d7-scalar", kernel_sample_decode_scalar);
+    ("hetarch fig6-sample-decode-d7-batch", kernel_sample_decode_batch) ]
+
+let robust_ns f =
+  ignore (Sys.opaque_identity (f ()));
+  Gc.major ();
+  (* Size each sample to ~10 ms so timer granularity is negligible. *)
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  let once = Unix.gettimeofday () -. t0 in
+  let reps = max 1 (min 10_000 (int_of_float (0.01 /. Float.max 1e-6 once))) in
+  let best = ref infinity in
+  for _ = 1 to 7 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let per = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    if per < !best then best := per
+  done;
+  !best *. 1e9
 
 let run_benchmarks () =
   print_endline "=== Bechamel micro-benchmarks (one kernel per table/figure) ===";
@@ -246,13 +318,29 @@ let run_benchmarks () =
             | _ -> Printf.printf "%-32s (no estimate)\n" name)
           tbl)
     results;
-  List.sort compare !estimates
+  let estimates =
+    List.map
+      (fun (name, ns) ->
+        match List.assoc_opt name gated_kernels with
+        | None -> (name, ns)
+        | Some f ->
+            let ns = robust_ns f in
+            Printf.printf "%-32s %12.3f us/run (floor-gated, min of 7)\n" name
+              (ns /. 1e3);
+            (name, ns))
+      !estimates
+  in
+  List.sort compare estimates
 
 (* Scalar/batch kernel pairs: each entry names two kernels doing identical
-   work with the two samplers, so the recorded speedup is apples-to-apples.
-   check_bench validates that both sides exist. *)
+   work with the two pipelines, so the recorded speedup is apples-to-apples.
+   check_bench validates that both sides exist and, when a pair carries a
+   min_speedup floor, that the measured scalar/batch ratio clears it. *)
 let kernel_pairs =
-  [ ("fig6-sample-d7", "hetarch fig6-sample-d7-scalar", "hetarch fig6-sample-d7-batch") ]
+  [ ("fig6-sample-d7", "hetarch fig6-sample-d7-scalar",
+     "hetarch fig6-sample-d7-batch", None);
+    ("fig6-sample-decode-d7", "hetarch fig6-sample-decode-d7-scalar",
+     "hetarch fig6-sample-decode-d7-batch", Some 5.0) ]
 
 (* Cold/warm kernel pairs: both sides run the identical characterization
    workload, the warm side against a pre-populated persistent store.
@@ -284,11 +372,15 @@ let write_bench_json kernels =
         ( "pairs",
           Obs.Json.List
             (List.map
-               (fun (name, scalar, batch) ->
+               (fun (name, scalar, batch, min_speedup) ->
                  Obs.Json.Obj
-                   [ ("name", Obs.Json.String name);
-                     ("scalar", Obs.Json.String scalar);
-                     ("batch", Obs.Json.String batch) ])
+                   ([ ("name", Obs.Json.String name);
+                      ("scalar", Obs.Json.String scalar);
+                      ("batch", Obs.Json.String batch) ]
+                   @
+                   match min_speedup with
+                   | Some floor -> [ ("min_speedup", Obs.Json.Float floor) ]
+                   | None -> []))
                kernel_pairs) );
         ( "warm_pairs",
           Obs.Json.List
@@ -367,10 +459,10 @@ let headline () =
 let () =
   let kernels = run_benchmarks () in
   List.iter
-    (fun (name, scalar, batch) ->
+    (fun (name, scalar, batch, _) ->
       match (List.assoc_opt scalar kernels, List.assoc_opt batch kernels) with
       | Some s, Some b when b > 0. ->
-          Printf.printf "%-32s batch sampler %.1fx faster than scalar\n" name (s /. b)
+          Printf.printf "%-32s batch pipeline %.1fx faster than scalar\n" name (s /. b)
       | _ -> ())
     kernel_pairs;
   List.iter

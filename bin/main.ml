@@ -449,6 +449,52 @@ let run_schedule () =
     "The readout-dominated ancilla is the serialization bottleneck the USC\n\
      trades for topology freedom; registers idle in storage meanwhile."
 
+(* ---------------------------------------------------------- decode-check *)
+
+(* Fused-pipeline self-check used by `make decode-smoke`: for d=3 and d=5
+   surface experiments, sample one DEM-direct batch and verify the batch
+   arena decoder agrees shot-for-shot with the per-shot scalar decoder, then
+   print the fused logical-error counts.  Stdout depends only on the seed —
+   byte-identical at any --jobs (deterministic chunking) and with or
+   without --cache-dir (a warm run decodes on a deserialized graph that
+   must behave identically to the cold build). *)
+let run_decode_check shots seed =
+  print_endline "Fused decode self-check: batch arena decoder vs per-shot scalar";
+  let ok = ref true in
+  List.iter
+    (fun d ->
+      let exp =
+        Surface_circuit.build
+          { (Surface_circuit.default ~distance:d) with t_data = 5e-4 }
+      in
+      let nshots = max 64 (min shots 4096) in
+      let b =
+        Dem_sampler.sample exp.Surface_circuit.sampler (Rng.create seed) ~nshots
+      in
+      let batch =
+        Decoder_uf.decode_batch exp.Surface_circuit.graph
+          ~detectors:b.Frame_batch.detectors ~nshots
+      in
+      let mismatches = ref 0 in
+      for s = 0 to nshots - 1 do
+        let detectors, _ = Frame_batch.shot b s in
+        if Decoder_uf.decode exp.Surface_circuit.graph detectors
+           <> Bitvec.get batch s
+        then incr mismatches
+      done;
+      let errors =
+        Surface_circuit.logical_error_count exp (Rng.create seed) ~shots:nshots
+      in
+      Printf.printf "d=%d: %d shots, batch/scalar mismatches %d, logical errors %d\n"
+        d nshots !mismatches errors;
+      if !mismatches > 0 then ok := false)
+    [ 3; 5 ];
+  if !ok then print_endline "decode-check OK"
+  else begin
+    prerr_endline "decode-check FAILED: batch decoder disagrees with per-shot decode";
+    exit 1
+  end
+
 (* ------------------------------------------------------------ hierarchy *)
 
 let run_hierarchy () =
@@ -1584,6 +1630,13 @@ let commands =
       Term.(const (fun shots seed () -> run_table4 shots seed) $ shots_arg $ seed_arg);
     cmd "ablations" "Design-choice ablations (decoder, registers, variability, CAT model)"
       Term.(const (fun shots seed () -> run_ablations shots seed) $ shots_arg $ seed_arg);
+    cmd "decode-check"
+      "Fused decode self-check: batch arena decoder vs per-shot scalar \
+       (byte-identical stdout at any --jobs and across --cache-dir warm \
+       starts)"
+      Term.(
+        const (fun shots seed () -> run_decode_check shots seed)
+        $ shots_arg $ seed_arg);
     cmd "schedule" "Explicit timed UEC round schedules (Gantt)"
       Term.(const run_schedule);
     cmd "protocol" "Timed six-step CT protocol: throughput and latency"

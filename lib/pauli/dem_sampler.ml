@@ -1,0 +1,113 @@
+type t = {
+  ndet : int;
+  nobs : int;
+  mechanisms : Dem.mechanism array;  (* canonical (detectors, obs_mask) order *)
+}
+
+let compiles_total = Obs.Counter.create "pauli.dem_compiles_total"
+let dem_batches_total = Obs.Counter.create "pauli.dem_batches_total"
+let dem_shots_total = Obs.Counter.create "pauli.dem_shots_total"
+let sample_seconds = Obs.Histogram.create "pauli.dem_sample_seconds"
+
+(* Canonical mechanism order: lexicographic on the detector set, then the
+   observable mask.  [Dem.of_circuit] folds a hashtable, so its list order
+   is an implementation detail; sorting pins the RNG consumption order of
+   [sample] (seed determinism) and the serialized byte stream (store
+   round-trips). *)
+let compare_mechanism (a : Dem.mechanism) (b : Dem.mechanism) =
+  let c = compare a.Dem.detectors b.Dem.detectors in
+  if c <> 0 then c
+  else
+    let c = compare a.Dem.obs_mask b.Dem.obs_mask in
+    if c <> 0 then c else compare a.Dem.p b.Dem.p
+
+let of_mechanisms ~ndet ~nobs mechanisms =
+  if ndet < 0 || nobs < 0 then invalid_arg "Dem_sampler.of_mechanisms: bad dims";
+  let mechanisms = Array.of_list mechanisms in
+  Array.iter
+    (fun (m : Dem.mechanism) ->
+      if m.Dem.p < 0. || m.Dem.p > 1. || Float.is_nan m.Dem.p then
+        invalid_arg "Dem_sampler.of_mechanisms: bad probability";
+      Array.iter
+        (fun d ->
+          if d < 0 || d >= ndet then
+            invalid_arg "Dem_sampler.of_mechanisms: detector out of range")
+        m.Dem.detectors;
+      if m.Dem.obs_mask lsr nobs <> 0 then
+        invalid_arg "Dem_sampler.of_mechanisms: observable out of range")
+    mechanisms;
+  Array.sort compare_mechanism mechanisms;
+  { ndet; nobs; mechanisms }
+
+let compile (c : Circuit.t) =
+  Obs.Counter.incr compiles_total;
+  Obs.Trace.with_span "pauli.dem_compile" (fun () ->
+      of_mechanisms
+        ~ndet:(Array.length c.Circuit.detectors)
+        ~nobs:(Array.length c.Circuit.observables)
+        (Dem.of_circuit c))
+
+let ndet t = t.ndet
+let nobs t = t.nobs
+let mechanisms t = t.mechanisms
+
+let sample t rng ~nshots =
+  if nshots < 1 then invalid_arg "Dem_sampler.sample: nshots must be >= 1";
+  Obs.Counter.incr dem_batches_total;
+  Obs.Counter.add dem_shots_total nshots;
+  let start = Obs.now_ns () in
+  let detectors = Array.init t.ndet (fun _ -> Bitvec.create nshots) in
+  let observables = Array.init t.nobs (fun _ -> Bitvec.create nshots) in
+  let mask = Bitvec.create nshots in
+  Array.iter
+    (fun (m : Dem.mechanism) ->
+      let p = m.Dem.p in
+      if p > 0. && p <= 0.1 then begin
+        (* Event-direct path: same geometric gap draws as
+           [Bitvec.random_into]'s sparse fill, bit for bit, but the few event
+           shots are toggled straight into the touched rows instead of
+           materializing a whole-row mask and xoring it through every row.
+           Byte-identical output and RNG stream, ~none of the per-mechanism
+           row traffic. *)
+        let log1mp = log1p (-.p) in
+        let i = ref (-1) in
+        let continue = ref true in
+        while !continue do
+          let gap = int_of_float (log1p (-.(Rng.uniform rng)) /. log1mp) in
+          i := !i + 1 + gap;
+          if !i >= nshots || !i < 0 then continue := false
+          else begin
+            let s = !i in
+            Array.iter (fun d -> Bitvec.flip detectors.(d) s) m.Dem.detectors;
+            let obs = ref m.Dem.obs_mask in
+            while !obs <> 0 do
+              Bitvec.flip observables.(Bitvec.ctz !obs) s;
+              obs := !obs land (!obs - 1)
+            done
+          end
+        done
+      end
+      else if p > 0. then begin
+        Bitvec.random_into rng mask ~p;
+        Array.iter
+          (fun d -> Bitvec.xor_into ~dst:detectors.(d) mask)
+          m.Dem.detectors;
+        let obs = ref m.Dem.obs_mask in
+        while !obs <> 0 do
+          Bitvec.xor_into ~dst:observables.(Bitvec.ctz !obs) mask;
+          obs := !obs land (!obs - 1)
+        done
+      end)
+    t.mechanisms;
+  Obs.Histogram.observe sample_seconds
+    (Int64.to_float (Int64.sub (Obs.now_ns ()) start) *. 1e-9);
+  { Frame_batch.nshots; detectors; observables }
+
+let sample_flip_counts ?jobs t rng ~shots =
+  if shots <= 0 then
+    invalid_arg "Dem_sampler.sample_flip_counts: shots must be positive";
+  Parallel.monte_carlo ?jobs ~rng ~shots ~init:(Array.make t.nobs 0)
+    ~merge:(fun acc part ->
+      Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) part;
+      acc)
+    (fun rng nshots -> Frame_batch.flip_counts (sample t rng ~nshots))

@@ -101,6 +101,20 @@ let parity_over mask support_mask =
   done;
   !c land 1 = 1
 
+let x_syndrome_key t ~actual = syndrome_key t.x_table.checks actual
+let z_syndrome_key t ~actual = syndrome_key t.z_table.checks actual
+
+let correction_mask table name ~key =
+  if key < 0 || key >= Array.length table.corrections then
+    invalid_arg (name ^ ": syndrome key out of range");
+  table.corrections.(key)
+
+let x_correction_mask t ~key =
+  correction_mask t.x_table "Decoder_lookup.x_correction_mask" ~key
+
+let z_correction_mask t ~key =
+  correction_mask t.z_table "Decoder_lookup.z_correction_mask" ~key
+
 let logical_x_flip_mask t ~actual =
   let corr = t.x_table.corrections.(syndrome_key t.x_table.checks actual) in
   parity_over (actual lxor corr) t.logical_z_mask

@@ -1,12 +1,95 @@
 type edge = { u : int; v : int; weight : int; logical : bool }
 
+(* Border lists and the peel adjacency are stored as half-edges: half-edge
+   2*eid sits at edges.(eid).u, half-edge 2*eid + 1 at edges.(eid).v, so one
+   int array of next-pointers represents every per-vertex list at once with
+   O(1) append and concat — the allocation-free replacement for the cons
+   lists the original decoder built per shot. *)
 type graph = {
   n : int;  (* real nodes; vertex n is the virtual boundary *)
   edges : edge array;
-  incident : int list array;  (* vertex -> incident edge ids *)
+  (* flat copies of the edge fields: the decode loops touch these instead of
+     chasing a pointer into the boxed record array per visit *)
+  e_u : int array;
+  e_v : int array;
+  e_full : int array;  (* 2 * weight, the half-step growth target *)
+  e_logical : bool array;
+  init_head : int array;  (* vertex -> first incident half-edge, -1 end *)
+  init_tail : int array;
+  init_next : int array;  (* half-edge -> next incident half-edge of its vertex *)
+  total_weight : int;
+  mutable pool : arena list;  (* reusable decode arenas, LIFO *)
+  pool_lock : Mutex.t;
+}
+
+(* Pre-sized scratch for one in-flight decode.  Nothing in here is allocated
+   per shot: every mutation is logged in a dirty stack (deduplicated by a
+   mark array) and undone after the shot, so reset cost is proportional to
+   the work the shot actually did — a quiet syndrome costs O(defects), not
+   O(V + E). *)
+and arena = {
+  (* union-find over nv = n + 1 vertices *)
+  parent : int array;
+  rank : int array;
+  parity : int array;
+  bnd : bool array;  (* cluster touches the boundary *)
+  defect : bool array;
+  (* border lists (live copy of init_head/tail/next) *)
+  head : int array;
+  tail : int array;
+  next : int array;
+  growth : int array;  (* per edge, in half-steps *)
+  (* dirty logs: what to restore after the shot *)
+  dirty_v : int array;
+  mutable ndirty_v : int;
+  vmark : bool array;
+  dirty_h : int array;
+  mutable ndirty_h : int;
+  hmark : bool array;
+  dirty_e : int array;
+  mutable ndirty_e : int;
+  (* parent-only dirty log: path compression touches many vertices but
+     mutates just [parent], so its undo is one write instead of the
+     eight-field restore of the full vertex log *)
+  dirty_p : int array;
+  mutable ndirty_p : int;
+  pmark : bool array;
+  (* growth-round bookkeeping *)
+  defects : int array;
+  mutable ndef : int;
+  roots : int array;
+  seen : int array;  (* epoch stamps: root already collected this round *)
+  mutable epoch : int;
+  to_merge : int array;
+  mutable nmerge : int;
+  (* fast-forward scratch: per-edge growth rate this round (1 or 2 live
+     half-edges on active borders), epoch-stamped so it never needs reset *)
+  rate : int array;
+  rate_seen : int array;
+  rate_edges : int array;
+  mutable nrate : int;
+  full : int array;  (* every edge that reached full growth this shot *)
+  mutable nfull : int;
+  (* peeling *)
+  adj_head : int array;  (* vertex -> first full half-edge, -1 end *)
+  adj_next : int array;
+  visited : bool array;
+  parent_v : int array;
+  parent_edge : int array;
+  order : int array;
+  mutable norder : int;
+  stack : int array;
+  corr : int array;  (* correction edge ids of the last decode *)
+  mutable ncorr : int;
+  (* batch transposition scratch: per-shot syndromes for one 63-shot block *)
+  syn : Bitvec.t array;
 }
 
 let boundary = -1
+
+let arenas_total = Obs.Counter.create "qec.uf_arenas_total"
+let decode_shots_total = Obs.Counter.create "qec.uf_decode_shots_total"
+let batch_seconds = Obs.Histogram.create "qec.uf_decode_batch_seconds"
 
 let weighted_graph ~nodes ~edges =
   if nodes <= 0 then invalid_arg "Decoder_uf.graph: need nodes";
@@ -22,13 +105,34 @@ let weighted_graph ~nodes ~edges =
            { u; v; weight; logical })
          edges)
   in
-  let incident = Array.make (nodes + 1) [] in
+  let nv = nodes + 1 in
+  let ne = Array.length edges in
+  let init_head = Array.make nv (-1) in
+  let init_tail = Array.make nv (-1) in
+  let init_next = Array.make (max 1 (2 * ne)) (-1) in
+  let append v h =
+    if init_head.(v) = -1 then begin
+      init_head.(v) <- h;
+      init_tail.(v) <- h
+    end
+    else begin
+      init_next.(init_tail.(v)) <- h;
+      init_tail.(v) <- h
+    end
+  in
   Array.iteri
     (fun i e ->
-      incident.(e.u) <- i :: incident.(e.u);
-      incident.(e.v) <- i :: incident.(e.v))
+      append e.u (2 * i);
+      append e.v ((2 * i) + 1))
     edges;
-  { n = nodes; edges; incident }
+  let total_weight = Array.fold_left (fun acc e -> acc + e.weight) 1 edges in
+  { n = nodes; edges;
+    e_u = Array.map (fun e -> e.u) edges;
+    e_v = Array.map (fun e -> e.v) edges;
+    e_full = Array.map (fun e -> 2 * e.weight) edges;
+    e_logical = Array.map (fun e -> e.logical) edges;
+    init_head; init_tail; init_next; total_weight;
+    pool = []; pool_lock = Mutex.create () }
 
 let graph ~nodes ~edges =
   weighted_graph ~nodes ~edges:(List.map (fun (u, v, l) -> (u, v, 1, l)) edges)
@@ -36,147 +140,429 @@ let graph ~nodes ~edges =
 let num_nodes g = g.n
 let num_edges g = Array.length g.edges
 
-(* One decoding pass: grow clusters from defects until each has even parity
-   or touches the boundary, then peel a spanning forest for the correction. *)
-let correction_edges g syndrome =
+let edge_list g =
+  Array.map
+    (fun e -> (e.u, (if e.v = g.n then boundary else e.v), e.weight, e.logical))
+    g.edges
+
+(* ------------------------------------------------------------- arena --- *)
+
+let create_arena g =
+  Obs.Counter.incr arenas_total;
   let nv = g.n + 1 in
-  let defect = Array.make nv false in
-  let ndefects = ref 0 in
-  for i = 0 to g.n - 1 do
-    if Bitvec.get syndrome i then begin
-      defect.(i) <- true;
-      incr ndefects
-    end
+  let ne = Array.length g.edges in
+  let nh = max 1 (2 * ne) in
+  { parent = Array.init nv (fun v -> v);
+    rank = Array.make nv 0;
+    parity = Array.make nv 0;
+    bnd = Array.init nv (fun v -> v = g.n);
+    defect = Array.make nv false;
+    head = Array.copy g.init_head;
+    tail = Array.copy g.init_tail;
+    next = Array.copy g.init_next;
+    growth = Array.make (max 1 ne) 0;
+    dirty_v = Array.make nv 0;
+    ndirty_v = 0;
+    vmark = Array.make nv false;
+    dirty_h = Array.make nh 0;
+    ndirty_h = 0;
+    hmark = Array.make nh false;
+    dirty_e = Array.make (max 1 ne) 0;
+    ndirty_e = 0;
+    dirty_p = Array.make nv 0;
+    ndirty_p = 0;
+    pmark = Array.make nv false;
+    defects = Array.make (max 1 g.n) 0;
+    ndef = 0;
+    roots = Array.make (max 1 g.n) 0;
+    seen = Array.make nv 0;
+    epoch = 0;
+    to_merge = Array.make (max 1 ne) 0;
+    nmerge = 0;
+    rate = Array.make (max 1 ne) 0;
+    rate_seen = Array.make (max 1 ne) 0;
+    rate_edges = Array.make (max 1 ne) 0;
+    nrate = 0;
+    full = Array.make (max 1 ne) 0;
+    nfull = 0;
+    adj_head = Array.make nv (-1);
+    adj_next = Array.make nh 0;
+    visited = Array.make nv false;
+    parent_v = Array.make nv (-1);
+    parent_edge = Array.make nv (-1);
+    order = Array.make nv 0;
+    norder = 0;
+    stack = Array.make nv 0;
+    corr = Array.make nv 0;
+    ncorr = 0;
+    syn = Array.init Bitvec.word_size (fun _ -> Bitvec.create (max 1 g.n)) }
+
+let take_arena g =
+  match
+    Mutex.protect g.pool_lock (fun () ->
+        match g.pool with
+        | a :: rest ->
+            g.pool <- rest;
+            Some a
+        | [] -> None)
+  with
+  | Some a -> a
+  | None -> create_arena g
+
+let release_arena g a = Mutex.protect g.pool_lock (fun () -> g.pool <- a :: g.pool)
+
+let touch_v a v =
+  if not a.vmark.(v) then begin
+    a.vmark.(v) <- true;
+    a.dirty_v.(a.ndirty_v) <- v;
+    a.ndirty_v <- a.ndirty_v + 1
+  end
+
+let touch_h a h =
+  if not a.hmark.(h) then begin
+    a.hmark.(h) <- true;
+    a.dirty_h.(a.ndirty_h) <- h;
+    a.ndirty_h <- a.ndirty_h + 1
+  end
+
+let touch_p a v =
+  if not a.pmark.(v) then begin
+    a.pmark.(v) <- true;
+    a.dirty_p.(a.ndirty_p) <- v;
+    a.ndirty_p <- a.ndirty_p + 1
+  end
+
+let touch_e a e =
+  if a.growth.(e) = 0 then begin
+    a.dirty_e.(a.ndirty_e) <- e;
+    a.ndirty_e <- a.ndirty_e + 1
+  end
+
+(* Undo every mutation of the shot, returning the arena to the pristine
+   create_arena state.  Cost is proportional to the dirty logs. *)
+let reset_arena g a =
+  for i = 0 to a.ndirty_v - 1 do
+    let v = a.dirty_v.(i) in
+    a.parent.(v) <- v;
+    a.rank.(v) <- 0;
+    a.parity.(v) <- 0;
+    a.bnd.(v) <- v = g.n;
+    a.defect.(v) <- false;
+    a.head.(v) <- g.init_head.(v);
+    a.tail.(v) <- g.init_tail.(v);
+    a.vmark.(v) <- false
   done;
-  if !ndefects = 0 then []
+  a.ndirty_v <- 0;
+  for i = 0 to a.ndirty_h - 1 do
+    let h = a.dirty_h.(i) in
+    a.next.(h) <- g.init_next.(h);
+    a.hmark.(h) <- false
+  done;
+  a.ndirty_h <- 0;
+  for i = 0 to a.ndirty_e - 1 do
+    a.growth.(a.dirty_e.(i)) <- 0
+  done;
+  a.ndirty_e <- 0;
+  for i = 0 to a.ndirty_p - 1 do
+    let v = a.dirty_p.(i) in
+    a.parent.(v) <- v;
+    a.pmark.(v) <- false
+  done;
+  a.ndirty_p <- 0;
+  for k = 0 to a.nfull - 1 do
+    let eid = a.full.(k) in
+    a.adj_head.(g.e_u.(eid)) <- -1;
+    a.adj_head.(g.e_v.(eid)) <- -1
+  done;
+  a.nfull <- 0;
+  for i = 0 to a.norder - 1 do
+    a.visited.(a.order.(i)) <- false
+  done;
+  a.norder <- 0;
+  a.ndef <- 0
+
+let rec find a v =
+  let p = a.parent.(v) in
+  if p = v then v
   else begin
-    let uf = Union_find.create nv in
-    let parity = Array.make nv 0 in
-    let has_boundary = Array.make nv false in
-    has_boundary.(g.n) <- true;
-    for i = 0 to g.n - 1 do
-      if defect.(i) then parity.(i) <- 1
-    done;
-    let border = Array.make nv [] in
-    for v = 0 to nv - 1 do
-      border.(v) <- g.incident.(v)
-    done;
-    let growth = Array.make (Array.length g.edges) 0 in
-    let merge a b =
-      let ra = Union_find.find uf a and rb = Union_find.find uf b in
-      if ra <> rb then begin
-        let p = parity.(ra) + parity.(rb) in
-        let hb = has_boundary.(ra) || has_boundary.(rb) in
-        let combined = List.rev_append border.(ra) border.(rb) in
-        let r = Union_find.union uf a b in
-        parity.(r) <- p mod 2;
-        has_boundary.(r) <- hb;
-        border.(r) <- combined
-      end
-    in
-    let active_roots () =
-      let seen = Hashtbl.create 16 in
-      let acc = ref [] in
-      for v = 0 to g.n - 1 do
-        if defect.(v) then begin
-          let r = Union_find.find uf v in
-          if not (Hashtbl.mem seen r) then begin
-            Hashtbl.add seen r ();
-            if parity.(r) = 1 && not has_boundary.(r) then acc := r :: !acc
+    let r = find a p in
+    if a.parent.(v) <> r then begin
+      touch_p a v;
+      a.parent.(v) <- r
+    end;
+    r
+  end
+
+let merge a u v =
+  let ru = find a u and rv = find a v in
+  if ru <> rv then begin
+    touch_v a ru;
+    touch_v a rv;
+    let r, other = if a.rank.(ru) >= a.rank.(rv) then (ru, rv) else (rv, ru) in
+    a.parent.(other) <- r;
+    if a.rank.(ru) = a.rank.(rv) then a.rank.(r) <- a.rank.(r) + 1;
+    a.parity.(r) <- (a.parity.(ru) + a.parity.(rv)) land 1;
+    a.bnd.(r) <- a.bnd.(ru) || a.bnd.(rv);
+    (* concat border lists: r's list ++ other's list, O(1) *)
+    if a.head.(r) = -1 then begin
+      a.head.(r) <- a.head.(other);
+      a.tail.(r) <- a.tail.(other)
+    end
+    else if a.head.(other) <> -1 then begin
+      touch_h a a.tail.(r);
+      a.next.(a.tail.(r)) <- a.head.(other);
+      a.tail.(r) <- a.tail.(other)
+    end
+  end
+
+(* Grow clusters from defects until every cluster has even parity or touches
+   the boundary (same half-step growth rule as the original list-based
+   implementation), then peel a spanning forest of the full edges. *)
+let decode_into g a syndrome ~record =
+  a.ndef <- 0;
+  for w = 0 to Bitvec.word_count syndrome - 1 do
+    let bits = ref (Bitvec.get_word syndrome w) in
+    let base = w * Bitvec.word_size in
+    while !bits <> 0 do
+      let i = base + Bitvec.ctz !bits in
+      if i < g.n then begin
+        touch_v a i;
+        a.defect.(i) <- true;
+        a.parity.(i) <- 1;
+        a.defects.(a.ndef) <- i;
+        a.ndef <- a.ndef + 1
+      end;
+      bits := !bits land (!bits - 1)
+    done
+  done;
+  a.ncorr <- 0;
+  if a.ndef = 0 then false
+  else begin
+    let guard = ref 0 in
+    let progress = ref true in
+    while !progress do
+      if !guard > 4 * g.total_weight then
+        failwith "Decoder_uf: growth failed to converge";
+      incr guard;
+      (* Collect the active roots (odd parity, no boundary) of this round. *)
+      a.epoch <- a.epoch + 1;
+      let nroots = ref 0 in
+      for i = 0 to a.ndef - 1 do
+        let r = find a a.defects.(i) in
+        if a.seen.(r) <> a.epoch then begin
+          a.seen.(r) <- a.epoch;
+          if a.parity.(r) = 1 && not a.bnd.(r) then begin
+            a.roots.(!nroots) <- r;
+            incr nroots
           end
         end
       done;
-      !acc
-    in
-    let total_weight =
-      Array.fold_left (fun acc e -> acc + e.weight) 1 g.edges
-    in
-    let rec grow_rounds guard =
-      if guard > 4 * total_weight then
-        failwith "Decoder_uf: growth failed to converge";
-      match active_roots () with
-      | [] -> ()
-      | roots ->
-          let to_merge = ref [] in
-          List.iter
-            (fun r ->
-              (* The root may have been merged by an earlier growth in this
-                 same round; re-check activity. *)
-              let r = Union_find.find uf r in
-              if parity.(r) = 1 && not has_boundary.(r) then begin
-                let remaining = ref [] in
-                List.iter
-                  (fun eid ->
-                    let full = 2 * g.edges.(eid).weight in
-                    if growth.(eid) < full then begin
-                      growth.(eid) <- growth.(eid) + 1;
-                      if growth.(eid) >= full then to_merge := eid :: !to_merge
-                      else remaining := eid :: !remaining
-                    end)
-                  border.(r);
-                border.(r) <- !remaining
-              end)
-            roots;
-          List.iter (fun eid -> merge g.edges.(eid).u g.edges.(eid).v) !to_merge;
-          grow_rounds (guard + 1)
-    in
-    grow_rounds 0;
-    (* Peel: spanning forest over full edges, boundary-first roots. *)
-    let full_adj = Array.make nv [] in
-    Array.iteri
-      (fun eid e ->
-        if growth.(eid) >= 2 * e.weight then begin
-          full_adj.(e.u) <- (eid, e.v) :: full_adj.(e.u);
-          full_adj.(e.v) <- (eid, e.u) :: full_adj.(e.v)
-        end)
-      g.edges;
-    let visited = Array.make nv false in
-    let parent_edge = Array.make nv (-1) in
-    let parent = Array.make nv (-1) in
-    let order = ref [] in
-    let dfs root =
-      let stack = ref [ root ] in
-      visited.(root) <- true;
-      while !stack <> [] do
-        match !stack with
-        | [] -> ()
-        | v :: rest ->
-            stack := rest;
-            order := v :: !order;
-            List.iter
-              (fun (eid, w) ->
-                if not visited.(w) then begin
-                  visited.(w) <- true;
-                  parent.(w) <- v;
-                  parent_edge.(w) <- eid;
-                  stack := w :: !stack
-                end)
-              full_adj.(v)
-      done
-    in
-    (* Boundary vertex first so odd clusters peel into it. *)
-    dfs g.n;
-    for v = 0 to g.n - 1 do
-      if not visited.(v) then dfs v
+      if !nroots = 0 then progress := false
+      else begin
+        (* Fast-forward: a border edge grows by its number of live half-edges
+           on active borders (1 or 2) per unit round, and nothing else changes
+           until an edge fulls.  Jump all growth ahead by the largest round
+           count that provably fulls no edge, then run one ordinary unit
+           round — bit-identical to running every skipped round one by one. *)
+        a.nrate <- 0;
+        for i = 0 to !nroots - 1 do
+          let h = ref a.head.(a.roots.(i)) in
+          while !h <> -1 do
+            let eid = !h lsr 1 in
+            if a.growth.(eid) < g.e_full.(eid) then begin
+              if a.rate_seen.(eid) <> a.epoch then begin
+                a.rate_seen.(eid) <- a.epoch;
+                a.rate.(eid) <- 1;
+                a.rate_edges.(a.nrate) <- eid;
+                a.nrate <- a.nrate + 1
+              end
+              else a.rate.(eid) <- 2
+            end;
+            h := a.next.(!h)
+          done
+        done;
+        let step = ref max_int in
+        for i = 0 to a.nrate - 1 do
+          let eid = a.rate_edges.(i) in
+          let remaining = g.e_full.(eid) - a.growth.(eid) in
+          let rounds = (remaining + a.rate.(eid) - 1) / a.rate.(eid) in
+          if rounds < !step then step := rounds
+        done;
+        if !step > 1 && !step < max_int then begin
+          let skip = !step - 1 in
+          guard := !guard + skip;
+          for i = 0 to a.nrate - 1 do
+            let eid = a.rate_edges.(i) in
+            touch_e a eid;
+            a.growth.(eid) <- a.growth.(eid) + (a.rate.(eid) * skip)
+          done
+        end;
+        a.nmerge <- 0;
+        for i = 0 to !nroots - 1 do
+          (* An earlier merge this round may have absorbed the root. *)
+          let r = find a a.roots.(i) in
+          if a.parity.(r) = 1 && not a.bnd.(r) then begin
+            (* Walk the border, growing every live edge one half-step.  Full
+               edges stay in the list as stale entries — the growth check
+               skips them, and with fast-forwarded rounds the lists are
+               walked too few times for trimming to pay for its relink
+               bookkeeping. *)
+            let h = ref a.head.(r) in
+            while !h <> -1 do
+              let eid = !h lsr 1 in
+              let full = g.e_full.(eid) in
+              if a.growth.(eid) < full then begin
+                touch_e a eid;
+                a.growth.(eid) <- a.growth.(eid) + 1;
+                if a.growth.(eid) >= full then begin
+                  a.to_merge.(a.nmerge) <- eid;
+                  a.nmerge <- a.nmerge + 1;
+                  a.full.(a.nfull) <- eid;
+                  a.nfull <- a.nfull + 1
+                end
+              end;
+              h := a.next.(!h)
+            done
+          end
+        done;
+        for i = 0 to a.nmerge - 1 do
+          let eid = a.to_merge.(i) in
+          merge a g.e_u.(eid) g.e_v.(eid)
+        done
+      end
     done;
-    (* !order has leaves last (reverse DFS discovery is a valid
-       children-before-parents order for peeling only if we process in
-       reverse discovery order). *)
-    let correction = ref [] in
-    List.iter
-      (fun v ->
-        if v <> g.n && defect.(v) && parent.(v) >= 0 then begin
-          correction := parent_edge.(v) :: !correction;
-          defect.(v) <- false;
-          if parent.(v) <> g.n then defect.(parent.(v)) <- not defect.(parent.(v))
-        end)
-      !order;
-    !correction
+    (* Peel: spanning forest over the full edges, boundary-rooted first so
+       odd clusters peel into it. *)
+    for k = 0 to a.nfull - 1 do
+      let eid = a.full.(k) in
+      let u = g.e_u.(eid) and v = g.e_v.(eid) in
+      a.adj_next.(2 * eid) <- a.adj_head.(u);
+      a.adj_head.(u) <- 2 * eid;
+      a.adj_next.((2 * eid) + 1) <- a.adj_head.(v);
+      a.adj_head.(v) <- (2 * eid) + 1
+    done;
+    a.norder <- 0;
+    let dfs root =
+      if not a.visited.(root) then begin
+        a.visited.(root) <- true;
+        a.parent_v.(root) <- -1;
+        a.parent_edge.(root) <- -1;
+        let nstack = ref 1 in
+        a.stack.(0) <- root;
+        while !nstack > 0 do
+          decr nstack;
+          let v = a.stack.(!nstack) in
+          a.order.(a.norder) <- v;
+          a.norder <- a.norder + 1;
+          let h = ref a.adj_head.(v) in
+          while !h <> -1 do
+            let eid = !h lsr 1 in
+            let w = if !h land 1 = 0 then g.e_v.(eid) else g.e_u.(eid) in
+            if not a.visited.(w) then begin
+              a.visited.(w) <- true;
+              a.parent_v.(w) <- v;
+              a.parent_edge.(w) <- eid;
+              a.stack.(!nstack) <- w;
+              incr nstack
+            end;
+            h := a.adj_next.(!h)
+          done
+        done
+      end
+    in
+    dfs g.n;
+    for i = 0 to a.ndef - 1 do
+      dfs a.defects.(i)
+    done;
+    (* Reverse discovery order processes children before parents. *)
+    let flip = ref false in
+    for i = a.norder - 1 downto 0 do
+      let v = a.order.(i) in
+      if v <> g.n && a.defect.(v) && a.parent_v.(v) >= 0 then begin
+        let eid = a.parent_edge.(v) in
+        if g.e_logical.(eid) then flip := not !flip;
+        if record then begin
+          a.corr.(a.ncorr) <- eid;
+          a.ncorr <- a.ncorr + 1
+        end;
+        a.defect.(v) <- false;
+        let p = a.parent_v.(v) in
+        if p <> g.n then begin
+          touch_v a p;
+          a.defect.(p) <- not a.defect.(p)
+        end
+      end
+    done;
+    !flip
   end
 
-let decode_correction g syndrome = correction_edges g syndrome
+(* -------------------------------------------------------- entry points --- *)
 
+(* On an exception mid-decode the arena is simply dropped (never returned to
+   the pool), so a failed shot can never poison a later one. *)
 let decode g syndrome =
-  List.fold_left
-    (fun acc eid -> if g.edges.(eid).logical then not acc else acc)
-    false (correction_edges g syndrome)
+  Obs.Counter.incr decode_shots_total;
+  let a = take_arena g in
+  let flip = decode_into g a syndrome ~record:false in
+  reset_arena g a;
+  release_arena g a;
+  flip
+
+let decode_correction g syndrome =
+  let a = take_arena g in
+  let (_ : bool) = decode_into g a syndrome ~record:true in
+  let corr = List.init a.ncorr (fun i -> a.corr.(i)) in
+  reset_arena g a;
+  release_arena g a;
+  corr
+
+(* Batch decode: word-level transposition of detector bit-plane rows into
+   per-shot syndrome words, one 63-shot block at a time.  Each set detector
+   bit is scattered with one masked word read per (detector, block); shots
+   whose block word stays empty are never materialized at all.  Returns the
+   predicted logical-flip row (bit s = shot s). *)
+let decode_batch g ~detectors ~nshots =
+  if Array.length detectors <> g.n then
+    invalid_arg "Decoder_uf.decode_batch: detector row count mismatch";
+  Array.iter
+    (fun row ->
+      if Bitvec.length row <> nshots then
+        invalid_arg "Decoder_uf.decode_batch: row length mismatch")
+    detectors;
+  if nshots < 1 then invalid_arg "Decoder_uf.decode_batch: nshots must be >= 1";
+  let start = Obs.now_ns () in
+  Obs.Counter.add decode_shots_total nshots;
+  let a = take_arena g in
+  let out = Bitvec.create nshots in
+  let nwords = (nshots + Bitvec.word_size - 1) / Bitvec.word_size in
+  for w = 0 to nwords - 1 do
+    let occupied = ref 0 in
+    for d = 0 to g.n - 1 do
+      let bits = ref (Bitvec.get_word detectors.(d) w) in
+      while !bits <> 0 do
+        let low = !bits land - !bits in
+        Bitvec.set a.syn.(Bitvec.ctz low) d true;
+        occupied := !occupied lor low;
+        bits := !bits land (!bits - 1)
+      done
+    done;
+    let m = ref !occupied in
+    while !m <> 0 do
+      let low = !m land - !m in
+      let s = Bitvec.ctz low in
+      let flip = decode_into g a a.syn.(s) ~record:false in
+      reset_arena g a;
+      if flip then Bitvec.set out ((w * Bitvec.word_size) + s) true;
+      Bitvec.clear a.syn.(s);
+      m := !m land (!m - 1)
+    done
+  done;
+  release_arena g a;
+  Obs.Histogram.observe batch_seconds
+    (Int64.to_float (Int64.sub (Obs.now_ns ()) start) *. 1e-9);
+  out
+
+let decode_batch_count g ~detectors ~observable ~nshots =
+  let predicted = decode_batch g ~detectors ~nshots in
+  Bitvec.xor_into ~dst:predicted observable;
+  Bitvec.popcount predicted

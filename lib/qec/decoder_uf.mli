@@ -9,7 +9,14 @@
     logical-flip prediction.
 
     This plays the role of PyMatching in the paper's Stim-based experiments;
-    union-find achieves near-matching accuracy at near-linear cost. *)
+    union-find achieves near-matching accuracy at near-linear cost.
+
+    Decoding runs on a reusable arena: pre-sized parent/rank/parity arrays,
+    int-array border/adjacency linked lists and peel scratch, with every
+    per-shot mutation undone through dirty logs — zero allocation per shot
+    and reset cost proportional to the work the shot did.  Arenas are pooled
+    per graph behind a mutex, so {!decode} and {!decode_batch} are safe to
+    call concurrently from worker domains. *)
 
 type graph
 
@@ -30,6 +37,12 @@ val weighted_graph : nodes:int -> edges:(int * int * int * bool) list -> graph
 val num_nodes : graph -> int
 val num_edges : graph -> int
 
+val edge_list : graph -> (int * int * int * bool) array
+(** The edges as given to {!weighted_graph}, in construction order, with the
+    virtual boundary endpoint mapped back to {!boundary} — the
+    serialization-stable description: feeding it back through
+    {!weighted_graph} rebuilds a graph with identical decode behavior. *)
+
 val decode : graph -> Bitvec.t -> bool
 (** [decode g syndrome] returns the predicted logical flip for the defect
     pattern [syndrome] (one bit per node).  The syndrome must have even total
@@ -38,3 +51,18 @@ val decode : graph -> Bitvec.t -> bool
 val decode_correction : graph -> Bitvec.t -> int list
 (** The chosen correction as edge indices (ordered as given to {!graph});
     exposed for tests. *)
+
+val decode_batch : graph -> detectors:Bitvec.t array -> nshots:int -> Bitvec.t
+(** [decode_batch g ~detectors ~nshots] decodes a whole batch: [detectors]
+    is one row per graph node with bit [s] = shot [s] (the
+    {!Frame_batch.t} / {!Dem_sampler.sample} layout, each row exactly
+    [nshots] bits), and the result row has bit [s] set when shot [s] is
+    predicted to flip the logical observable.  Rows are transposed into
+    per-shot syndromes one 63-shot word block at a time; quiet shots are
+    skipped without materializing a syndrome.  Identical predictions to
+    per-shot {!decode}. *)
+
+val decode_batch_count :
+  graph -> detectors:Bitvec.t array -> observable:Bitvec.t -> nshots:int -> int
+(** Number of shots whose {!decode_batch} prediction disagrees with the
+    sampled observable row — the batch logical-error counter. *)

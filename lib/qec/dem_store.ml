@@ -1,0 +1,182 @@
+(* Compiled-DEM persistence: one store record per circuit, holding the merged
+   mechanism list and the matching graph's edge array.  Everything decode
+   needs is re-derivable from these two; the graph edges are kept in
+   construction order so the rebuilt incident lists — and therefore every
+   union-find tie-break — match the cold build exactly. *)
+
+let kind = "qec.dem"
+let magic = "QECDEM"
+let format_version = 1
+
+let hits_total = Obs.Counter.create "qec.dem_store_hits_total"
+let misses_total = Obs.Counter.create "qec.dem_store_misses_total"
+
+(* ---------------------------------------------------------- circuit key --- *)
+
+(* Canonical byte encoding of a circuit: every gate with its qubit indices,
+   every noise parameter as raw IEEE-754 bits (so 1e-4 and the nearest
+   neighboring double never collide), measurement count, detector and
+   observable index lists.  Anything that can change the compiled DEM is in
+   here; the key is its content hash. *)
+let encode_circuit (c : Circuit.t) =
+  let b = Buffer.create 4096 in
+  let fbits x = Printf.bprintf b ":%Lx" (Int64.bits_of_float x) in
+  Printf.bprintf b "q%d;" c.Circuit.nqubits;
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      (match g with
+      | Circuit.H q -> Printf.bprintf b "H%d" q
+      | Circuit.S q -> Printf.bprintf b "S%d" q
+      | Circuit.X q -> Printf.bprintf b "X%d" q
+      | Circuit.Y q -> Printf.bprintf b "Y%d" q
+      | Circuit.Z q -> Printf.bprintf b "Z%d" q
+      | Circuit.CX (a, t) -> Printf.bprintf b "C%d,%d" a t
+      | Circuit.CZ (a, t) -> Printf.bprintf b "E%d,%d" a t
+      | Circuit.SWAP (a, t) -> Printf.bprintf b "W%d,%d" a t
+      | Circuit.M q -> Printf.bprintf b "M%d" q
+      | Circuit.R q -> Printf.bprintf b "R%d" q
+      | Circuit.Noise1 { px; py; pz; q } ->
+          Printf.bprintf b "N%d" q;
+          fbits px;
+          fbits py;
+          fbits pz
+      | Circuit.Depol2 { p; a; b = t } ->
+          Printf.bprintf b "D%d,%d" a t;
+          fbits p);
+      Buffer.add_char b ';')
+    c.Circuit.ops;
+  Printf.bprintf b "m%d;" c.Circuit.nmeas;
+  let index_lists tag groups =
+    Printf.bprintf b "%s%d;" tag (Array.length groups);
+    Array.iter
+      (fun ms ->
+        Array.iter (fun m -> Printf.bprintf b "%d," m) ms;
+        Buffer.add_char b ';')
+      groups
+  in
+  index_lists "d" c.Circuit.detectors;
+  index_lists "o" c.Circuit.observables;
+  Buffer.contents b
+
+let circuit_key c =
+  Store.key ~kind
+    ~fields:
+      [ ("circuit", Content_hash.hash_hex (encode_circuit c));
+        ("format", string_of_int format_version) ]
+
+(* -------------------------------------------------------------- payload --- *)
+
+let encode sampler graph =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  Buffer.add_uint16_le b format_version;
+  Buffer.add_int32_le b (Int32.of_int (Dem_sampler.ndet sampler));
+  Buffer.add_int32_le b (Int32.of_int (Dem_sampler.nobs sampler));
+  let mechs = Dem_sampler.mechanisms sampler in
+  Buffer.add_int32_le b (Int32.of_int (Array.length mechs));
+  Array.iter
+    (fun (m : Dem.mechanism) ->
+      Buffer.add_int64_le b (Int64.bits_of_float m.Dem.p);
+      Buffer.add_uint16_le b (Array.length m.Dem.detectors);
+      Array.iter (fun d -> Buffer.add_int32_le b (Int32.of_int d)) m.Dem.detectors;
+      Buffer.add_int64_le b (Int64.of_int m.Dem.obs_mask))
+    mechs;
+  let edges = Decoder_uf.edge_list graph in
+  Buffer.add_int32_le b (Int32.of_int (Decoder_uf.num_nodes graph));
+  Buffer.add_int32_le b (Int32.of_int (Array.length edges));
+  Array.iter
+    (fun (u, v, weight, logical) ->
+      Buffer.add_int32_le b (Int32.of_int u);
+      Buffer.add_int32_le b (Int32.of_int v);
+      Buffer.add_int32_le b (Int32.of_int weight);
+      Buffer.add_uint8 b (if logical then 1 else 0))
+    edges;
+  Buffer.contents b
+
+exception Malformed
+
+let decode s =
+  try
+    let pos = ref 0 in
+    let need n = if !pos + n > String.length s then raise Malformed in
+    let u8 () =
+      need 1;
+      let v = Char.code s.[!pos] in
+      incr pos;
+      v
+    in
+    let u16 () =
+      need 2;
+      let v = String.get_uint16_le s !pos in
+      pos := !pos + 2;
+      v
+    in
+    let i32 () =
+      need 4;
+      let v = Int32.to_int (String.get_int32_le s !pos) in
+      pos := !pos + 4;
+      v
+    in
+    let i64 () =
+      need 8;
+      let v = String.get_int64_le s !pos in
+      pos := !pos + 8;
+      v
+    in
+    need (String.length magic);
+    if String.sub s 0 (String.length magic) <> magic then raise Malformed;
+    pos := String.length magic;
+    if u16 () <> format_version then raise Malformed;
+    let ndet = i32 () in
+    let nobs = i32 () in
+    let nmech = i32 () in
+    if ndet < 0 || nobs < 0 || nmech < 0 then raise Malformed;
+    let mechs = ref [] in
+    for _ = 1 to nmech do
+      let p = Int64.float_of_bits (i64 ()) in
+      let ndets = u16 () in
+      let detectors = Array.init ndets (fun _ -> i32 ()) in
+      let obs_mask = Int64.to_int (i64 ()) in
+      mechs := { Dem.p; detectors; obs_mask } :: !mechs
+    done;
+    let nodes = i32 () in
+    let nedges = i32 () in
+    if nodes <= 0 || nedges < 0 then raise Malformed;
+    let edges = ref [] in
+    for _ = 1 to nedges do
+      let u = i32 () in
+      let v = i32 () in
+      let weight = i32 () in
+      let logical = u8 () <> 0 in
+      edges := (u, v, weight, logical) :: !edges
+    done;
+    if !pos <> String.length s then raise Malformed;
+    let sampler = Dem_sampler.of_mechanisms ~ndet ~nobs (List.rev !mechs) in
+    let graph = Decoder_uf.weighted_graph ~nodes ~edges:(List.rev !edges) in
+    Some (sampler, graph)
+  with Malformed | Invalid_argument _ -> None
+
+(* ---------------------------------------------------------- store entry --- *)
+
+let find store circuit =
+  match Option.bind (Store.find store (circuit_key circuit)) decode with
+  | Some pair ->
+      Obs.Counter.incr hits_total;
+      Some pair
+  | None ->
+      Obs.Counter.incr misses_total;
+      None
+
+let put store circuit sampler graph =
+  Store.put store (circuit_key circuit) (encode sampler graph)
+
+let compile_cached circuit build =
+  match Char_store.store () with
+  | None -> build ()
+  | Some store -> (
+      match find store circuit with
+      | Some pair -> pair
+      | None ->
+          let sampler, graph = build () in
+          put store circuit sampler graph;
+          (sampler, graph))

@@ -1,0 +1,49 @@
+(** Persistence of compiled detector error models in the content-addressed
+    {!Store}.
+
+    [Dem.of_circuit] walks the whole circuit backward and the matching-graph
+    build re-derives edge weights from the merged mechanisms; for the d=13
+    surface experiments that compile step dwarfs the first sampling batch.
+    This module serializes the compiled DEM ({!Dem_sampler.t}) together with
+    its matching graph as one versioned record kind (["qec.dem"]) keyed by
+    the content hash of the full circuit — every gate, noise parameter,
+    detector and observable — so a warm run (same [--cache-dir]) skips both
+    [Dem.of_circuit] and graph construction entirely.
+
+    Record discipline matches HETSTORE/v1: a payload-level magic + format
+    version inside the store's own framing, bit-exact float encoding
+    (IEEE-754 bits, little-endian), and defensive decoding — truncated,
+    corrupt, or version-mismatched payloads degrade to a miss and the next
+    [put] heals the entry.  Graph edges round-trip in construction order, so
+    a deserialized graph decodes bit-identically to the one built cold. *)
+
+val format_version : int
+(** Bump when the payload layout or the meaning of a compiled DEM changes;
+    old entries then degrade to misses. *)
+
+val circuit_key : Circuit.t -> string
+(** Content-hash store key (via {!Store.key}, kind ["qec.dem"]) of the
+    canonical circuit encoding.  Pinned-value tests guard its stability. *)
+
+val encode : Dem_sampler.t -> Decoder_uf.graph -> string
+(** Versioned binary payload for a compiled DEM + matching graph pair. *)
+
+val decode : string -> (Dem_sampler.t * Decoder_uf.graph) option
+(** Inverse of {!encode}; [None] on any malformed payload. *)
+
+val find : Store.t -> Circuit.t -> (Dem_sampler.t * Decoder_uf.graph) option
+(** Look up the compiled pair for a circuit. *)
+
+val put : Store.t -> Circuit.t -> Dem_sampler.t -> Decoder_uf.graph -> unit
+(** Write the compiled pair under the circuit's key. *)
+
+val compile_cached :
+  Circuit.t -> (unit -> Dem_sampler.t * Decoder_uf.graph) ->
+  Dem_sampler.t * Decoder_uf.graph
+(** [compile_cached circuit build] resolves through the ambient
+    characterization store ({!Char_store.store}, installed by
+    [--cache-dir]): disk hit when present, otherwise [build ()] with
+    write-back.  With no ambient store this is just [build ()]. *)
+
+val hits_total : Obs.Counter.t
+val misses_total : Obs.Counter.t

@@ -22,6 +22,7 @@ let default ~distance =
 type experiment = {
   circuit : Circuit.t;
   graph : Decoder_uf.graph;
+  sampler : Dem_sampler.t;
   params : params;
   n_qubits : int;
   n_z_stabs : int;
@@ -155,14 +156,23 @@ let build_with ~coherence p =
   Circuit.add_observable b (List.init d (fun c -> data_meas.(c)));
   let circuit = Circuit.finish b in
   Circuit.validate circuit;
-  (* Decoding graph straight from the circuit's detector error model, so edge
-     weights and logical flags reflect the exact noise (including hook errors
-     and mid-cycle mechanisms). *)
-  let mechanisms = Dem.of_circuit circuit in
-  let graph =
-    Dem_graph.build ~nodes:(Array.length circuit.Circuit.detectors) mechanisms
+  (* Compiled DEM + decoding graph straight from the circuit's detector
+     error model, so edge weights and logical flags reflect the exact noise
+     (including hook errors and mid-cycle mechanisms).  Both are resolved
+     through the ambient persistent store when one is installed
+     (--cache-dir): a warm run skips Dem.of_circuit and graph construction
+     and decodes on a byte-identical deserialized graph. *)
+  let sampler, graph =
+    Dem_store.compile_cached circuit (fun () ->
+        let sampler = Dem_sampler.compile circuit in
+        let graph =
+          Dem_graph.build
+            ~nodes:(Array.length circuit.Circuit.detectors)
+            (Array.to_list (Dem_sampler.mechanisms sampler))
+        in
+        (sampler, graph))
   in
-  { circuit; graph; params = p; n_qubits; n_z_stabs = n_z }
+  { circuit; graph; sampler; params = p; n_qubits; n_z_stabs = n_z }
 
 let nominal_coherence p ~n_data q = if q < n_data then p.t_data else p.t_anc
 
@@ -183,22 +193,29 @@ let build_varied ~sigma rng p =
 
 let shots_total = Obs.Counter.create "qec.shots_total"
 
-let logical_error_count exp rng ~shots =
+(* Fused estimation: every Monte-Carlo chunk draws one DEM-direct batch
+   (skipping circuit re-simulation) and decodes it through the batch
+   union-find API on a pooled arena — no per-shot transposition, decode
+   allocation, or scalar decode calls anywhere on the hot path.  Chunk
+   layout and merge order come from Parallel.monte_carlo, so counts stay
+   bit-identical for a given seed at any --jobs. *)
+let logical_error_count ?jobs exp rng ~shots =
+  if shots <= 0 then
+    invalid_arg "Surface_circuit.logical_error_count: shots must be positive";
   Obs.Counter.add shots_total shots;
   Obs.Trace.with_span "qec.logical_error_rate"
     ~attrs:
       [ ("distance", string_of_int exp.params.distance);
         ("shots", string_of_int shots) ]
     (fun () ->
-      Frame.logical_error_count ~backend:"uf" exp.circuit rng ~shots
-        ~decode:(fun dets ->
-          let flip = Decoder_uf.decode exp.graph dets in
-          let out = Bitvec.create 1 in
-          Bitvec.set out 0 flip;
-          out))
+      Parallel.monte_carlo_count ?jobs ~rng ~shots (fun rng nshots ->
+          let b = Dem_sampler.sample exp.sampler rng ~nshots in
+          Decoder_uf.decode_batch_count exp.graph
+            ~detectors:b.Frame_batch.detectors
+            ~observable:b.Frame_batch.observables.(0) ~nshots))
 
-let logical_error_rate exp rng ~shots =
-  float_of_int (logical_error_count exp rng ~shots) /. float_of_int shots
+let logical_error_rate ?jobs exp rng ~shots =
+  float_of_int (logical_error_count ?jobs exp rng ~shots) /. float_of_int shots
 
 (* Campaign integration: identity covers the full noise/coherence model, so
    a DSE grid over (distance, Tcd, Tca, p2) resumes point-by-point from the

@@ -26,6 +26,7 @@ val default : distance:int -> params
 type experiment = {
   circuit : Circuit.t;
   graph : Decoder_uf.graph;
+  sampler : Dem_sampler.t;
   params : params;
   n_qubits : int;
   n_z_stabs : int;
@@ -41,11 +42,15 @@ val build_varied : sigma:float -> Rng.t -> params -> experiment
     (§5: device variability as p-cells).  The decoding graph is rebuilt from
     the varied circuit's DEM, so the decoder knows the per-qubit rates. *)
 
-val logical_error_count : experiment -> Rng.t -> shots:int -> int
-(** Monte-Carlo logical error count over [shots] experiments (union-find
-    decoding on the bit-parallel frame sampler). *)
+val logical_error_count : ?jobs:int -> experiment -> Rng.t -> shots:int -> int
+(** Monte-Carlo logical error count over [shots] experiments on the fused
+    pipeline: each chunk draws one DEM-direct batch
+    ({!Dem_sampler.sample}) and decodes it through
+    {!Decoder_uf.decode_batch_count} on a pooled arena.  Chunking and
+    merge order are fixed, so for a given seeded [rng] the count is
+    bit-identical at any [jobs]. *)
 
-val logical_error_rate : experiment -> Rng.t -> shots:int -> float
+val logical_error_rate : ?jobs:int -> experiment -> Rng.t -> shots:int -> float
 (** Monte-Carlo logical error rate per shot (per [rounds] cycles). *)
 
 val collect_task : params -> Collect.Task.t

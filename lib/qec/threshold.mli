@@ -10,8 +10,10 @@ val logical_errors :
 (** Monte-Carlo logical error {e count} under iid single-qubit depolarizing
     noise of strength [p] (each qubit suffers X, Y or Z with probability p/3
     each), with perfect syndrome extraction and lookup decoding.  A shot errs
-    when either the X- or Z-type residual flips the logical qubit.  The shot
-    loop is allocation-free (mask-based decoding) and chunked through
+    when either the X- or Z-type residual flips the logical qubit.  Errors
+    are drawn batch-natively — per-qubit X/Z bit-plane rows from sparse
+    disjoint Bernoulli masks, word-block-transposed into per-shot int masks
+    for the decoder's mask-based fast path — and chunked through
     {!Parallel}: seed-deterministic at any [jobs] setting. *)
 
 val logical_rate :
@@ -25,6 +27,10 @@ val collect_task : Code.t -> p:float -> Collect.Task.t
     built lazily on the first sampled batch. *)
 
 val pseudothreshold :
+  ?jobs:int ->
   ?lo:float -> ?hi:float -> ?iters:int -> ?shots:int -> Code.t -> Rng.t -> float
 (** Bisection solve of L(p) = p.  Defaults: lo = 1e-4, hi = 0.45, 12
-    iterations, 20_000 shots per evaluation. *)
+    iterations, 20_000 shots per evaluation.  [jobs] is threaded to every
+    {!logical_rate} evaluation; the chunked sampler keeps each evaluation —
+    and therefore the bisection trajectory — bit-identical at any job
+    count. *)

@@ -282,38 +282,55 @@ let logical_failures_impl ?jobs ?(params = default_params) prof ~rounds ~shots r
   let hom_channels =
     match prof.arch with Hom -> effective_channels ~params prof | Het _ -> [||]
   in
+  let step_masks =
+    Array.map
+      (fun (_, supp) -> Array.fold_left (fun acc q -> acc lor (1 lsl q)) 0 supp)
+      steps
+  in
   (* Shot chunks fan across domains; everything above (steps, touch_probs,
-     hom_channels, the decoder) is read-only and shared.  Each chunk carries
-     its own error buffers — reused across the chunk's shots, so the shot
-     loop itself allocates only the per-round syndrome arrays. *)
+     hom_channels, the decoder) is read-only and shared.  Error state lives
+     in two int bitmasks (bit q = qubit q; n <= 30 is enforced by
+     [Decoder_lookup.create]) and syndromes in packed int keys, so the shot
+     loop allocates nothing.  RNG consumption order is unchanged from the
+     bool-array version — one uniform per inject, one bernoulli per check
+     read — and the packed-key agreement test and mask corrections are
+     exact rewrites, so failure counts are bit-identical to it. *)
   let run_chunk rng nshots =
   let failures = ref 0 in
-  let xerr = Array.make n false and zerr = Array.make n false in
+  let xerr = ref 0 and zerr = ref 0 in
   let inject c q =
     let u = Rng.uniform rng in
-    if u < c.(1) then xerr.(q) <- not xerr.(q)
-    else if u < c.(1) +. c.(2) then zerr.(q) <- not zerr.(q)
+    let bit = 1 lsl q in
+    if u < c.(1) then xerr := !xerr lxor bit
+    else if u < c.(1) +. c.(2) then zerr := !zerr lxor bit
     else if u < c.(1) +. c.(2) +. c.(3) then begin
-      xerr.(q) <- not xerr.(q);
-      zerr.(q) <- not zerr.(q)
+      xerr := !xerr lxor bit;
+      zerr := !zerr lxor bit
     end
   in
+  let parity mask =
+    let c = ref 0 and x = ref mask in
+    while !x <> 0 do
+      x := !x land (!x - 1);
+      incr c
+    done;
+    !c land 1
+  in
   for _ = 1 to nshots do
-    Array.fill xerr 0 n false;
-    Array.fill zerr 0 n false;
-    let prev_sz = ref None and prev_sx = ref None in
+    xerr := 0;
+    zerr := 0;
+    let prev_sz = ref (-1) and prev_sx = ref (-1) in
     for _ = 1 to rounds do
-      let sz = Array.make nz 0 in
-      let sx = Array.make (Array.length code.Code.x_stabs) 0 in
-      let read k supp =
+      let sz = ref 0 and sx = ref 0 in
+      let read k =
         let is_z = k < nz in
-        let err = if is_z then xerr else zerr in
-        let parity =
-          Array.fold_left (fun acc q -> if err.(q) then 1 - acc else acc) 0 supp
-        in
+        let err = if is_z then !xerr else !zerr in
+        let p = parity (err land step_masks.(k)) in
         let flip_p = if is_z then prof.meas_flip.(0).(k) else prof.meas_flip.(1).(k - nz) in
-        let bit = if Rng.bernoulli rng flip_p then 1 - parity else parity in
-        if is_z then sz.(k) <- bit else sx.(k - nz) <- bit
+        let bit = if Rng.bernoulli rng flip_p then 1 - p else p in
+        if bit = 1 then
+          if is_z then sz := !sz lor (1 lsl k)
+          else sx := !sx lor (1 lsl (k - nz))
       in
       (match prof.arch with
       | Het _ ->
@@ -323,7 +340,7 @@ let logical_failures_impl ?jobs ?(params = default_params) prof ~rounds ~shots r
               for q = 0 to n - 1 do
                 inject interval_probs q
               done;
-              read k supp;
+              read k;
               Array.iter (fun q -> inject touch_probs q) supp)
             steps
       | Hom ->
@@ -332,43 +349,23 @@ let logical_failures_impl ?jobs ?(params = default_params) prof ~rounds ~shots r
           for q = 0 to n - 1 do
             inject hom_channels.(q) q
           done;
-          Array.iteri (fun k (_, supp) -> read k supp) steps);
+          Array.iteri (fun k _ -> read k) steps);
       (* Repeat-until-agree: apply a correction only when two consecutive
          extractions agree, suppressing syndrome noise to second order. *)
-      if !prev_sz <> None && !prev_sz = Some sz then
-        List.iter (fun q -> xerr.(q) <- not xerr.(q)) (Decoder_lookup.decode_x decoder sz);
-      prev_sz := Some sz;
-      if !prev_sx <> None && !prev_sx = Some sx then
-        List.iter (fun q -> zerr.(q) <- not zerr.(q)) (Decoder_lookup.decode_z decoder sx);
-      prev_sx := Some sx
+      if !prev_sz >= 0 && !prev_sz = !sz then
+        xerr := !xerr lxor Decoder_lookup.x_correction_mask decoder ~key:!sz;
+      prev_sz := !sz;
+      if !prev_sx >= 0 && !prev_sx = !sx then
+        zerr := !zerr lxor Decoder_lookup.z_correction_mask decoder ~key:!sx;
+      prev_sx := !sx
     done;
     (* End-of-experiment evaluation with a final ideal recovery (noiseless
        syndrome, perfect decode) — the standard memory-experiment semantics;
        judging the transient state every round would count correctable
-       weight-2 patterns as failures. *)
-    let flipped support err =
-      Array.fold_left (fun acc q -> if err.(q) then not acc else acc) false support
-    in
-    let ideal_residual err stabs decode =
-      let syn =
-        Array.map
-          (fun supp ->
-            Array.fold_left (fun acc q -> if err.(q) then 1 - acc else acc) 0 supp)
-          stabs
-      in
-      let corr = decode syn in
-      let copy = Array.copy err in
-      List.iter (fun q -> copy.(q) <- not copy.(q)) corr;
-      copy
-    in
-    let x_fail =
-      flipped code.Code.logical_z.(0)
-        (ideal_residual xerr code.Code.z_stabs (Decoder_lookup.decode_x decoder))
-    in
-    let z_fail =
-      flipped code.Code.logical_x.(0)
-        (ideal_residual zerr code.Code.x_stabs (Decoder_lookup.decode_z decoder))
-    in
+       weight-2 patterns as failures.  [logical_x_flip_mask] is exactly
+       ideal-residual-then-logical-parity on masks. *)
+    let x_fail = Decoder_lookup.logical_x_flip_mask decoder ~actual:!xerr in
+    let z_fail = Decoder_lookup.logical_z_flip_mask decoder ~actual:!zerr in
     if x_fail || z_fail then incr failures
   done;
   !failures

@@ -17,6 +17,21 @@ let set t i b =
   let w = i / wordsize and m = 1 lsl (i mod wordsize) in
   if b then t.bits.(w) <- t.bits.(w) lor m else t.bits.(w) <- t.bits.(w) land lnot m
 
+(* Index of the lowest set bit of a nonzero word: six branch-and-shift steps
+   instead of a linear scan, for the hot transposition loops that peel words
+   bit by bit with [w land (-w)]. *)
+let ctz w =
+  if w = 0 then invalid_arg "Bitvec.ctz: zero word";
+  let x = ref (w land (-w)) in
+  let n = ref 0 in
+  if !x land 0xFFFFFFFF = 0 then begin n := !n + 32; x := !x lsr 32 end;
+  if !x land 0xFFFF = 0 then begin n := !n + 16; x := !x lsr 16 end;
+  if !x land 0xFF = 0 then begin n := !n + 8; x := !x lsr 8 end;
+  if !x land 0xF = 0 then begin n := !n + 4; x := !x lsr 4 end;
+  if !x land 0x3 = 0 then begin n := !n + 2; x := !x lsr 2 end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
 let flip t i =
   check t i;
   let w = i / wordsize in
@@ -155,5 +170,9 @@ let iter_set t f =
         end
       done
   done
+
+let word_count t = Array.length t.bits
+let get_word t w = t.bits.(w)
+let word_size = wordsize
 
 let to_string t = String.init t.n (fun i -> if get t i then '1' else '0')

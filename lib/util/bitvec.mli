@@ -52,5 +52,22 @@ val equal : t -> t -> bool
 val iter_set : t -> (int -> unit) -> unit
 (** Iterate indices of set bits in increasing order. *)
 
+val word_count : t -> int
+(** Number of 63-bit storage words. *)
+
+val get_word : t -> int -> int
+(** [get_word t w] is raw word [w] (bits [63w .. 63w+62], bit [b] of the
+    word = bit [63w + b] of the vector).  The word-level transposition
+    primitive of the batch decoder: one read covers 63 shots of one
+    detector row. *)
+
+val word_size : int
+(** Bits per storage word (63). *)
+
+val ctz : int -> int
+(** Index of the lowest set bit of a nonzero word (0-based).  Raises
+    [Invalid_argument] on zero.  Companion to {!get_word} for transposition
+    loops that peel set bits with [w land (-w)]. *)
+
 val to_string : t -> string
 (** "0110..." rendering, index 0 first. *)

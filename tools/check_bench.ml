@@ -69,7 +69,9 @@ let () =
   List.iter
     (fun r -> if not (List.mem r recorded) then fail "missing required kernel %s" r)
     required;
-  (* Scalar-vs-batch pairs: both sides must name recorded kernels. *)
+  (* Scalar-vs-batch pairs: both sides must name recorded kernels, and a
+     pair carrying a min_speedup floor must actually clear it — the fused
+     sample->decode pipeline has to stay faster than the per-shot baseline. *)
   let kernel_names =
     List.filter_map
       (fun k ->
@@ -78,6 +80,16 @@ let () =
         | _ -> None)
       kernels
   in
+  let ns_of name =
+    List.find_map
+      (fun k ->
+        match (Obs.Json.member "name" k, Obs.Json.member "ns_per_run" k) with
+        | Some (Obs.Json.String n), Some v when n = name ->
+            (try Some (Obs.Json.to_float v) with Failure _ -> None)
+        | _ -> None)
+      kernels
+  in
+  let gated_pairs = ref [] in
   let npairs =
     match Obs.Json.member "pairs" doc with
     | Some (Obs.Json.List ps) ->
@@ -94,23 +106,39 @@ let () =
                 let k = str side in
                 if not (List.mem k kernel_names) then
                   fail "pair %s: %s kernel %s not in kernels" name side k)
-              [ "scalar"; "batch" ])
+              [ "scalar"; "batch" ];
+            match Obs.Json.member "min_speedup" p with
+            | None -> ()
+            | Some v ->
+                let floor =
+                  try Obs.Json.to_float v
+                  with Failure _ -> fail "pair %s: min_speedup not numeric" name
+                in
+                gated_pairs := name :: !gated_pairs;
+                let side field =
+                  let k = str field in
+                  match ns_of k with
+                  | Some ns when Float.is_finite ns && ns > 0. -> ns
+                  | _ ->
+                      fail "pair %s: %s kernel %s has no usable ns_per_run"
+                        name field k
+                in
+                let scalar = side "scalar" and batch = side "batch" in
+                let speedup = scalar /. batch in
+                if speedup < floor then
+                  fail "pair %s: batch only %.2fx faster than scalar (floor %gx)"
+                    name speedup floor)
           ps;
         List.length ps
     | _ -> fail "missing pairs array"
   in
+  (* The fused sample->decode pair is the perf contract of the DEM pipeline:
+     it must keep being recorded with its floor. *)
+  if not (List.mem "fig6-sample-decode-d7" !gated_pairs) then
+    fail "missing gated pair fig6-sample-decode-d7 (with min_speedup)";
   (* Cold/warm warm-start pairs: both sides must be recorded and the
      measured cold/warm ratio must clear the pair's min_speedup floor —
      the persistent characterization store has to actually pay off. *)
-  let ns_of name =
-    List.find_map
-      (fun k ->
-        match (Obs.Json.member "name" k, Obs.Json.member "ns_per_run" k) with
-        | Some (Obs.Json.String n), Some v when n = name ->
-            (try Some (Obs.Json.to_float v) with Failure _ -> None)
-        | _ -> None)
-      kernels
-  in
   let nwarm =
     match Obs.Json.member "warm_pairs" doc with
     | Some (Obs.Json.List ps) ->
