@@ -15,7 +15,7 @@
 DUNE ?= dune
 SMOKE_ARTIFACTS ?=
 
-.PHONY: all build test bench ci jobs-smoke collect-smoke obs-smoke obs-merge-smoke cache-smoke decode-smoke clean
+.PHONY: all build test bench ci jobs-smoke collect-smoke obs-smoke obs-merge-smoke cache-smoke decode-smoke alloc-smoke clean
 
 all: build
 
@@ -201,7 +201,43 @@ decode-smoke: build
 	  || { echo "decode-smoke: warm run served no compiled DEMs from disk"; exit 1; }; } && \
 	echo "decode-smoke: batch==scalar decode, byte-identical across --jobs and compiled-DEM warm start"
 
-ci: build test jobs-smoke collect-smoke obs-smoke obs-merge-smoke cache-smoke decode-smoke
+# The allocation contract, end to end: `decode-check --alloc-budget` proves
+# the warm batch decoder allocates exactly zero minor words up to d=9 and
+# the fused sample+decode path stays within its per-shot budget; the
+# alloc-weighted flamegraph must be byte-identical across --jobs (word
+# counters are exact and domain-local, so a sequential workload folds
+# identically no matter how many domains are idle); and the flamegraph's
+# root total must reconcile with the manifest's process-level minor-word
+# counter to within 1% — proving span attribution accounts for essentially
+# every word the process allocates.
+alloc-smoke: build
+	@d=$$(mktemp -d) && \
+	trap 'rc=$$?; if [ $$rc -ne 0 ] && [ -n "$(SMOKE_ARTIFACTS)" ]; then \
+	       mkdir -p "$(SMOKE_ARTIFACTS)" && cp -r "$$d" "$(SMOKE_ARTIFACTS)/alloc-smoke"; fi; \
+	     rm -rf "$$d"; exit $$rc' EXIT && \
+	$(DUNE) exec bin/main.exe -- decode-check --shots 512 --seed 7 --dmax 9 \
+	  --alloc-budget 64 --jobs 1 --trace $$d/a1.trace.jsonl \
+	  --metrics $$d/a1.metrics.json > $$d/j1.out && \
+	$(DUNE) exec bin/main.exe -- decode-check --shots 512 --seed 7 --dmax 9 \
+	  --alloc-budget 64 --jobs 2 --trace $$d/a2.trace.jsonl > $$d/j2.out && \
+	{ diff -u $$d/j1.out $$d/j2.out \
+	  || { echo "alloc-smoke: decode-check output depends on --jobs"; exit 1; }; } && \
+	$(DUNE) exec bin/main.exe -- obs flame --alloc $$d/a1.trace.jsonl \
+	  > $$d/a1.folded && \
+	$(DUNE) exec bin/main.exe -- obs flame --alloc $$d/a2.trace.jsonl \
+	  > $$d/a2.folded && \
+	{ diff -u $$d/a1.folded $$d/a2.folded \
+	  || { echo "alloc-smoke: alloc flamegraph depends on --jobs"; exit 1; }; } && \
+	{ test -s $$d/a1.folded \
+	  || { echo "alloc-smoke: alloc flamegraph is empty"; exit 1; }; } && \
+	root=$$(awk '{ s += $$NF } END { printf "%d", s }' $$d/a1.folded) && \
+	proc=$$(grep -o '"minor_words":[0-9]*' $$d/a1.metrics.json | head -n1 | cut -d: -f2) && \
+	gap=$$(( root > proc ? root - proc : proc - root )) && \
+	{ test $$(( gap * 100 )) -le $$proc \
+	  || { echo "alloc-smoke: flame root total $$root vs process minor words $$proc: off by >1%"; exit 1; }; } && \
+	echo "alloc-smoke: zero-alloc decode proven to d=9; alloc flamegraph jobs-invariant, reconciles within 1% ($$root vs $$proc words)"
+
+ci: build test jobs-smoke collect-smoke obs-smoke obs-merge-smoke cache-smoke decode-smoke alloc-smoke
 	$(DUNE) exec bench/main.exe -- --quick
 	$(DUNE) exec tools/check_bench.exe -- BENCH_hetarch.json
 	@$(DUNE) exec bin/main.exe -- obs diff BENCH_baseline.json BENCH_hetarch.json \

@@ -100,6 +100,24 @@ let kernel_sample_decode_batch () =
     ~detectors:b.Frame_batch.detectors
     ~observable:b.Frame_batch.observables.(0) ~nshots:pair_shots
 
+(* Steady-state batch decode: detectors sampled once, output row reused, so
+   the kernel is the pure arena decode loop.  Its zero-alloc contract
+   (max_minor_words_per_run = 0) is the hard CI gate proving the decode hot
+   path stays allocation-free. *)
+let steady_decode =
+  lazy
+    (let exp = Lazy.force fig6_exp in
+     let b =
+       Dem_sampler.sample exp.Surface_circuit.sampler (Rng.create seed)
+         ~nshots:pair_shots
+     in
+     (exp.Surface_circuit.graph, b.Frame_batch.detectors,
+      Bitvec.create pair_shots))
+
+let kernel_decode_steady () =
+  let g, detectors, out = Lazy.force steady_decode in
+  Decoder_uf.decode_batch_into g ~detectors ~nshots:pair_shots ~out
+
 (* Cold-vs-warm characterization pair: identical workload — the charsweep
    alpha sweep's storage-cell operations — once paying density-matrix
    simulation per run (cold: fresh memory cache, no store) and once served
@@ -239,6 +257,8 @@ let tests =
         (Staged.stage kernel_sample_decode_scalar);
       Test.make ~name:"fig6-sample-decode-d7-batch"
         (Staged.stage kernel_sample_decode_batch);
+      Test.make ~name:"fig6-decode-d7-batch-steady"
+        (Staged.stage kernel_decode_steady);
       Test.make ~name:"fig7-surface-d5" (Staged.stage kernel_fig7);
       Test.make ~name:"char-sweep-cold" (Staged.stage kernel_char_cold);
       Test.make ~name:"char-sweep-warm" (Staged.stage kernel_char_warm);
@@ -264,6 +284,72 @@ let tests =
 let gated_kernels =
   [ ("hetarch fig6-sample-decode-d7-scalar", kernel_sample_decode_scalar);
     ("hetarch fig6-sample-decode-d7-batch", kernel_sample_decode_batch) ]
+
+(* ------------------------------------------- allocation accounting ----- *)
+
+(* Minor-heap words allocated by one run of [f].  The [Gc.minor_words]
+   result is a boxed float allocated just after the counter is read — inside
+   the measured window — so an empty window calibrates that constant out.
+   Minor words are a pure function of the allocation sequence (collections
+   never reset the cumulative counter), so for deterministic kernels the
+   per-run number is exact; the minimum over trials guards against a rare
+   lazy-force or domain event landing in one window. *)
+let alloc_words f =
+  let c0 = Gc.minor_words () in
+  let c1 = Gc.minor_words () in
+  let overhead = c1 -. c0 in
+  let a = Gc.minor_words () in
+  f ();
+  let b = Gc.minor_words () in
+  int_of_float (b -. a -. overhead)
+
+let robust_words f =
+  f ();
+  (* warm lazies, arena pools, stores *)
+  let best = ref max_int in
+  for _ = 1 to 3 do
+    let w = alloc_words f in
+    if w < !best then best := w
+  done;
+  max 0 !best
+
+(* Unit-thunk view of every kernel, for the allocation pass.  Keys are the
+   Bechamel display names ("hetarch <kernel>"), matching the estimates. *)
+let kernel_thunks : (string * (unit -> unit)) list =
+  [ ("hetarch table1-devices", fun () -> ignore (kernel_table1 ()));
+    ("hetarch table2-cells-drc", fun () -> ignore (kernel_table2 ()));
+    ("hetarch fig3-distill-trace", fun () -> ignore (kernel_fig3 ()));
+    ("hetarch fig4-distill-rate-point", fun () -> ignore (kernel_fig4 ()));
+    ("hetarch fig6-surface-d7", fun () -> ignore (kernel_fig6 ()));
+    ("hetarch fig6-sample-d7-scalar", fun () -> ignore (kernel_sample_scalar ()));
+    ("hetarch fig6-sample-d7-batch", fun () -> ignore (kernel_sample_batch ()));
+    ( "hetarch fig6-sample-decode-d7-scalar",
+      fun () -> ignore (kernel_sample_decode_scalar ()) );
+    ( "hetarch fig6-sample-decode-d7-batch",
+      fun () -> ignore (kernel_sample_decode_batch ()) );
+    ("hetarch fig6-decode-d7-batch-steady", kernel_decode_steady);
+    ("hetarch fig7-surface-d5", fun () -> ignore (kernel_fig7 ()));
+    ("hetarch char-sweep-cold", kernel_char_cold);
+    ("hetarch char-sweep-warm", kernel_char_warm);
+    ("hetarch fig9-uec-point", fun () -> ignore (kernel_fig9 ()));
+    ("hetarch table3-uec-row", fun () -> ignore (kernel_table3 ()));
+    ("hetarch fig12-ct-point", fun () -> ignore (kernel_fig12 ()));
+    ("hetarch table4-ct-pair", fun () -> ignore (kernel_table4 ()));
+    ("hetarch ext-repeater-chain", fun () -> ignore (kernel_repeater ()));
+    ("hetarch collect-ledger-append", kernel_ledger_append);
+    ("hetarch span-record", kernel_span_record);
+    ("hetarch telemetry-snapshot", kernel_telemetry_snapshot);
+    ("hetarch obs-snapshot-write", kernel_snapshot_write);
+    ("hetarch obs-merge", fun () -> ignore (kernel_obs_merge ()));
+    ("hetarch dse-burden", fun () -> ignore (kernel_burden ())) ]
+
+(* Per-kernel allocation floors — the zero-alloc CI gate.  check_bench
+   fails the build when a floor-gated kernel's measured minor_words_per_run
+   exceeds its bound.  The steady-state decode loop must allocate nothing;
+   the fused sample+decode pipeline is budgeted at 64 words per shot. *)
+let alloc_floors =
+  [ ("hetarch fig6-decode-d7-batch-steady", 0);
+    ("hetarch fig6-sample-decode-d7-batch", 64 * pair_shots) ]
 
 let robust_ns f =
   ignore (Sys.opaque_identity (f ()));
@@ -349,14 +435,14 @@ let kernel_pairs =
 let warm_pairs =
   [ ("char-sweep-warm-start", "hetarch char-sweep-cold", "hetarch char-sweep-warm", 5.0) ]
 
-(* One JSON document per bench run: kernel name -> ns/run, the seed every
-   kernel drew its RNG from, the job count the run executed with, the
-   scalar-vs-batch pairs, and the observability snapshot accumulated while
-   measuring (DES events, shots, cache traffic, ...). *)
-let write_bench_json kernels =
+(* One JSON document per bench run: kernel name -> ns/run and minor
+   words/run, the seed every kernel drew its RNG from, the job count the run
+   executed with, the scalar-vs-batch pairs, and the observability snapshot
+   accumulated while measuring (DES events, shots, cache traffic, ...). *)
+let write_bench_json kernels ~words =
   let doc =
     Obs.Json.Obj
-      [ ("schema", Obs.Json.String "hetarch.bench/2");
+      [ ("schema", Obs.Json.String "hetarch.bench/3");
         ("seed", Obs.Json.Int seed);
         ("quick", Obs.Json.Bool quick);
         ("jobs", Obs.Json.Int (Parallel.jobs ()));
@@ -365,9 +451,17 @@ let write_bench_json kernels =
             (List.map
                (fun (name, ns) ->
                  Obs.Json.Obj
-                   [ ("name", Obs.Json.String name);
-                     ("ns_per_run", Obs.Json.Float ns);
-                     ("seed", Obs.Json.Int seed) ])
+                   ([ ("name", Obs.Json.String name);
+                      ("ns_per_run", Obs.Json.Float ns) ]
+                   @ (match List.assoc_opt name words with
+                     | Some w ->
+                         [ ("minor_words_per_run", Obs.Json.Int w) ]
+                     | None -> [])
+                   @ (match List.assoc_opt name alloc_floors with
+                     | Some floor ->
+                         [ ("max_minor_words_per_run", Obs.Json.Int floor) ]
+                     | None -> [])
+                   @ [ ("seed", Obs.Json.Int seed) ]))
                kernels) );
         ( "pairs",
           Obs.Json.List
@@ -458,6 +552,19 @@ let headline () =
 
 let () =
   let kernels = run_benchmarks () in
+  (* Allocation pass: exact minor words per run for every kernel (min over
+     trials), printed for the floor-gated ones so a gate trip is visible in
+     the bench log, not just in check_bench. *)
+  let words =
+    List.map (fun (name, f) -> (name, robust_words f)) kernel_thunks
+  in
+  List.iter
+    (fun (name, floor) ->
+      match List.assoc_opt name words with
+      | Some w ->
+          Printf.printf "%-32s %12d minor words/run (floor %d)\n" name w floor
+      | None -> ())
+    alloc_floors;
   List.iter
     (fun (name, scalar, batch, _) ->
       match (List.assoc_opt scalar kernels, List.assoc_opt batch kernels) with
@@ -490,6 +597,6 @@ let () =
   end;
   if Lazy.is_val telemetry_sink then Obs.Telemetry.disable ();
   (try Sys.remove snapshot_path with Sys_error _ -> ());
-  write_bench_json kernels;
+  write_bench_json kernels ~words;
   Printf.printf "\nwrote BENCH_hetarch.json (%d kernels, seed %d, jobs %d)\n"
     (List.length kernels) seed (Parallel.jobs ())

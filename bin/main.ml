@@ -458,9 +458,25 @@ let run_schedule () =
    byte-identical at any --jobs (deterministic chunking) and with or
    without --cache-dir (a warm run decodes on a deserialized graph that
    must behave identically to the cold build). *)
-let run_decode_check shots seed =
+(* Minor-heap words allocated by [f ()].  The [Gc.minor_words] result is a
+   boxed float allocated just after the counter is read — i.e. inside the
+   measured window — so an empty window calibrates that constant out.  Minor
+   words are a pure function of the allocation sequence (collections don't
+   reset the cumulative counter), so for a deterministic [f] the result is
+   byte-identical on every run at any --jobs. *)
+let alloc_words f =
+  let c0 = Gc.minor_words () in
+  let c1 = Gc.minor_words () in
+  let overhead = c1 -. c0 in
+  let a = Gc.minor_words () in
+  f ();
+  let b = Gc.minor_words () in
+  int_of_float (b -. a -. overhead)
+
+let run_decode_check shots seed dmax alloc_budget =
   print_endline "Fused decode self-check: batch arena decoder vs per-shot scalar";
   let ok = ref true in
+  let distances = List.filter (fun d -> d <= max 3 dmax) [ 3; 5; 7; 9 ] in
   List.iter
     (fun d ->
       let exp =
@@ -482,16 +498,67 @@ let run_decode_check shots seed =
            <> Bitvec.get batch s
         then incr mismatches
       done;
+      (* jobs:1 on purpose: GC allocation counters are domain-local, so
+         work fanned out to worker domains escapes the enclosing
+         cmd.decode-check span's window.  Keeping the cross-check on the
+         recording domain is what lets alloc-smoke reconcile the alloc
+         flamegraph's root total against the manifest's process counter and
+         demand byte-identical folded output at any --jobs.  Jobs
+         determinism of this estimator is covered by test_fused's pinned
+         seed vectors at jobs 1 vs 4. *)
       let errors =
-        Surface_circuit.logical_error_count exp (Rng.create seed) ~shots:nshots
+        Surface_circuit.logical_error_count ~jobs:1 exp (Rng.create seed)
+          ~shots:nshots
       in
       Printf.printf "d=%d: %d shots, batch/scalar mismatches %d, logical errors %d\n"
         d nshots !mismatches errors;
+      (* Steady-state allocation proof: with the arena pool and the output
+         row warm, a batch decode must allocate nothing at all; the full
+         sample+decode pipeline is budgeted in words per shot. *)
+      let graph = exp.Surface_circuit.graph in
+      let out = Bitvec.create nshots in
+      Decoder_uf.decode_batch_into graph ~detectors:b.Frame_batch.detectors
+        ~nshots ~out;
+      let decode_words =
+        alloc_words (fun () ->
+            Decoder_uf.decode_batch_into graph
+              ~detectors:b.Frame_batch.detectors ~nshots ~out)
+      in
+      let fused_words =
+        alloc_words (fun () ->
+            let b2 =
+              Dem_sampler.sample exp.Surface_circuit.sampler (Rng.create seed)
+                ~nshots
+            in
+            Decoder_uf.decode_batch_into graph
+              ~detectors:b2.Frame_batch.detectors ~nshots ~out)
+      in
+      let fused_per_shot = (fused_words + nshots - 1) / nshots in
+      Printf.printf
+        "d=%d: steady decode %d words, sample+decode %d words/shot\n" d
+        decode_words fused_per_shot;
+      (match alloc_budget with
+      | Some budget ->
+          if decode_words > 0 then begin
+            Printf.eprintf
+              "d=%d: warm decode_batch_into allocated %d words (want 0)\n" d
+              decode_words;
+            ok := false
+          end;
+          if fused_per_shot > budget then begin
+            Printf.eprintf
+              "d=%d: sample+decode %d words/shot exceeds budget %d\n" d
+              fused_per_shot budget;
+            ok := false
+          end
+      | None -> ());
       if !mismatches > 0 then ok := false)
-    [ 3; 5 ];
+    distances;
   if !ok then print_endline "decode-check OK"
   else begin
-    prerr_endline "decode-check FAILED: batch decoder disagrees with per-shot decode";
+    prerr_endline
+      "decode-check FAILED: batch/scalar disagreement or allocation budget \
+       exceeded";
     exit 1
   end
 
@@ -676,20 +743,26 @@ let obj_fields = function Obs.Json.Obj kvs -> kvs | _ -> []
 
 let schema_of doc = Option.value ~default:"?" (mem_string "schema" doc)
 
-(* Re-aggregate an exported trace into (path, count, total_ns) totals — the
-   same shape Trace.by_path returns in-process.  Durations in the file are
-   integer microseconds (the Chrome-trace unit), so totals re-read from disk
-   are µs-granular; counts and tree structure are exact. *)
+(* Re-aggregate an exported trace into (path, count, total_ns, minor_w,
+   promoted_w, major_w) totals — the same shape Trace.by_path returns
+   in-process.  Durations in the file are integer microseconds (the
+   Chrome-trace unit), so totals re-read from disk are µs-granular; counts,
+   allocation words, and tree structure are exact.  Traces written before
+   the allocation-attribution schema carry no alloc args and re-read as
+   zeros. *)
 let trace_totals path =
-  let tbl : (string, int * int64) Hashtbl.t = Hashtbl.create 256 in
+  let tbl : (string, int * int64 * int * int * int) Hashtbl.t =
+    Hashtbl.create 256
+  in
   fold_jsonl path
     (fun () ev ->
       match mem_string "ph" ev with
       | Some ph when ph <> "X" -> () (* metadata events carry no duration *)
       | _ ->
       let name = Option.value ~default:"?" (mem_string "name" ev) in
+      let args = Obs.Json.member "args" ev in
       let span_path =
-        match Option.bind (Obs.Json.member "args" ev) (mem_string "path") with
+        match Option.bind args (mem_string "path") with
         | Some p -> p
         | None -> name
       in
@@ -698,18 +771,34 @@ let trace_totals path =
         | Some us -> Int64.of_float (us *. 1e3)
         | None -> 0L
       in
-      let c, t = Option.value ~default:(0, 0L) (Hashtbl.find_opt tbl span_path) in
-      Hashtbl.replace tbl span_path (c + 1, Int64.add t dur_ns))
+      let words field =
+        Option.value ~default:0 (Option.bind args (mem_int field))
+      in
+      let c, t, mw, pw, jw =
+        Option.value ~default:(0, 0L, 0, 0, 0) (Hashtbl.find_opt tbl span_path)
+      in
+      Hashtbl.replace tbl span_path
+        ( c + 1, Int64.add t dur_ns, mw + words "minor_w",
+          pw + words "promoted_w", jw + words "major_w" ))
     ();
-  Hashtbl.fold (fun p (c, t) acc -> (p, c, t) :: acc) tbl []
+  Hashtbl.fold (fun p (c, t, mw, pw, jw) acc -> (p, c, t, mw, pw, jw) :: acc)
+    tbl []
   |> List.sort compare
 
-let run_obs_flame file counts =
-  let weight = if counts then `Count else `Self_ns in
+let run_obs_flame file counts alloc =
+  (if counts && alloc then begin
+     Printf.eprintf "hetarch obs flame: --counts and --alloc are exclusive\n";
+     exit 2
+   end);
+  let weight =
+    if alloc then `Self_alloc else if counts then `Count else `Self_ns
+  in
   print_string (Obs.Profile.folded ~weight (Obs.Profile.of_totals (trace_totals file)))
 
-let run_obs_top file limit =
-  print_string (Obs.Profile.top_table ~limit (Obs.Profile.of_totals (trace_totals file)))
+let run_obs_top file limit sort =
+  print_string
+    (Obs.Profile.top_table ~sort ~limit
+       (Obs.Profile.of_totals (trace_totals file)))
 
 let render_manifest doc =
   Option.iter
@@ -750,7 +839,7 @@ let render_manifest doc =
          [ k; string_of_int (Option.value ~default:0 (mem_int "count" h));
            f "mean"; f "p50"; f "p99"; f "max" ])
        (obj_fields (Option.value ~default:Obs.Json.Null (Obs.Json.member "histograms" doc))));
-  section "spans" [ "span"; "count"; "total ms"; "mean us" ]
+  section "spans" [ "span"; "count"; "total ms"; "mean us"; "minor words" ]
     (List.map
        (fun (k, s) ->
          let count = Option.value ~default:0 (mem_int "count" s) in
@@ -758,7 +847,11 @@ let render_manifest doc =
          [ k; string_of_int count;
            Printf.sprintf "%.3f" (total_ns /. 1e6);
            (if count = 0 then "-"
-            else Printf.sprintf "%.1f" (total_ns /. 1e3 /. float_of_int count)) ])
+            else Printf.sprintf "%.1f" (total_ns /. 1e3 /. float_of_int count));
+           (* pre-alloc-attribution manifests have no minor_w field *)
+           (match mem_int "minor_w" s with
+            | Some w -> string_of_int w
+            | None -> "-") ])
        (obj_fields (Option.value ~default:Obs.Json.Null (Obs.Json.member "spans" doc))))
 
 let run_obs_report file =
@@ -785,6 +878,36 @@ let run_obs_report file =
            [ Option.value ~default:"?" (mem_string "name" k);
              (match mem_float "ns_per_run" k with Some v -> g v | None -> "-") ])
          kernels);
+    (* Allocation summary: the floor-gated kernels and their measured
+       steady-state minor words per run.  Pre-v3 bench files recorded no
+       allocation data at all. *)
+    let recorded =
+      List.exists (fun k -> mem_float "minor_words_per_run" k <> None) kernels
+    in
+    if not recorded then
+      print_endline "\nallocation: (not recorded — pre-v3 bench file)"
+    else begin
+      let gated =
+        List.filter
+          (fun k -> mem_float "max_minor_words_per_run" k <> None)
+          kernels
+      in
+      Printf.printf "\nallocation (floor-gated kernels):\n";
+      if gated = [] then print_endline "  (no floor-gated kernels)"
+      else
+        Tableio.print ~align:Tableio.Left
+          ~header:[ "kernel"; "minor words/run"; "max allowed" ]
+          (List.map
+             (fun k ->
+               [ Option.value ~default:"?" (mem_string "name" k);
+                 (match mem_float "minor_words_per_run" k with
+                  | Some v -> g v
+                  | None -> "(not recorded)");
+                 (match mem_float "max_minor_words_per_run" k with
+                  | Some v -> g v
+                  | None -> "-") ])
+             gated)
+    end;
     Option.iter render_manifest (Obs.Json.member "metrics" doc)
   end
   else render_manifest doc
@@ -796,7 +919,7 @@ let run_obs_tail file =
   | _ ->
       let campaign r = Obs.Json.member "campaign" r in
       Tableio.print
-        ~header:[ "seq"; "t(s)"; "dt(s)"; "gc minor"; "shots"; "shots/s"; "done"; "eta(s)" ]
+        ~header:[ "seq"; "t(s)"; "dt(s)"; "gc minor"; "words/s"; "shots"; "shots/s"; "done"; "eta(s)" ]
         (List.map
            (fun r ->
              let c = campaign r in
@@ -811,6 +934,18 @@ let run_obs_tail file =
                (match Option.bind (Obs.Json.member "gc" r) (mem_int "minor_delta") with
                 | Some v -> string_of_int v
                 | None -> "-");
+               (* allocation rate: minor words per second over the record's
+                  interval, clamped >= 0 like the GC deltas; "-" on pre-/3
+                  streams that carried no minor_words_delta *)
+               (match
+                  ( Option.bind (Obs.Json.member "gc" r)
+                      (mem_float "minor_words_delta"),
+                    mem_float "dt_s" r )
+                with
+                | Some w, Some dt when dt > 0. ->
+                    Printf.sprintf "%.0f" (Float.max 0. (w /. dt))
+                | Some _, _ -> "0"
+                | None, _ -> "-");
                ci "shots";
                (match Option.bind c (mem_float "shots_per_s") with
                 | Some v -> Printf.sprintf "%.0f" (Float.max 0. v)
@@ -1036,12 +1171,15 @@ let render_fleet_doc doc =
          [ k; string_of_int (Option.value ~default:0 (mem_int "count" h));
            f "mean"; f "min"; f "max" ])
        (fields "histograms"));
-  section "spans (summed)" [ "span"; "count"; "total ms" ]
+  section "spans (summed)" [ "span"; "count"; "total ms"; "minor words" ]
     (List.map
        (fun (k, s) ->
          [ k; string_of_int (Option.value ~default:0 (mem_int "count" s));
            Printf.sprintf "%.3f"
-             (Option.value ~default:0. (mem_float "total_ns" s) /. 1e6) ])
+             (Option.value ~default:0. (mem_float "total_ns" s) /. 1e6);
+           (match mem_int "minor_w" s with
+            | Some w -> string_of_int w
+            | None -> "-") ])
        (fields "spans"))
 
 let run_obs_show ref_ =
@@ -1222,7 +1360,7 @@ let telemetry_arg =
     & opt (some string) None
     & info [ "telemetry" ] ~docv:"FILE"
         ~doc:
-          "Stream live JSONL telemetry records (schema hetarch.telemetry/2) \
+          "Stream live JSONL telemetry records (schema hetarch.telemetry/3) \
            to $(docv) while the command runs; inspect with $(b,hetarch obs \
            tail)")
 
@@ -1252,7 +1390,7 @@ let snapshot_arg =
     & opt (some string) None
     & info [ "snapshot" ] ~docv:"FILE"
         ~doc:
-          "Write the run's obs snapshot (schema hetarch.snapshot/1) to \
+          "Write the run's obs snapshot (schema hetarch.snapshot/2) to \
            $(docv) on exit, independent of the run registry")
 
 let telemetry_interval_arg =
@@ -1569,12 +1707,32 @@ let obs_cmd =
         Term.(const (fun file () -> run_obs_report file) $ manifest_pos);
       cmd "flame" "Render a trace as folded stacks (flamegraph.pl input)"
         Term.(
-          const (fun file counts () -> run_obs_flame file counts)
-          $ trace_pos $ counts_flag);
-      cmd "top" "Rank call paths by self time"
+          const (fun file counts alloc () -> run_obs_flame file counts alloc)
+          $ trace_pos $ counts_flag
+          $ Arg.(
+              value & flag
+              & info [ "alloc" ]
+                  ~doc:
+                    "Weight folded stacks by self minor-heap words instead \
+                     of self nanoseconds — an allocation flamegraph, \
+                     byte-identical across --jobs settings for a \
+                     deterministic workload"));
+      cmd "top" "Rank call paths by self time, cumulative time, count, or allocation"
         Term.(
-          const (fun file limit () -> run_obs_top file limit)
-          $ trace_pos $ limit_arg);
+          const (fun file limit sort () -> run_obs_top file limit sort)
+          $ trace_pos $ limit_arg
+          $ Arg.(
+              value
+              & opt
+                  (enum
+                     [ ("self", `Self); ("cum", `Cum); ("count", `Count);
+                       ("alloc", `Alloc) ])
+                  `Self
+              & info [ "sort" ] ~docv:"KEY"
+                  ~doc:
+                    "Ranking key: $(b,self) (self ns), $(b,cum) (cumulative \
+                     ns), $(b,count) (span count), or $(b,alloc) (self \
+                     minor-heap words)"));
       cmd "tail" "Rate-over-time table and last-record status of a telemetry stream"
         Term.(const (fun file () -> run_obs_tail file) $ telemetry_pos);
       cmd "diff"
@@ -1631,12 +1789,27 @@ let commands =
     cmd "ablations" "Design-choice ablations (decoder, registers, variability, CAT model)"
       Term.(const (fun shots seed () -> run_ablations shots seed) $ shots_arg $ seed_arg);
     cmd "decode-check"
-      "Fused decode self-check: batch arena decoder vs per-shot scalar \
-       (byte-identical stdout at any --jobs and across --cache-dir warm \
-       starts)"
+      "Fused decode self-check: batch arena decoder vs per-shot scalar, \
+       plus steady-state allocation accounting (byte-identical stdout at \
+       any --jobs and across --cache-dir warm starts)"
       Term.(
-        const (fun shots seed () -> run_decode_check shots seed)
-        $ shots_arg $ seed_arg);
+        const (fun shots seed dmax budget () ->
+            run_decode_check shots seed dmax budget)
+        $ shots_arg $ seed_arg
+        $ Arg.(
+            value & opt int 5
+            & info [ "dmax" ] ~docv:"D"
+                ~doc:
+                  "Largest surface-code distance to check (3, 5, or 7; \
+                   default 5)")
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "alloc-budget" ] ~docv:"WORDS"
+                ~doc:
+                  "Fail unless the warm batch decode allocates exactly 0 \
+                   minor words and the fused sample+decode stays within \
+                   $(docv) minor words per shot"));
     cmd "schedule" "Explicit timed UEC round schedules (Gantt)"
       Term.(const run_schedule);
     cmd "protocol" "Timed six-step CT protocol: throughput and latency"

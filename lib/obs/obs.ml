@@ -472,6 +472,9 @@ module Trace = struct
     depth : int;
     domain : int;  (* recording domain id *)
     path : string;  (* caller path incl. self, ";"-separated *)
+    minor_w : int;  (* words allocated on this domain inside the span window *)
+    promoted_w : int;
+    major_w : int;
     attrs : (string * string) list;
   }
 
@@ -479,12 +482,17 @@ module Trace = struct
   let capacity = ref 65536
   let ring : span option array ref = ref (Array.make !capacity None)
   let next = ref 0 (* total spans ever recorded *)
-  let totals : (string, int * int64) Hashtbl.t = Hashtbl.create 32
+
+  (* Aggregate shape shared by the name- and path-keyed tables:
+     (count, total_ns, minor_w, promoted_w, major_w). *)
+  let totals : (string, int * int64 * int * int * int) Hashtbl.t =
+    Hashtbl.create 32
 
   (* Caller-path-keyed aggregates, the profiler's input.  Unlike the ring,
      these never evict, so self-time trees stay exact over arbitrarily long
      runs. *)
-  let path_totals : (string, int * int64) Hashtbl.t = Hashtbl.create 64
+  let path_totals : (string, int * int64 * int * int * int) Hashtbl.t =
+    Hashtbl.create 64
 
   (* One lock for ring + totals + capacity swaps; span recording is far off
      the per-shot hot path (spans wrap whole experiments), so contention is
@@ -502,18 +510,23 @@ module Trace = struct
         ring := Array.make c None;
         next := 0)
 
+  let bump tbl key s =
+    let count, total, mw, pw, jw =
+      Option.value ~default:(0, 0L, 0, 0, 0) (Hashtbl.find_opt tbl key)
+    in
+    Hashtbl.replace tbl key
+      ( count + 1,
+        Int64.add total s.dur_ns,
+        mw + s.minor_w,
+        pw + s.promoted_w,
+        jw + s.major_w )
+
   let record s =
     Mutex.protect lock (fun () ->
         !ring.(!next mod !capacity) <- Some s;
         incr next;
-        let count, total =
-          Option.value ~default:(0, 0L) (Hashtbl.find_opt totals s.name)
-        in
-        Hashtbl.replace totals s.name (count + 1, Int64.add total s.dur_ns);
-        let pcount, ptotal =
-          Option.value ~default:(0, 0L) (Hashtbl.find_opt path_totals s.path)
-        in
-        Hashtbl.replace path_totals s.path (pcount + 1, Int64.add ptotal s.dur_ns))
+        bump totals s.name s;
+        bump path_totals s.path s)
 
   let with_span ?(attrs = []) name f =
     let start = now_ns () in
@@ -522,9 +535,25 @@ module Trace = struct
     let depth = List.length parent in
     stack := name :: parent;
     let path = String.concat ";" (List.rev !stack) in
+    (* Allocation window.  GC word counters are domain-local and monotone;
+       the entry samples are taken after every piece of span setup (stack
+       push, path concat) so only the thunk's own allocation — plus the
+       constant cost of the entry samples' own boxes — lands in the window.
+       Minor words come from [Gc.minor_words], which reads the young
+       pointer directly and is exact mid-collection-interval; on OCaml 5
+       [quick_stat]'s minor_words field only refreshes at collection
+       boundaries and would report 0 for most spans.  Promoted/major words
+       only ever change at collections, so [quick_stat] is fine for them.
+       The exit samples are the first thing [finish] does, so exit-side
+       bookkeeping (span record, hashtable fold) stays outside. *)
+    let gc0 = Gc.quick_stat () in
+    let mw0 = Gc.minor_words () in
     let finish () =
+      let mw1 = Gc.minor_words () in
+      let gc1 = Gc.quick_stat () in
       stack := parent;
       let stop = now_ns () in
+      let dw a b = max 0 (int_of_float (a -. b)) in
       record
         { name;
           start_ns = Int64.sub start t0;
@@ -532,6 +561,9 @@ module Trace = struct
           depth;
           domain = (Domain.self () :> int);
           path;
+          minor_w = dw mw1 mw0;
+          promoted_w = dw gc1.Gc.promoted_words gc0.Gc.promoted_words;
+          major_w = dw gc1.Gc.major_words gc0.Gc.major_words;
           attrs }
     in
     match f () with
@@ -554,12 +586,16 @@ module Trace = struct
 
   let summaries () =
     Mutex.protect lock (fun () ->
-        Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) totals [])
+        Hashtbl.fold
+          (fun name (c, t, mw, pw, jw) acc -> (name, c, t, mw, pw, jw) :: acc)
+          totals [])
     |> List.sort compare
 
   let by_path () =
     Mutex.protect lock (fun () ->
-        Hashtbl.fold (fun path (c, t) acc -> (path, c, t) :: acc) path_totals [])
+        Hashtbl.fold
+          (fun path (c, t, mw, pw, jw) acc -> (path, c, t, mw, pw, jw) :: acc)
+          path_totals [])
     |> List.sort compare
 
   (* Chrome-trace mapping: [tid] is the recording domain, so Perfetto lays
@@ -578,6 +614,9 @@ module Trace = struct
           Json.Obj
             (("depth", Json.Int s.depth)
             :: ("path", Json.String s.path)
+            :: ("minor_w", Json.Int s.minor_w)
+            :: ("promoted_w", Json.Int s.promoted_w)
+            :: ("major_w", Json.Int s.major_w)
             :: List.map (fun (k, v) -> (k, Json.String v)) s.attrs) ) ]
 
   let export ~path =
@@ -615,13 +654,17 @@ end
 (* ------------------------------------------------------------- profiling *)
 
 (* Call-tree profiler over the caller-path-keyed span aggregates.  The tree
-   is built from [Trace.by_path] (or any (path, count, cum_ns) list, e.g.
-   re-aggregated from an exported trace file): cumulative time is summed per
-   exact caller path, and self time is cumulative minus the cumulative time
-   of direct children — so self times telescope: they sum exactly to the
-   root spans' cumulative time.  All orderings are lexicographic by path,
-   making every rendering deterministic regardless of the completion order
-   spans were recorded in (which differs across worker domains). *)
+   is built from [Trace.by_path] (or any (path, count, cum_ns, minor_w,
+   promoted_w, major_w) list, e.g. re-aggregated from an exported trace
+   file): cumulative time is summed per exact caller path, and self time is
+   cumulative minus the cumulative time of direct children — so self times
+   telescope: they sum exactly to the root spans' cumulative time.  Minor
+   allocation telescopes by the identical rule: [self_w] is a node's
+   cumulative minor words minus its direct children's, so an allocation
+   flamegraph attributes every word to the innermost span that allocated
+   it.  All orderings are lexicographic by path, making every rendering
+   deterministic regardless of the completion order spans were recorded in
+   (which differs across worker domains). *)
 
 module Profile = struct
   type node = {
@@ -630,6 +673,8 @@ module Profile = struct
     count : int;
     cum_ns : int64;
     self_ns : int64;
+    cum_w : int;  (* cumulative minor words under this path *)
+    self_w : int;  (* cum_w minus direct children's cum_w, clamped >= 0 *)
     children : node list;
   }
 
@@ -639,16 +684,19 @@ module Profile = struct
        export time, or evicted from an offline trace's ring): such implicit
        interior nodes get zero count/cum and zero self. *)
     let entries =
-      List.map (fun (path, c, t) -> (String.split_on_char ';' path, c, t)) totals
+      List.map
+        (fun (path, c, t, mw, _, _) -> (String.split_on_char ';' path, c, t, mw))
+        totals
     in
     let rec build prefix entries =
       (* Group by head segment, preserving nothing but content. *)
-      let groups : (string, (string list * int * int64) list ref) Hashtbl.t =
+      let groups : (string, (string list * int * int64 * int) list ref) Hashtbl.t
+          =
         Hashtbl.create 16
       in
       let order = ref [] in
       List.iter
-        (fun (segs, c, t) ->
+        (fun (segs, c, t, w) ->
           match segs with
           | [] -> ()
           | head :: rest ->
@@ -661,31 +709,40 @@ module Profile = struct
                     order := head :: !order;
                     r
               in
-              cell := (rest, c, t) :: !cell)
+              cell := (rest, c, t, w) :: !cell)
         entries;
       List.sort compare !order
       |> List.map (fun name ->
              let members = !(Hashtbl.find groups name) in
              let path = if prefix = "" then name else prefix ^ ";" ^ name in
-             let count, cum =
+             let count, cum, cum_w =
                List.fold_left
-                 (fun (c, t) (segs, c', t') ->
-                   if segs = [] then (c + c', Int64.add t t') else (c, t))
-                 (0, 0L) members
+                 (fun (c, t, w) (segs, c', t', w') ->
+                   if segs = [] then (c + c', Int64.add t t', w + w') else (c, t, w))
+                 (0, 0L, 0) members
              in
-             let deeper = List.filter (fun (segs, _, _) -> segs <> []) members in
+             let deeper =
+               List.filter (fun (segs, _, _, _) -> segs <> []) members
+             in
              let children = build path deeper in
              let child_cum =
                List.fold_left (fun acc n -> Int64.add acc n.cum_ns) 0L children
              in
+             let child_w =
+               List.fold_left (fun acc n -> acc + n.cum_w) 0 children
+             in
              (* Negative only for implicit nodes (count 0) or clock jitter;
-                clamp so folded weights stay valid. *)
+                clamp so folded weights stay valid.  Allocation can also go
+                negative on a real node when children ran on other domains
+                (their words were never in the parent domain's window). *)
              let self =
                if count = 0 then 0L
                else if Int64.compare child_cum cum > 0 then 0L
                else Int64.sub cum child_cum
              in
-             { path; name; count; cum_ns = cum; self_ns = self; children })
+             let self_w = if count = 0 then 0 else max 0 (cum_w - child_w) in
+             { path; name; count; cum_ns = cum; self_ns = self; cum_w; self_w;
+               children })
     in
     build "" entries
 
@@ -698,7 +755,10 @@ module Profile = struct
      [path weight] line per node with a positive weight, sorted by path.
      [`Self_ns] weights are wall-clock and vary run to run; [`Count] weights
      depend only on the span structure, so they are byte-identical across
-     --jobs settings — that is what the CI smoke diffs. *)
+     --jobs settings — that is what the CI smoke diffs.  [`Self_alloc]
+     weights by self minor words: exact (not sampled), so for a workload
+     whose spans run sequentially the allocation flamegraph is
+     byte-identical across runs and --jobs settings too. *)
   let folded ?(weight = `Self_ns) nodes =
     let b = Buffer.create 256 in
     let lines =
@@ -708,6 +768,7 @@ module Profile = struct
             match weight with
             | `Self_ns -> Int64.to_int n.self_ns
             | `Count -> n.count
+            | `Self_alloc -> n.self_w
           in
           if w > 0 then (n.path, w) :: acc else acc)
         [] nodes
@@ -716,28 +777,33 @@ module Profile = struct
     List.iter (fun (path, w) -> Printf.bprintf b "%s %d\n" path w) lines;
     Buffer.contents b
 
-  (* Flattened nodes ranked by self time (desc), path as tiebreak. *)
-  let top ?limit nodes =
+  (* Flattened nodes ranked by the sort key (desc), path as tiebreak. *)
+  let top ?(sort = `Self) ?limit nodes =
     let all = fold_nodes (fun acc n -> n :: acc) [] nodes in
     let sorted =
       List.sort
         (fun a b ->
-          match Int64.compare b.self_ns a.self_ns with
-          | 0 -> compare a.path b.path
-          | c -> c)
+          let c =
+            match sort with
+            | `Self -> Int64.compare b.self_ns a.self_ns
+            | `Cum -> Int64.compare b.cum_ns a.cum_ns
+            | `Count -> compare b.count a.count
+            | `Alloc -> compare b.self_w a.self_w
+          in
+          match c with 0 -> compare a.path b.path | c -> c)
         all
     in
     match limit with
     | None -> sorted
     | Some k -> List.filteri (fun i _ -> i < k) sorted
 
-  let top_table ?(limit = 20) nodes =
+  let top_table ?(sort = `Self) ?(limit = 20) nodes =
     let total_self =
       fold_nodes (fun acc n -> Int64.add acc n.self_ns) 0L nodes
     in
     let b = Buffer.create 256 in
-    Printf.bprintf b "%12s %10s %12s %6s  %s\n" "self_ms" "count" "cum_ms"
-      "self%" "path";
+    Printf.bprintf b "%12s %10s %12s %6s %14s  %s\n" "self_ms" "count" "cum_ms"
+      "self%" "self_words" "path";
     List.iter
       (fun n ->
         let ms ns = Int64.to_float ns /. 1e6 in
@@ -746,22 +812,23 @@ module Profile = struct
             100. *. Int64.to_float n.self_ns /. Int64.to_float total_self
           else 0.
         in
-        Printf.bprintf b "%12.3f %10d %12.3f %6.2f  %s\n" (ms n.self_ns)
-          n.count (ms n.cum_ns) pct n.path)
-      (top ~limit nodes);
+        Printf.bprintf b "%12.3f %10d %12.3f %6.2f %14d  %s\n" (ms n.self_ns)
+          n.count (ms n.cum_ns) pct n.self_w n.path)
+      (top ~sort ~limit nodes);
     Buffer.contents b
 end
 
 (* ------------------------------------------------------------- telemetry *)
 
-(* Append-only JSONL heartbeat (schema hetarch.telemetry/1).  Ticks are
+(* Append-only JSONL heartbeat (schema hetarch.telemetry/3).  Ticks are
    driven synchronously from Parallel chunk boundaries and Collect batch
    completions — never from a background thread — so enabling telemetry
    cannot change any result.  Each record carries monotonic elapsed time,
    counter deltas since the previous record (from which shots/sec and
-   events/sec follow), GC deltas, and — when a campaign has registered a
-   progress provider — per-task progress with Wilson half-widths and an ETA
-   at the current rate.  The collect --progress line reads the same
+   events/sec follow), GC deltas — including the minor-words allocation
+   delta and its words/sec rate (v3) — and, when a campaign has registered
+   a progress provider, per-task progress with Wilson half-widths and an
+   ETA at the current rate.  The collect --progress line reads the same
    [campaign_snapshot] code path. *)
 
 module Telemetry = struct
@@ -797,6 +864,7 @@ module Telemetry = struct
   let seq = ref 0
   let prev_counters : (string, int) Hashtbl.t = Hashtbl.create 32
   let prev_gc = ref (0, 0)
+  let prev_minor_words = ref 0.
   let provider : (unit -> task_progress list) option ref = ref None
   let provider_t0 = ref 0L
 
@@ -838,7 +906,10 @@ module Telemetry = struct
     Mutex.protect lock (fun () ->
         Hashtbl.reset prev_counters;
         let st = Gc.quick_stat () in
-        prev_gc := (st.Gc.minor_collections, st.Gc.major_collections))
+        prev_gc := (st.Gc.minor_collections, st.Gc.major_collections);
+        (* [Gc.minor_words], not [quick_stat]'s field: the latter only
+           refreshes at collection boundaries on OCaml 5. *)
+        prev_minor_words := Gc.minor_words ())
 
   let task_json t =
     Json.Obj
@@ -886,6 +957,19 @@ module Telemetry = struct
     in
     let st = Gc.quick_stat () in
     let pminor, pmajor = !prev_gc in
+    (* Clamped like the counter deltas: an external baseline reset must not
+       produce a negative allocation delta. *)
+    let minor_words_now = Gc.minor_words () in
+    let minor_words_delta =
+      max 0 (int_of_float (minor_words_now -. !prev_minor_words))
+    in
+    let rates =
+      if dt_s > 0. && minor_words_delta > 0 then
+        ( "gc.minor_words_per_s",
+          Json.Float (float_of_int minor_words_delta /. dt_s) )
+        :: rates
+      else rates
+    in
     let campaign =
       match campaign_snapshot () with
       | None -> []
@@ -904,7 +988,7 @@ module Telemetry = struct
     in
     let doc =
       Json.Obj
-        ([ ("schema", Json.String "hetarch.telemetry/2");
+        ([ ("schema", Json.String "hetarch.telemetry/3");
            ("run", Run.json ());
            ("seq", Json.Int !seq);
            ("elapsed_s", Json.Float elapsed_s);
@@ -916,6 +1000,7 @@ module Telemetry = struct
              Json.Obj
                [ ("minor_delta", Json.Int (max 0 (st.Gc.minor_collections - pminor)));
                  ("major_delta", Json.Int (max 0 (st.Gc.major_collections - pmajor)));
+                 ("minor_words_delta", Json.Int minor_words_delta);
                  ("heap_words", Json.Int st.Gc.heap_words);
                  ("top_heap_words", Json.Int st.Gc.top_heap_words) ] ) ]
         @ campaign)
@@ -926,6 +1011,7 @@ module Telemetry = struct
     incr seq;
     last_ns := now;
     prev_gc := (st.Gc.minor_collections, st.Gc.major_collections);
+    prev_minor_words := minor_words_now;
     List.iter (fun (name, v) -> Hashtbl.replace prev_counters name v) counters
 
   let tick ?(force = false) () =
@@ -973,6 +1059,7 @@ module Telemetry = struct
         Hashtbl.reset prev_counters;
         let st = Gc.quick_stat () in
         prev_gc := (st.Gc.minor_collections, st.Gc.major_collections);
+        prev_minor_words := Gc.minor_words ();
         (* Baseline record at enable time: seq 0, dt 0. *)
         emit oc (now_ns ());
         Atomic.set enabled_flag true)
@@ -982,7 +1069,7 @@ end
 
 (* Manifest/bench comparison: extract the time-like metrics of two parsed
    documents and flag relative regressions past a threshold.  Understands
-   hetarch.bench/2 (kernel ns/run) and hetarch.obs/* run manifests (span
+   hetarch.bench/* (kernel ns/run) and hetarch.obs/* run manifests (span
    total_ns and histogram means); CI uses it warn-only as a perf-trend
    report, and scripts can use the exit status as a hard gate. *)
 
@@ -1044,6 +1131,14 @@ module Diff = struct
           match Json.member "total_ns" v with
           | Some t -> (try Some ("span:" ^ name, Json.to_float t) with Failure _ -> None)
           | None -> None)
+      (* Minor-word totals per span name (absent in pre-alloc documents):
+         exact counts, so the trend watchdog flags allocation regressions
+         with the same median + MAD machinery it uses for ns. *)
+      @ section "spans" (fun (name, v) ->
+            match Json.member "minor_w" v with
+            | Some w -> (
+                try Some ("alloc:" ^ name, Json.to_float w) with Failure _ -> None)
+            | None -> None)
       @ section "histograms" (fun (name, v) ->
             match Json.member "mean" v with
             | Some m -> (
@@ -1147,7 +1242,10 @@ module Report = struct
         ("minor_collections", Json.Int st.Gc.minor_collections);
         ("major_collections", Json.Int st.Gc.major_collections);
         ("compactions", Json.Int st.Gc.compactions);
-        ("minor_words", Json.Float st.Gc.minor_words);
+        (* [Gc.minor_words], not [quick_stat]'s field, which only refreshes
+           at collection boundaries on OCaml 5 — span alloc attribution
+           reconciles against this number. *)
+        ("minor_words", Json.Float (Gc.minor_words ()));
         ("promoted_words", Json.Float st.Gc.promoted_words);
         ("major_words", Json.Float st.Gc.major_words);
         ("heap_words", Json.Int st.Gc.heap_words);
@@ -1155,6 +1253,11 @@ module Report = struct
 
   let to_json () =
     snapshot_parallel ();
+    (* Sample the process section before assembling the (allocation-heavy)
+       metric sections: the manifest's minor_words is what span allocation
+       attribution reconciles against, so the report's own assembly cost
+       must not land between the last span and the sample. *)
+    let process = process_json () in
     let counters =
       sorted_fold Counter.registry (fun c -> Json.Int (Counter.value c))
     in
@@ -1192,7 +1295,7 @@ module Report = struct
       (Trace.spans ());
     let spans =
       List.map
-        (fun (name, count, total_ns) ->
+        (fun (name, count, total_ns, minor_w, promoted_w, major_w) ->
           let quantiles =
             match Hashtbl.find_opt ring_durs name with
             | None | Some [] -> []
@@ -1205,14 +1308,17 @@ module Report = struct
           ( name,
             Json.Obj
               ([ ("count", Json.Int count);
-                 ("total_ns", Json.Int (Int64.to_int total_ns)) ]
+                 ("total_ns", Json.Int (Int64.to_int total_ns));
+                 ("minor_w", Json.Int minor_w);
+                 ("promoted_w", Json.Int promoted_w);
+                 ("major_w", Json.Int major_w) ]
               @ quantiles) ))
         (Trace.summaries ())
     in
     Json.Obj
-      [ ("schema", Json.String "hetarch.obs/3");
+      [ ("schema", Json.String "hetarch.obs/4");
         ("run", Run.json ());
-        ("process", process_json ());
+        ("process", process);
         ("counters", Json.Obj counters);
         ("gauges", Json.Obj gauges);
         ("histograms", Json.Obj histograms);
@@ -1239,7 +1345,12 @@ end
    identity on bytes and the content hash is well-defined. *)
 
 module Snapshot = struct
-  let schema = "hetarch.snapshot/1"
+  let schema = "hetarch.snapshot/2"
+
+  (* v1 (no per-span allocation aggregates) still parses — alloc fields
+     default to zero — so registries recorded before the bump stay
+     readable; serialization always emits v2. *)
+  let schema_v1 = "hetarch.snapshot/1"
 
   type hist = {
     h_bounds : float array;
@@ -1273,8 +1384,10 @@ module Snapshot = struct
     counters : (string * int) list;  (* sorted by name *)
     gauges : (string * float) list;
     histograms : (string * hist) list;
-    spans : (string * int * int64) list;  (* (name, count, total_ns) *)
-    paths : (string * int * int64) list;  (* profile trie, keyed by path *)
+    (* (name, count, total_ns, minor_w, promoted_w, major_w) *)
+    spans : (string * int * int64 * int * int * int) list;
+    (* profile trie, keyed by path; same aggregate shape *)
+    paths : (string * int * int64 * int * int * int) list;
     process : process;
   }
 
@@ -1308,7 +1421,8 @@ module Snapshot = struct
         { p_minor_collections = st.Gc.minor_collections;
           p_major_collections = st.Gc.major_collections;
           p_compactions = st.Gc.compactions;
-          p_minor_words = st.Gc.minor_words;
+          (* exact mid-interval, unlike [quick_stat]'s field on OCaml 5 *)
+          p_minor_words = Gc.minor_words ();
           p_promoted_words = st.Gc.promoted_words;
           p_major_words = st.Gc.major_words;
           p_heap_words = st.Gc.heap_words;
@@ -1325,10 +1439,14 @@ module Snapshot = struct
         ("min", Json.Float h.h_min);
         ("max", Json.Float h.h_max) ]
 
-  let agg_json (name, count, total_ns) =
+  let agg_json (name, count, total_ns, minor_w, promoted_w, major_w) =
     ( name,
       Json.Obj
-        [ ("count", Json.Int count); ("total_ns", Json.Int (Int64.to_int total_ns)) ] )
+        [ ("count", Json.Int count);
+          ("total_ns", Json.Int (Int64.to_int total_ns));
+          ("minor_w", Json.Int minor_w);
+          ("promoted_w", Json.Int promoted_w);
+          ("major_w", Json.Int major_w) ] )
 
   let process_json p =
     Json.Obj
@@ -1369,7 +1487,7 @@ module Snapshot = struct
   let of_json doc =
     let fail fmt = Printf.ksprintf (fun m -> failwith ("Obs.Snapshot.of_json: " ^ m)) fmt in
     (match Json.member "schema" doc with
-    | Some (Json.String s) when s = schema -> ()
+    | Some (Json.String s) when s = schema || s = schema_v1 -> ()
     | Some (Json.String s) -> fail "schema %s (want %s)" s schema
     | _ -> fail "missing schema");
     let section name =
@@ -1408,7 +1526,18 @@ module Snapshot = struct
         h_min = float_ "min" j;
         h_max = float_ "max" j }
     in
-    let agg_of (name, j) = (name, int_ "count" j, Int64.of_int (int_ "total_ns" j)) in
+    (* Alloc fields are absent in v1 documents; default to zero. *)
+    let opt_int name j =
+      match Json.member name j with Some (Json.Int i) -> i | _ -> 0
+    in
+    let agg_of (name, j) =
+      ( name,
+        int_ "count" j,
+        Int64.of_int (int_ "total_ns" j),
+        opt_int "minor_w" j,
+        opt_int "promoted_w" j,
+        opt_int "major_w" j )
+    in
     let p = Json.Obj (section "process") in
     { run_id = str "id" run;
       shard = str "shard" run;
@@ -1477,7 +1606,10 @@ end
    processes, so they carry per-source values plus min/max/sum. *)
 
 module Merge = struct
-  let schema = "hetarch.fleet/1"
+  let schema = "hetarch.fleet/2"
+
+  (* v1 fleet documents (sources are v1 snapshots) still flatten. *)
+  let schema_v1 = "hetarch.fleet/1"
 
   type t = { keyed : (string * Snapshot.t) list }  (* (content_hash, snapshot) *)
 
@@ -1582,21 +1714,24 @@ module Merge = struct
         | first :: rest -> (k, List.fold_left (merge_hist k) first rest))
       (names (fun (s : Snapshot.t) -> List.map fst s.histograms) ss)
 
-  (* Spans and paths share the (name, count, total_ns) aggregate shape;
-     merging path aggregates is exactly grafting profile tries by path. *)
+  (* Spans and paths share the (name, count, total_ns, minor_w, promoted_w,
+     major_w) aggregate shape; merging path aggregates is exactly grafting
+     profile tries by path, and the alloc fields fold under the same
+     commutative/associative/idempotent laws as count and total_ns. *)
   let merged_aggs proj ss =
     List.map
       (fun k ->
-        let c, tns =
+        let c, tns, mw, pw, jw =
           List.fold_left
-            (fun (c, tns) s ->
-              match List.find_opt (fun (n, _, _) -> n = k) (proj s) with
-              | Some (_, c', t') -> (c + c', Int64.add tns t')
-              | None -> (c, tns))
-            (0, 0L) ss
+            (fun (c, tns, mw, pw, jw) s ->
+              match List.find_opt (fun (n, _, _, _, _, _) -> n = k) (proj s) with
+              | Some (_, c', t', mw', pw', jw') ->
+                  (c + c', Int64.add tns t', mw + mw', pw + pw', jw + jw')
+              | None -> (c, tns, mw, pw, jw))
+            (0, 0L, 0, 0, 0) ss
         in
-        (k, c, tns))
-      (names (fun s -> List.map (fun (n, _, _) -> n) (proj s)) ss)
+        (k, c, tns, mw, pw, jw))
+      (names (fun s -> List.map (fun (n, _, _, _, _, _) -> n) (proj s)) ss)
 
   let merged_process ss =
     let sum f = List.fold_left (fun acc s -> acc + f s) 0 ss in
@@ -1676,11 +1811,12 @@ module Merge = struct
      flattened back to its sources, so merging merged documents is exact. *)
   let of_json doc =
     match Json.member "schema" doc with
-    | Some (Json.String s) when s = schema -> (
+    | Some (Json.String s) when s = schema || s = schema_v1 -> (
         match Json.member "sources" doc with
         | Some (Json.List ss) -> of_snapshots (List.map Snapshot.of_json ss)
         | _ -> failwith "Obs.Merge.of_json: fleet document without sources")
-    | Some (Json.String s) when s = Snapshot.schema -> of_snapshots [ Snapshot.of_json doc ]
+    | Some (Json.String s) when s = Snapshot.schema || s = Snapshot.schema_v1 ->
+        of_snapshots [ Snapshot.of_json doc ]
     | _ ->
         failwith
           (Printf.sprintf "Obs.Merge.of_json: unrecognized schema (want %s or %s)"
@@ -1914,7 +2050,13 @@ let reset () =
 (* Hook the deterministic executor (which sits below this library in the
    dependency order and therefore cannot call it directly):
    - workers inherit the submitting caller's span path, so profile trees
-     and folded stacks are identical at any --jobs setting;
+     and folded stacks are identical at any --jobs setting.  Allocation
+     attribution inherits for free: GC word counters are domain-local and
+     each span's alloc window is a delta of its own domain's counters, so
+     a task span on a worker domain measures exactly the task body's
+     allocation and books it under the submitting caller's path — the
+     worker's alloc baseline is the span entry sample itself, taken after
+     the inherited path is installed;
    - every completed task offers the telemetry heartbeat a (throttled,
      domain-safe) chance to tick, so long fan-outs stream progress without
      a background thread. *)

@@ -153,12 +153,22 @@ module Trace : sig
             [Parallel] tasks inherit the submitting caller's path, so paths
             are identical at any job count.  Span names should therefore
             avoid [';']. *)
+    minor_w : int;
+        (** minor-heap words allocated on the recording domain inside the
+            span window ([Gc.quick_stat] delta between entry and exit,
+            clamped >= 0).  Exact, not sampled: word counters are
+            mutator-maintained.  Includes the constant cost of the entry
+            sample's own stat record. *)
+    promoted_w : int;  (** words promoted minor→major inside the window *)
+    major_w : int;  (** words allocated directly on the major heap *)
     attrs : (string * string) list;
   }
 
   val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
   (** Run the thunk, record a completed span (also on exception, which is
-      re-raised).  Spans closed after the ring fills overwrite the oldest. *)
+      re-raised).  Spans closed after the ring fills overwrite the oldest.
+      Entry/exit sample the domain-local GC word counters, so every span
+      carries its own allocation alongside its duration. *)
 
   val spans : unit -> span list
   (** Retained spans, in completion order. *)
@@ -166,14 +176,15 @@ module Trace : sig
   val recorded : unit -> int
   (** Total spans ever recorded, including those evicted from the ring. *)
 
-  val summaries : unit -> (string * int * int64) list
-  (** Per-name [(name, count, total_ns)] aggregates over {e all} spans,
-      sorted by name; unaffected by ring eviction. *)
+  val summaries : unit -> (string * int * int64 * int * int * int) list
+  (** Per-name [(name, count, total_ns, minor_w, promoted_w, major_w)]
+      aggregates over {e all} spans, sorted by name; unaffected by ring
+      eviction. *)
 
-  val by_path : unit -> (string * int * int64) list
-  (** Per-caller-path [(path, count, total_ns)] aggregates over {e all}
-      spans, sorted by path; unaffected by ring eviction.  The profiler's
-      input. *)
+  val by_path : unit -> (string * int * int64 * int * int * int) list
+  (** Per-caller-path [(path, count, total_ns, minor_w, promoted_w,
+      major_w)] aggregates over {e all} spans, sorted by path; unaffected
+      by ring eviction.  The profiler's input. *)
 
   val set_capacity : int -> unit
   (** Resize the ring (clears retained spans); default 65536. *)
@@ -191,9 +202,12 @@ end
     Cumulative time is summed per exact caller path; {e self} time is
     cumulative minus the cumulative time of direct children, so self times
     telescope — summed over the whole tree they equal the root spans'
-    cumulative time exactly (up to clamping of clock jitter).  All
-    renderings sort lexicographically by path and are therefore
-    deterministic regardless of span completion order across domains. *)
+    cumulative time exactly (up to clamping of clock jitter).  Minor-word
+    allocation telescopes by the identical rule ([self_w] = [cum_w] minus
+    direct children's [cum_w]), attributing every allocated word to the
+    innermost span that allocated it.  All renderings sort
+    lexicographically by path and are therefore deterministic regardless of
+    span completion order across domains. *)
 module Profile : sig
   type node = {
     path : string;  (** full [";"]-separated caller path *)
@@ -201,40 +215,53 @@ module Profile : sig
     count : int;
     cum_ns : int64;
     self_ns : int64;  (** [cum_ns] minus direct children's [cum_ns], >= 0 *)
+    cum_w : int;  (** cumulative minor words under this path *)
+    self_w : int;
+        (** [cum_w] minus direct children's [cum_w], clamped >= 0 (a parent
+            whose children ran on other domains never saw their words) *)
     children : node list;  (** sorted by name *)
   }
 
   val tree : unit -> node list
   (** Roots of the call tree aggregated from {!Trace.by_path}. *)
 
-  val of_totals : (string * int * int64) list -> node list
-  (** Build a tree from explicit [(path, count, total_ns)] aggregates, e.g.
-      re-aggregated from an exported trace file.  Paths appearing without
-      their parent produce implicit zero-count interior nodes. *)
+  val of_totals : (string * int * int64 * int * int * int) list -> node list
+  (** Build a tree from explicit [(path, count, total_ns, minor_w,
+      promoted_w, major_w)] aggregates, e.g. re-aggregated from an exported
+      trace file.  Paths appearing without their parent produce implicit
+      zero-count interior nodes. *)
 
-  val folded : ?weight:[ `Self_ns | `Count ] -> node list -> string
+  val folded : ?weight:[ `Self_ns | `Count | `Self_alloc ] -> node list -> string
   (** Folded-stack text ([root;child;leaf weight], one line per node with a
       positive weight, sorted by path) — the input format of flamegraph.pl
       and speedscope.  [`Self_ns] (default) weights by self nanoseconds;
       [`Count] weights by span count, which is byte-identical across
-      [--jobs] settings for a deterministic workload. *)
+      [--jobs] settings for a deterministic workload; [`Self_alloc] weights
+      by self minor words — exact counts, byte-identical across runs and
+      [--jobs] for workloads whose spans execute sequentially. *)
 
-  val top : ?limit:int -> node list -> node list
-  (** Flattened nodes ranked by self time, descending (path breaks ties). *)
+  val top :
+    ?sort:[ `Self | `Cum | `Count | `Alloc ] -> ?limit:int -> node list -> node list
+  (** Flattened nodes ranked descending by the sort key — self time
+      (default), cumulative time, span count, or self minor words — with
+      path as tiebreak. *)
 
-  val top_table : ?limit:int -> node list -> string
-  (** Rendered self-time table (self ms, count, cumulative ms, self%, path);
-      [limit] defaults to 20. *)
+  val top_table :
+    ?sort:[ `Self | `Cum | `Count | `Alloc ] -> ?limit:int -> node list -> string
+  (** Rendered table (self ms, count, cumulative ms, self%, self words,
+      path); [limit] defaults to 20, [sort] to self time. *)
 end
 
-(** Append-only JSONL telemetry heartbeat, schema [hetarch.telemetry/2]
-    (v2 adds the {!Run} stamp to every record).
+(** Append-only JSONL telemetry heartbeat, schema [hetarch.telemetry/3]
+    (v2 added the {!Run} stamp to every record; v3 adds the minor-words
+    allocation delta to the [gc] section and a [gc.minor_words_per_s] rate).
 
     One record per tick: monotonic elapsed seconds, every counter's value
     and its delta since the previous record (plus derived per-second rates),
-    GC minor/major deltas, and — when a campaign registered a progress
-    provider — per-task progress (shots, errors, Wilson half-width,
-    remaining shots) and a campaign ETA at the current rate.
+    GC minor/major deltas and the allocation-words delta (clamped >= 0),
+    and — when a campaign registered a progress provider — per-task
+    progress (shots, errors, Wilson half-width, remaining shots) and a
+    campaign ETA at the current rate.
 
     Ticks are driven {e synchronously} from [Parallel] chunk boundaries and
     [Collect] batch completions; there is no background thread, so enabling
@@ -298,10 +325,12 @@ end
 
 (** Manifest and bench comparison: a perf-regression gate.
 
-    Extracts the time-like metrics of two parsed documents — kernel ns/run
-    from [hetarch.bench/2], span [total_ns] and histogram means from
+    Extracts the worse-when-higher metrics of two parsed documents — kernel
+    ns/run from [hetarch.bench/*]; span [total_ns], span minor-word totals
+    (as [alloc:<name>], when present) and histogram means from
     [hetarch.obs/*], [hetarch.snapshot/*] and [hetarch.fleet/*] — and flags
-    relative regressions past a threshold (higher is always worse). *)
+    relative regressions past a threshold.  The alloc metrics feed the
+    {!Trend} watchdog, so allocation regressions gate like time ones. *)
 module Diff : sig
   type entry = {
     metric : string;
@@ -352,7 +381,8 @@ end
 
 (** One-document run manifest: the registry plus span summaries.
 
-    Schema [hetarch.obs/3]: a [run] stamp ({!Run.json}), a [process]
+    Schema [hetarch.obs/4] (v4 adds per-span-name [minor_w]/[promoted_w]/
+    [major_w] allocation totals): a [run] stamp ({!Run.json}), a [process]
     section (GC collection and allocation counters from [Gc.quick_stat],
     peak heap words, wall-clock run seconds), p50/p90/p99 quantile
     estimates on every histogram, and [p50_ns]/[p90_ns]/[p99_ns] per span
@@ -367,13 +397,15 @@ end
 
 (** Complete, versioned, content-hashed serialization of one process's obs
     state — the unit of fleet-scale aggregation (schema
-    [hetarch.snapshot/1]).
+    [hetarch.snapshot/2]; v1 documents still parse, their absent alloc
+    fields defaulting to zero).
 
     Where the {!Report} manifest is a human-facing summary with lossy
     derived quantities (quantile estimates, variance), a snapshot carries
     the {e raw mergeable state}: integer bucket counts, Welford
     [(count, mean, m2)] triples, per-span-name and per-caller-path
-    aggregates (the latter reconstruct the profile trie exactly via
+    aggregates including raw allocation words (the path aggregates
+    reconstruct the profile trie — time and allocation — exactly via
     {!Profile.of_totals}), the GC/process section, and run metadata (run
     id, shard label, argv, wall span, jobs).
 
@@ -415,12 +447,17 @@ module Snapshot : sig
     counters : (string * int) list;  (** sorted by name *)
     gauges : (string * float) list;
     histograms : (string * hist) list;
-    spans : (string * int * int64) list;  (** (name, count, total_ns) *)
-    paths : (string * int * int64) list;  (** profile trie, keyed by path *)
+    spans : (string * int * int64 * int * int * int) list;
+        (** (name, count, total_ns, minor_w, promoted_w, major_w) *)
+    paths : (string * int * int64 * int * int * int) list;
+        (** profile trie, keyed by path; same aggregate shape *)
     process : process;
   }
 
   val schema : string
+
+  val schema_v1 : string
+  (** The pre-allocation schema string, still accepted by {!of_json}. *)
 
   val capture : unit -> t
   (** Snapshot the whole registry plus trace aggregates, process stats and
@@ -442,14 +479,15 @@ module Snapshot : sig
 end
 
 (** Deterministic, order-insensitive union of snapshots into one fleet view
-    (schema [hetarch.fleet/1]).
+    (schema [hetarch.fleet/2]; v1 documents still flatten via {!of_json}).
 
     The merged document embeds its full source snapshots and recomputes
     every aggregate by folding them in a canonical order (run id, then
     content hash, duplicates removed) — so the output is {e byte-identical}
     regardless of merge order, merge grouping, or the [--jobs] setting of
     the source processes, even though float addition itself is not
-    associative.  Counters and span/path aggregates sum; histograms
+    associative.  Counters and span/path aggregates (times and allocation
+    words alike) sum; histograms
     bucket-merge and combine Welford states exactly (Chan's parallel
     update), raising [Failure] on mismatched bucket bounds; gauges — not
     meaningfully summable across processes — carry per-source values with

@@ -73,12 +73,17 @@ let sample t rng ~nshots =
         let i = ref (-1) in
         let continue = ref true in
         while !continue do
-          let gap = int_of_float (log1p (-.(Rng.uniform rng)) /. log1mp) in
+          let gap = Rng.geometric rng ~log1mp in
           i := !i + 1 + gap;
           if !i >= nshots || !i < 0 then continue := false
           else begin
             let s = !i in
-            Array.iter (fun d -> Bitvec.flip detectors.(d) s) m.Dem.detectors;
+            (* indexed loop, not Array.iter: the iteration closure would
+               capture [s] and be allocated once per event *)
+            let det = m.Dem.detectors in
+            for k = 0 to Array.length det - 1 do
+              Bitvec.flip detectors.(det.(k)) s
+            done;
             let obs = ref m.Dem.obs_mask in
             while !obs <> 0 do
               Bitvec.flip observables.(Bitvec.ctz !obs) s;

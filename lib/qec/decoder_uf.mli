@@ -62,6 +62,16 @@ val decode_batch : graph -> detectors:Bitvec.t array -> nshots:int -> Bitvec.t
     skipped without materializing a syndrome.  Identical predictions to
     per-shot {!decode}. *)
 
+val decode_batch_into :
+  graph -> detectors:Bitvec.t array -> nshots:int -> out:Bitvec.t -> unit
+(** Steady-state core of {!decode_batch}: writes the prediction row into the
+    caller-owned [out] (cleared first; must be exactly [nshots] bits).  Once
+    the arena pool is warm this path allocates nothing — no closures, no
+    boxed timing values, no fresh result row — which is what the zero-alloc
+    bench gate ([max_minor_words_per_run = 0] on the steady-state kernel)
+    enforces.  {!decode_batch} is this plus a fresh [out] and batch timing
+    instrumentation. *)
+
 val decode_batch_count :
   graph -> detectors:Bitvec.t array -> observable:Bitvec.t -> nshots:int -> int
 (** Number of shots whose {!decode_batch} prediction disagrees with the

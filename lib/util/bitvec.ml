@@ -97,7 +97,7 @@ let random_into rng t ~p =
       let i = ref (-1) in
       let continue = ref true in
       while !continue do
-        let gap = int_of_float (log1p (-.(Rng.uniform rng)) /. log1mp) in
+        let gap = Rng.geometric rng ~log1mp in
         i := !i + 1 + gap;
         if !i >= t.n || !i < 0 then continue := false
         else begin

@@ -39,7 +39,12 @@ let stats () = (Atomic.get tasks_total, Atomic.get domains_spawned_total)
    domain claims its first task.  lib/obs uses it to seed the worker's
    span-path stack with the caller's, so spans recorded inside tasks carry
    the same caller path whether they run inline (jobs = 1) or in a worker
-   domain — the determinism the folded-stack profiler depends on.
+   domain — the determinism the folded-stack profiler depends on.  GC
+   allocation counters are domain-local, so a task-body span measures
+   exactly the words the task itself allocated (under the inherited caller
+   path); nothing of the submitting domain's allocation leaks in, and
+   per-path span counts — and, for sequential workloads, minor-word
+   totals — stay identical across --jobs settings.
 
    [on_task_done] fires after every completed task, in whichever domain ran
    it.  lib/obs points it at the telemetry tick, giving long fan-outs a

@@ -1,4 +1,14 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* xoshiro256** state held as 32 raw bytes (four native-endian 64-bit
+   words) instead of a record with mutable int64 fields: int64 record fields
+   are boxed, so every state store would allocate a fresh 3-word block —
+   ~15 minor words per draw in the hot sampling loops — whereas the bytes
+   get/set primitives compile to raw unboxed loads and stores.  The output
+   stream is bit-identical to the record representation; only the allocation
+   profile changes. *)
+type t = Bytes.t
+
+let get = Bytes.get_int64_ne
+let set = Bytes.set_int64_ne
 
 (* splitmix64: seed expander recommended by the xoshiro authors. *)
 let splitmix64 state =
@@ -11,31 +21,37 @@ let splitmix64 state =
 
 let create seed =
   let state = ref (Int64.of_int seed) in
-  let s0 = splitmix64 state in
-  let s1 = splitmix64 state in
-  let s2 = splitmix64 state in
-  let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+  let t = Bytes.create 32 in
+  set t 0 (splitmix64 state);
+  set t 8 (splitmix64 state);
+  set t 16 (splitmix64 state);
+  set t 24 (splitmix64 state);
+  t
 
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 t =
   let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+  let s0 = get t 0 and s1 = get t 8 and s2 = get t 16 and s3 = get t 24 in
+  let result = mul (rotl (mul s1 5L) 7) 9L in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  set t 0 s0;
+  set t 8 s1;
+  set t 16 s2;
+  set t 24 s3;
   result
 
 let split t =
   let seed = Int64.to_int (bits64 t) land max_int in
   create seed
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy t = Bytes.copy t
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -49,6 +65,32 @@ let uniform t =
   (* 53-bit mantissa from the top bits. *)
   let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
   float_of_int v *. 0x1.0p-53
+
+(* One geometric gap draw for sparse Bernoulli fills: consumes exactly one
+   uniform draw and computes floor(log1p(-u) / log1mp), with the xoshiro
+   step written out in this body so nothing is boxed — neither the int64
+   state words (raw bytes loads/stores), the uniform float, nor the log
+   intermediates (log1p is an [@@unboxed] external; the result is an
+   immediate int).  This keeps the Dem_sampler event-direct path
+   allocation-free per event.  Stream-identical to
+   [int_of_float (log1p (-.(uniform t)) /. log1mp)]. *)
+let geometric t ~log1mp =
+  let open Int64 in
+  let s0 = get t 0 and s1 = get t 8 and s2 = get t 16 and s3 = get t 24 in
+  let result = mul (rotl (mul s1 5L) 7) 9L in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  set t 0 s0;
+  set t 8 s1;
+  set t 16 s2;
+  set t 24 s3;
+  let u = float_of_int (to_int (shift_right_logical result 11)) *. 0x1.0p-53 in
+  int_of_float (log1p (-.u) /. log1mp)
 
 let float t x = uniform t *. x
 let bool t = Int64.logand (bits64 t) 1L = 1L

@@ -31,6 +31,14 @@ val float : t -> float -> float
 val uniform : t -> float
 (** Uniform on [0, 1). *)
 
+val geometric : t -> log1mp:float -> int
+(** [geometric t ~log1mp] is one sparse-Bernoulli gap draw:
+    [int_of_float (log1p (-.(uniform t)) /. log1mp)] where
+    [log1mp = log1p (-.p)], consuming exactly one [uniform].  Fused into a
+    single allocation-free body (no boxed intermediates) for the
+    event-direct sampling hot paths; the stream is identical to computing
+    the expression from {!uniform} directly. *)
+
 val bool : t -> bool
 
 val bernoulli : t -> float -> bool

@@ -125,6 +125,43 @@ let test_decode_batch_matches_scalar distance () =
     (Decoder_uf.decode_batch_count exp.Surface_circuit.graph
        ~detectors:b.Frame_batch.detectors ~observable:obs ~nshots)
 
+(* ------------------------------------------- zero-alloc steady decode --- *)
+
+(* Calibrated minor-word window: reading [Gc.minor_words] itself boxes a
+   float AFTER the counter is sampled, so an empty window measures a small
+   constant; subtracting it makes "exactly zero" observable. *)
+let alloc_words f =
+  let base0 = Gc.minor_words () in
+  let base1 = Gc.minor_words () in
+  let overhead = int_of_float (base1 -. base0) in
+  let before = Gc.minor_words () in
+  f ();
+  let after = Gc.minor_words () in
+  int_of_float (after -. before) - overhead
+
+let test_decode_batch_steady_zero_alloc () =
+  (* The CI gate in miniature: once the arena pool and output row are warm,
+     [decode_batch_into] must allocate exactly nothing — not amortized-few,
+     zero minor words — across repeated batches. *)
+  let exp = Surface_circuit.build (Surface_circuit.default ~distance:5) in
+  let nshots = 256 in
+  let b =
+    Dem_sampler.sample exp.Surface_circuit.sampler (Rng.create 9) ~nshots
+  in
+  let g = exp.Surface_circuit.graph in
+  let out = Bitvec.create nshots in
+  let run () =
+    Decoder_uf.decode_batch_into g ~detectors:b.Frame_batch.detectors ~nshots
+      ~out
+  in
+  run ();
+  (* warms the arena pool *)
+  for i = 1 to 5 do
+    Alcotest.(check int)
+      (Printf.sprintf "warm decode_batch_into #%d allocates zero words" i)
+      0 (alloc_words run)
+  done
+
 (* Pinned seed vector: the fused estimator's exact counts for a fixed seed,
    at one and four domains.  Any change to mechanism canonicalization, RNG
    consumption order, chunk layout, or decoder tie-breaks shows up here. *)
@@ -367,6 +404,8 @@ let () =
             (test_decode_batch_matches_scalar 3);
           Alcotest.test_case "d=5 batch = scalar" `Slow
             (test_decode_batch_matches_scalar 5);
+          Alcotest.test_case "steady path zero-alloc" `Quick
+            test_decode_batch_steady_zero_alloc;
           Alcotest.test_case "pinned seed vector" `Quick
             test_pinned_seed_vector;
           Alcotest.test_case "3-detector flag placement" `Quick

@@ -71,7 +71,7 @@ let test_exception_exit_paths () =
       (* The path stack must unwind on the exception exit: this sibling is a
          child of outer, not of outer;boom. *)
       Obs.Trace.with_span "next" (fun () -> ()));
-  let paths = List.map (fun (p, _, _) -> p) (Obs.Trace.by_path ()) in
+  let paths = List.map (fun (p, _, _, _, _, _) -> p) (Obs.Trace.by_path ()) in
   Alcotest.(check (list string))
     "paths unwound past the raising span"
     [ "outer"; "outer;boom"; "outer;next" ]
@@ -81,7 +81,8 @@ let test_of_totals_implicit_parent () =
   (* A path whose parent never completed a span of its own (e.g. evicted or
      filtered input) gets an implicit zero-count interior node. *)
   let nodes =
-    Obs.Profile.of_totals [ ("p;q", 3, 300L); ("p;q;r", 2, 100L) ]
+    Obs.Profile.of_totals
+      [ ("p;q", 3, 300L, 90, 0, 0); ("p;q;r", 2, 100L, 40, 0, 0) ]
   in
   match nodes with
   | [ p ] ->
@@ -89,22 +90,35 @@ let test_of_totals_implicit_parent () =
       Alcotest.(check int64) "implicit self clamps to zero" 0L p.Obs.Profile.self_ns;
       let q = List.hd p.Obs.Profile.children in
       Alcotest.(check int64) "child self = cum - grandchild" 200L q.Obs.Profile.self_ns;
-      (* Folded output skips zero-weight lines under both weightings. *)
+      Alcotest.(check int) "alloc telescopes too" 50 q.Obs.Profile.self_w;
+      (* Folded output skips zero-weight lines under all weightings. *)
       Alcotest.(check string) "folded self_ns" "p;q 200\np;q;r 100\n"
         (Obs.Profile.folded nodes);
       Alcotest.(check string) "folded counts" "p;q 3\np;q;r 2\n"
-        (Obs.Profile.folded ~weight:`Count nodes)
+        (Obs.Profile.folded ~weight:`Count nodes);
+      Alcotest.(check string) "folded self alloc" "p;q 50\np;q;r 40\n"
+        (Obs.Profile.folded ~weight:`Self_alloc nodes)
   | _ -> Alcotest.fail "expected a single root"
 
 let test_top_ranking () =
   let nodes =
     Obs.Profile.of_totals
-      [ ("r", 1, 1000L); ("r;cheap", 5, 100L); ("r;hot", 5, 700L) ]
+      [ ("r", 1, 1000L, 2000, 0, 0);
+        ("r;cheap", 5, 100L, 1800, 0, 0);
+        ("r;hot", 5, 700L, 50, 0, 0) ]
   in
+  let paths ns = List.map (fun (n : Obs.Profile.node) -> n.Obs.Profile.path) ns in
   let top = Obs.Profile.top ~limit:2 nodes in
   Alcotest.(check (list string))
-    "ranked by self time, descending" [ "r;hot"; "r" ]
-    (List.map (fun (n : Obs.Profile.node) -> n.Obs.Profile.path) top);
+    "ranked by self time, descending" [ "r;hot"; "r" ] (paths top);
+  (* The alloc sort key surfaces a different leader: [r;cheap] is cheap in
+     time but dominates self minor words. *)
+  Alcotest.(check (list string))
+    "ranked by self alloc, descending" [ "r;cheap"; "r" ]
+    (paths (Obs.Profile.top ~sort:`Alloc ~limit:2 nodes));
+  Alcotest.(check (list string))
+    "ranked by cumulative time" [ "r"; "r;hot" ]
+    (paths (Obs.Profile.top ~sort:`Cum ~limit:2 nodes));
   let table = Obs.Profile.top_table nodes in
   Alcotest.(check bool) "table mentions the hot path" true (contains table "r;hot")
 
@@ -122,10 +136,64 @@ let folded_run jobs =
 let test_folded_identical_across_jobs () =
   let f1 = folded_run 1 in
   let f2 = folded_run 2 in
+  let f4 = folded_run 4 in
   Alcotest.(check string) "folded stacks byte-identical at --jobs 1 vs 2" f1 f2;
+  Alcotest.(check string) "folded stacks byte-identical at --jobs 1 vs 4" f1 f4;
   (* Worker-domain spans must inherit the submitting caller's path. *)
   Alcotest.(check string) "workers nest under the caller"
     "driver 1\ndriver;task 8\n" f2
+
+(* --------------------------------------------------------- allocation *)
+
+(* Allocate ~n minor-heap words in 100-word chunks: blocks past
+   Max_young_wosize go straight to the major heap and would never move the
+   minor-words counter this test attributes. *)
+let alloc_n n =
+  for _ = 1 to n / 100 do
+    ignore (Sys.opaque_identity (Array.make 99 0))
+  done
+
+let test_span_alloc_attribution () =
+  Obs.reset ();
+  Obs.Trace.with_span "outer" (fun () ->
+      alloc_n 1000;
+      Obs.Trace.with_span "inner" (fun () -> alloc_n 5000));
+  match Obs.Profile.tree () with
+  | [ root ] -> (
+      match root.Obs.Profile.children with
+      | [ inner ] ->
+          (* The 5000-word array belongs to inner's self-allocation; outer's
+             self must exclude it but still see its own 1000-word array. *)
+          Alcotest.(check bool) "inner self_w sees its array" true
+            (inner.Obs.Profile.self_w >= 5000);
+          Alcotest.(check bool) "outer self excludes inner's words" true
+            (root.Obs.Profile.self_w < 5000);
+          Alcotest.(check bool) "outer self sees its own words" true
+            (root.Obs.Profile.self_w >= 1000);
+          (* Self words telescope exactly: root cum = root self + child cum. *)
+          Alcotest.(check int) "alloc telescoping identity"
+            root.Obs.Profile.cum_w
+            (root.Obs.Profile.self_w + inner.Obs.Profile.cum_w)
+      | cs -> Alcotest.failf "expected one child, got %d" (List.length cs))
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+let test_self_alloc_deterministic_sequential () =
+  (* Minor words are a pure function of the allocation sequence, so a
+     sequential workload folds to byte-identical `Self_alloc output on
+     every run. *)
+  let run () =
+    Obs.reset ();
+    Obs.Trace.with_span "seq" (fun () ->
+        for _ = 1 to 4 do
+          Obs.Trace.with_span "work" (fun () -> alloc_n 512)
+        done);
+    Obs.Profile.folded ~weight:`Self_alloc (Obs.Profile.tree ())
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check string) "self-alloc folded byte-identical across runs" a b;
+  Alcotest.(check bool) "work rows carry positive weight" true
+    (contains a "seq;work ")
 
 (* ------------------------------------------------------------ telemetry *)
 
@@ -165,7 +233,7 @@ let test_telemetry_deltas_across_reset () =
                 (Printf.sprintf "record %d schema" i)
                 true
                 (Obs.Json.member "schema" r
-                = Some (Obs.Json.String "hetarch.telemetry/2"));
+                = Some (Obs.Json.String "hetarch.telemetry/3"));
               Alcotest.(check bool)
                 (Printf.sprintf "record %d run stamp" i)
                 true
@@ -198,7 +266,7 @@ let test_telemetry_tick_noop_when_disabled () =
 
 let bench_doc kernels =
   Obs.Json.Obj
-    [ ("schema", Obs.Json.String "hetarch.bench/2");
+    [ ("schema", Obs.Json.String "hetarch.bench/3");
       ( "kernels",
         Obs.Json.List
           (List.map
@@ -255,6 +323,11 @@ let () =
       ( "determinism",
         [ Alcotest.test_case "folded identical across jobs" `Quick
             test_folded_identical_across_jobs ] );
+      ( "allocation",
+        [ Alcotest.test_case "span alloc attribution" `Quick
+            test_span_alloc_attribution;
+          Alcotest.test_case "sequential self-alloc determinism" `Quick
+            test_self_alloc_deterministic_sequential ] );
       ( "telemetry",
         [ Alcotest.test_case "deltas across reset" `Quick
             test_telemetry_deltas_across_reset;

@@ -55,7 +55,10 @@ let snap ?(run_id = "00000000000000aa") ?(shard = "") ?(counters = [])
     gauges;
     histograms;
     spans;
-    paths = List.map (fun (n, c, t) -> ("root;" ^ n, c, t)) spans;
+    paths =
+      List.map
+        (fun (n, c, t, mw, pw, jw) -> ("root;" ^ n, c, t, mw, pw, jw))
+        spans;
     process = proc0 }
 
 let fixed =
@@ -63,7 +66,7 @@ let fixed =
     ~counters:[ ("a.total", 2); ("b.total", 7) ]
     ~gauges:[ ("g.x", 1.5) ]
     ~histograms:[ ("h.lat", hist_a) ]
-    ~spans:[ ("s.run", 3, 900L) ]
+    ~spans:[ ("s.run", 3, 900L, 450, 30, 12) ]
     ()
 
 (* --------------------------------------------------------- round trip *)
@@ -104,11 +107,45 @@ let test_write_load () =
 (* Pinned vectors: a serialization or hash change must be a deliberate
    schema bump, not an accident — these fail loudly on drift. *)
 let test_pinned_content_hash () =
-  Alcotest.(check string) "pinned content hash" "f64bb15d0b835368"
+  Alcotest.(check string) "pinned content hash" "3f1e7a17705c5c2a"
     (Obs.Snapshot.content_hash fixed);
   let empty = snap ~run_id:"00000000000000bb" () in
-  Alcotest.(check string) "pinned empty-snapshot hash" "4aeb3f6beb75ff65"
+  Alcotest.(check string) "pinned empty-snapshot hash" "ae6a5629ae95360d"
     (Obs.Snapshot.content_hash empty)
+
+(* v1 snapshots predate allocation accounting: their span/path aggregates
+   carry no minor_w/promoted_w/major_w members and the schema string is one
+   bump older.  They must still parse, with the alloc fields defaulting 0. *)
+let replace ~sub ~by s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length sub in
+  let i = ref 0 in
+  while !i <= String.length s - n do
+    if String.sub s !i n = sub then begin
+      Buffer.add_string buf by;
+      i := !i + n
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_substring buf s !i (String.length s - !i);
+  Buffer.contents buf
+
+let test_v1_parse_defaults_alloc () =
+  let v1 =
+    to_string fixed
+    |> replace ~sub:"\"hetarch.snapshot/2\"" ~by:"\"hetarch.snapshot/1\""
+    |> replace ~sub:",\"major_w\":12" ~by:""
+    |> replace ~sub:"\"minor_w\":450," ~by:""
+    |> replace ~sub:",\"promoted_w\":30" ~by:""
+  in
+  let s = Obs.Snapshot.of_json (Obs.Json.parse v1) in
+  Alcotest.(check bool) "v1 spans parse, alloc defaults to 0" true
+    (s.Obs.Snapshot.spans = [ ("s.run", 3, 900L, 0, 0, 0) ]);
+  Alcotest.(check bool) "v1 paths parse, alloc defaults to 0" true
+    (s.Obs.Snapshot.paths = [ ("root;s.run", 3, 900L, 0, 0, 0) ])
 
 (* -------------------------------------------------------- merge algebra *)
 
@@ -118,7 +155,7 @@ let test_merge_sums_and_attribution () =
       ~counters:[ ("x.total", 2) ]
       ~gauges:[ ("g", 1.) ]
       ~histograms:[ ("h", hist_a) ]
-      ~spans:[ ("s", 1, 100L) ]
+      ~spans:[ ("s", 1, 100L, 40, 3, 1) ]
       ()
   in
   let s2 =
@@ -126,7 +163,7 @@ let test_merge_sums_and_attribution () =
       ~counters:[ ("x.total", 3); ("y.total", 5) ]
       ~gauges:[ ("g", 3.) ]
       ~histograms:[ ("h", hist_b) ]
-      ~spans:[ ("s", 2, 250L) ]
+      ~spans:[ ("s", 2, 250L, 60, 7, 9) ]
       ()
   in
   let doc =
@@ -143,6 +180,13 @@ let test_merge_sums_and_attribution () =
   Alcotest.(check bool) "span counts and totals sum" true
     (mem [ "spans"; "s"; "count" ] = Some (Obs.Json.Int 3)
     && mem [ "spans"; "s"; "total_ns" ] = Some (Obs.Json.Int 350));
+  (* allocation aggregates re-fold under the same sum rule *)
+  Alcotest.(check bool) "span alloc words sum" true
+    (mem [ "spans"; "s"; "minor_w" ] = Some (Obs.Json.Int 100)
+    && mem [ "spans"; "s"; "promoted_w" ] = Some (Obs.Json.Int 10)
+    && mem [ "spans"; "s"; "major_w" ] = Some (Obs.Json.Int 10));
+  Alcotest.(check bool) "path alloc words sum" true
+    (mem [ "paths"; "root;s"; "minor_w" ] = Some (Obs.Json.Int 100));
   (* gauges keep per-source values, never a meaningless cross-process sum
      presented as one reading *)
   Alcotest.(check bool) "gauge n/min/max" true
@@ -223,8 +267,13 @@ let gen_snapshot =
   in
   let spans =
     list_size (0 -- 3)
-      (let* n = name [ "s.a"; "s.b" ] and* c = 1 -- 100 and* t = 0 -- 100000 in
-       return (n, c, Int64.of_int t))
+      (let* n = name [ "s.a"; "s.b" ]
+       and* c = 1 -- 100
+       and* t = 0 -- 100000
+       and* mw = 0 -- 5000
+       and* pw = 0 -- 200
+       and* jw = 0 -- 100 in
+       return (n, c, Int64.of_int t, mw, pw, jw))
   in
   let* id = int_range 1 0xfffff
   and* shard = oneofl [ ""; "shard0/2"; "shard1/2" ]
@@ -369,7 +418,9 @@ let () =
             test_roundtrip_bit_equal;
           Alcotest.test_case "live capture" `Quick test_capture_roundtrip;
           Alcotest.test_case "write/load" `Quick test_write_load;
-          Alcotest.test_case "pinned hashes" `Quick test_pinned_content_hash ] );
+          Alcotest.test_case "pinned hashes" `Quick test_pinned_content_hash;
+          Alcotest.test_case "v1 parse leniency" `Quick
+            test_v1_parse_defaults_alloc ] );
       ( "merge",
         [ Alcotest.test_case "sums and attribution" `Quick
             test_merge_sums_and_attribution;

@@ -1,7 +1,10 @@
 (* CI gate: validate that BENCH_hetarch.json exists and has the shape the
    perf-tracking tooling expects — one entry per kernel with a name, a
-   numeric ns/run, and the RNG seed.  Exits nonzero (with a reason) on any
-   violation, so `make ci` fails when the bench stops producing it. *)
+   numeric ns/run, a minor-words/run allocation measurement, and the RNG
+   seed — and that every floor-gated kernel honors its
+   max_minor_words_per_run bound (the zero-alloc gate).  Exits nonzero
+   (with a reason) on any violation, so `make ci` fails when the bench
+   stops producing it. *)
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_bench: " ^ m); exit 1) fmt
 
@@ -15,8 +18,8 @@ let () =
     try Obs.Json.parse contents with Failure e -> fail "malformed JSON: %s" e
   in
   (match Obs.Json.member "schema" doc with
-  | Some (Obs.Json.String "hetarch.bench/2") -> ()
-  | Some (Obs.Json.String s) -> fail "unexpected schema %s (want hetarch.bench/2)" s
+  | Some (Obs.Json.String "hetarch.bench/3") -> ()
+  | Some (Obs.Json.String s) -> fail "unexpected schema %s (want hetarch.bench/3)" s
   | _ -> fail "missing or unexpected schema field");
   (match Obs.Json.member "jobs" doc with
   | Some (Obs.Json.Int j) when j >= 1 -> ()
@@ -46,6 +49,24 @@ let () =
           if not (Float.is_finite ns) || ns < 0. then
             fail "%s: ns_per_run %g out of range" name ns
       | None -> fail "%s: missing ns_per_run" name);
+      (* Allocation accounting is part of the v3 contract: every kernel
+         records its measured minor words per run, and a kernel carrying a
+         max_minor_words_per_run floor must honor it. *)
+      let measured_words =
+        match Obs.Json.member "minor_words_per_run" k with
+        | Some (Obs.Json.Int w) when w >= 0 -> w
+        | Some _ -> fail "%s: minor_words_per_run must be a non-negative integer" name
+        | None -> fail "%s: missing minor_words_per_run" name
+      in
+      (match Obs.Json.member "max_minor_words_per_run" k with
+      | Some (Obs.Json.Int floor) ->
+          if floor < 0 then
+            fail "%s: max_minor_words_per_run must be non-negative" name;
+          if measured_words > floor then
+            fail "%s: allocated %d minor words/run, exceeding the floor of %d"
+              name measured_words floor
+      | Some _ -> fail "%s: max_minor_words_per_run must be an integer" name
+      | None -> ());
       match Obs.Json.member "seed" k with
       | Some (Obs.Json.Int s) when s = seed -> ()
       | _ -> fail "%s: missing or mismatched seed" name)
@@ -69,6 +90,28 @@ let () =
   List.iter
     (fun r -> if not (List.mem r recorded) then fail "missing required kernel %s" r)
     required;
+  (* The zero-alloc contract: these kernels must keep being recorded WITH
+     their allocation floor, or the gate silently evaporates. *)
+  let alloc_gated =
+    [ "hetarch fig6-decode-d7-batch-steady";
+      "hetarch fig6-sample-decode-d7-batch" ]
+  in
+  List.iter
+    (fun r ->
+      let entry =
+        List.find_opt
+          (fun k ->
+            match Obs.Json.member "name" k with
+            | Some (Obs.Json.String n) -> n = r
+            | _ -> false)
+          kernels
+      in
+      match entry with
+      | None -> fail "missing alloc-gated kernel %s" r
+      | Some k ->
+          if Obs.Json.member "max_minor_words_per_run" k = None then
+            fail "alloc-gated kernel %s lost its max_minor_words_per_run floor" r)
+    alloc_gated;
   (* Scalar-vs-batch pairs: both sides must name recorded kernels, and a
      pair carrying a min_speedup floor must actually clear it — the fused
      sample->decode pipeline has to stay faster than the per-shot baseline. *)
