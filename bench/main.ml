@@ -240,6 +240,69 @@ let kernel_obs_merge () =
   Obs.Json.to_string
     (Obs.Merge.to_json (Obs.Merge.of_snapshots (Lazy.force merge_sources)))
 
+(* One `obs monitor --once` refresh over a synthetic 4-stream fleet (32
+   records per stream, realistic record shape): directory scan, torn-tail
+   JSONL fold to each last record, row derivation, JSON render.  This is
+   the polling cost the live monitor pays every --interval, so check_bench
+   requires it to keep the refresh trend machine-readable. *)
+let monitor_fixture =
+  lazy
+    (let dir =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "hetarch_bench_monitor.%d" (Unix.getpid ()))
+     in
+     let td = Filename.concat dir "telemetry" in
+     List.iter (fun p -> try Sys.mkdir p 0o755 with Sys_error _ -> ()) [ dir; td ];
+     for s = 0 to 3 do
+       let run_id = Printf.sprintf "%016x" (0xbe40 + s) in
+       let oc = open_out (Filename.concat td (run_id ^ ".jsonl")) in
+       for seq = 0 to 31 do
+         let record =
+           Obs.Json.Obj
+             [ ("schema", Obs.Json.String "hetarch.telemetry/4");
+               ( "run",
+                 Obs.Json.Obj
+                   [ ("id", Obs.Json.String run_id);
+                     ("shard", Obs.Json.String (Printf.sprintf "shard%d/4" s));
+                     ("trace_id", Obs.Json.String "00000000000be400");
+                     ("span_id", Obs.Json.String run_id);
+                     ("parent_span_id", Obs.Json.String "00000000000be4ff") ] );
+               ("seq", Obs.Json.Int seq);
+               ("elapsed_s", Obs.Json.Float (0.5 *. float_of_int seq));
+               ("dt_s", Obs.Json.Float 0.5);
+               ("interval_s", Obs.Json.Float 0.5);
+               ( "campaign",
+                 Obs.Json.Obj
+                   [ ("shots", Obs.Json.Int (1024 * (seq + 1)));
+                     ("shots_per_s", Obs.Json.Float 2048.);
+                     ("eta_s", Obs.Json.Float 12.5);
+                     ("tasks_done", Obs.Json.Int (seq / 8));
+                     ("tasks", Obs.Json.Int 6);
+                     ( "task_progress",
+                       Obs.Json.List
+                         (List.init 6 (fun t ->
+                              Obs.Json.Obj
+                                [ ("done", Obs.Json.Bool (t < seq / 8));
+                                  ( "rel_halfwidth",
+                                    Obs.Json.Float (0.05 /. float_of_int (t + 1))
+                                  ) ])) ) ] );
+               ("gc", Obs.Json.Obj [ ("minor_words_delta", Obs.Json.Int 80_000) ]);
+               ( "parallel",
+                 Obs.Json.Obj
+                   [ ("queue_depth", Obs.Json.Int 3);
+                     ("busy_domains", Obs.Json.Int 2) ] ) ]
+         in
+         output_string oc (Obs.Json.to_string record);
+         output_char oc '\n'
+       done;
+       close_out oc
+     done;
+     dir)
+
+let kernel_obs_monitor_once () =
+  Obs.Monitor.scan ~dir:(Lazy.force monitor_fixture) ()
+  |> List.map (fun r -> Obs.Json.to_string (Obs.Monitor.row_json r))
+
 let kernel_burden () =
   List.map Burden.reduction
     [ Burden.distillation_module (); Burden.uec_module (); Burden.ct_module () ]
@@ -272,6 +335,7 @@ let tests =
       Test.make ~name:"telemetry-snapshot" (Staged.stage kernel_telemetry_snapshot);
       Test.make ~name:"obs-snapshot-write" (Staged.stage kernel_snapshot_write);
       Test.make ~name:"obs-merge" (Staged.stage kernel_obs_merge);
+      Test.make ~name:"obs-monitor-once" (Staged.stage kernel_obs_monitor_once);
       Test.make ~name:"dse-burden" (Staged.stage kernel_burden) ]
 
 (* Kernels whose pair carries a min_speedup floor are a *hard* CI gate, and
@@ -341,6 +405,7 @@ let kernel_thunks : (string * (unit -> unit)) list =
     ("hetarch telemetry-snapshot", kernel_telemetry_snapshot);
     ("hetarch obs-snapshot-write", kernel_snapshot_write);
     ("hetarch obs-merge", fun () -> ignore (kernel_obs_merge ()));
+    ("hetarch obs-monitor-once", fun () -> ignore (kernel_obs_monitor_once ()));
     ("hetarch dse-burden", fun () -> ignore (kernel_burden ())) ]
 
 (* Per-kernel allocation floors — the zero-alloc CI gate.  check_bench

@@ -617,8 +617,45 @@ let rec campaign_tasks = function
         other;
       exit 2
 
-let run_collect campaign seed shards shard ledger resume progress max_shots
+(* Coordinator mode: `collect --shards N` with no explicit --shard forks N
+   child processes of this same executable, one per shard, each inheriting
+   the coordinator's trace context via HETARCH_TRACE_PARENT — so the whole
+   fleet shares one trace_id and `obs trace-merge` / `obs monitor` see the
+   shard runs parented under this process.  Per-path output flags
+   (--ledger/--csv/--trace/...) are suffixed ".shard<i>" per child. *)
+let run_collect_coordinator campaign shards =
+  let all_tasks = campaign_tasks campaign in
+  if Obs.Run.shard () = "" then
+    Obs.Run.set_shard (Printf.sprintf "coord/%d" shards);
+  let ctx = Obs.Context.current () in
+  Printf.printf "campaign %s: coordinating %d shard process(es), trace %s\n"
+    campaign shards ctx.Obs.Context.trace_id;
+  List.iter
+    (fun shard ->
+      Printf.printf "  shard %d/%d: %d task(s)\n" shard shards
+        (List.length (Collect.shard_filter ~shards ~shard all_tasks)))
+    (List.init shards Fun.id);
+  let codes =
+    Obs.Trace.with_span "collect.coordinate" (fun () ->
+        Collect.Fleet.spawn_shards ~shards
+          ~trace_parent:(Obs.Context.to_string ctx) Sys.argv)
+  in
+  List.iteri
+    (fun shard code ->
+      Printf.printf "  shard %d/%d: %s\n" shard shards
+        (if code = 0 then "ok" else Printf.sprintf "exit %d" code))
+    codes;
+  if List.exists (fun c -> c <> 0) codes then begin
+    Printf.eprintf "hetarch collect: %d shard(s) failed\n"
+      (List.length (List.filter (fun c -> c <> 0) codes));
+    exit 1
+  end
+
+let run_collect campaign seed shards shard_opt ledger resume progress max_shots
     max_errors rel_ci min_shots batch halt_after csv_path =
+  if shards > 1 && shard_opt = None then run_collect_coordinator campaign shards
+  else begin
+  let shard = Option.value ~default:0 shard_opt in
   let all_tasks = campaign_tasks campaign in
   let tasks =
     if shards = 1 && shard = 0 then all_tasks
@@ -689,6 +726,7 @@ let run_collect campaign seed shards shard ledger resume progress max_shots
       Collect.write_csv ~path outcome.Collect.stats;
       Printf.printf "csv: %s\n" path)
     csv_path
+  end
 
 (* ----------------------------------------------------------------- obs *)
 
@@ -705,22 +743,8 @@ let load_json path =
 (* Torn-tail tolerant: skips blank and unparsable lines — the truncated
    final record a killed writer leaves behind — mirroring the collect
    ledger's replay, so `obs tail` and `obs flame` work on the artifacts of
-   a run that died mid-append. *)
-let fold_jsonl path f init =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | exception End_of_file -> acc
-        | line when String.trim line = "" -> go acc
-        | line -> (
-            match Obs.Json.parse line with
-            | j -> go (f acc j)
-            | exception Failure _ -> go acc)
-      in
-      go init)
+   a run that died mid-append.  The same reader backs the fleet monitor. *)
+let fold_jsonl = Obs.fold_jsonl
 
 let jfloat j = Obs.Json.to_float j
 let jint j = int_of_float (Obs.Json.to_float j)
@@ -986,7 +1010,31 @@ let run_obs_tail file =
             (match Obs.Json.member "task_progress" c with
              | Some (Obs.Json.List ts) -> ts
              | _ -> []))
-        (campaign last)
+        (campaign last);
+      (* Stream status from evidence, not the embedded rate: a quiet stream
+         keeps reporting its last shots/s forever, so staleness must come
+         from the file's mtime vs the stream's own declared heartbeat
+         interval — the same detector `obs monitor` uses. *)
+      let final =
+        match Obs.Json.member "final" last with
+        | Some (Obs.Json.Bool true) -> true
+        | _ -> false
+      in
+      let interval_s = Option.value ~default:1.0 (mem_float "interval_s" last) in
+      let age =
+        Float.max 0. (Unix.gettimeofday () -. (Unix.stat file).Unix.st_mtime)
+      in
+      let threshold =
+        Obs.Monitor.stall_threshold
+          ~stall_factor:Obs.Monitor.default_stall_factor ~interval_s
+      in
+      if final then print_endline "stream: complete (final record present)"
+      else if age > threshold then
+        Printf.printf
+          "stream: STALLED (no heartbeat for %.1fs; threshold %.1fs at a \
+           %.1fs interval)\n"
+          age threshold interval_s
+      else Printf.printf "stream: live (last write %.1fs ago)\n" age
 
 let run_obs_diff file_a file_b threshold noise_floor normalize =
   let doc_a = load_json file_a and doc_b = load_json file_b in
@@ -1058,12 +1106,18 @@ let resolve_snapshot_ref arg =
               arg
         | Some d -> obs_fail "%s: no such file or run-id prefix in %s" arg d)
 
-let run_obs_runs limit =
+let run_obs_runs limit prune =
   match Obs.Registry.dir () with
   | None ->
       obs_fail
         "no run registry configured (set HETARCH_OBS_DIR or pass --obs-dir)"
   | Some d ->
+      if prune then begin
+        let kept, dropped = Obs.Registry.prune () in
+        Printf.printf "pruned %d dangling entr%s (%d kept)\n" dropped
+          (if dropped = 1 then "y" else "ies")
+          kept
+      end;
       let all = Obs.Registry.entries () in
       let shown =
         if limit > 0 && List.length all > limit then
@@ -1075,18 +1129,30 @@ let run_obs_runs limit =
         (if List.length shown < List.length all then
            Printf.sprintf " (last %d shown)" (List.length shown)
          else "");
+      (* Mark-and-skip rather than error: a hand-deleted snapshot leaves a
+         dangling index line behind, and listing must keep working. *)
+      let missing = ref 0 in
       if shown <> [] then
         Tableio.print ~align:Tableio.Left
-          ~header:[ "run"; "started (UTC)"; "cmd"; "shard"; "hash" ]
+          ~header:[ "run"; "started (UTC)"; "cmd"; "shard"; "hash"; "snapshot" ]
           (List.map
              (fun (e : Obs.Registry.entry) ->
+               let ok = Obs.Registry.snapshot_exists e in
+               if not ok then incr missing;
                [ e.Obs.Registry.e_run_id;
                  utc_stamp e.Obs.Registry.e_unix;
                  e.Obs.Registry.e_cmd;
                  (if e.Obs.Registry.e_shard = "" then "-"
                   else e.Obs.Registry.e_shard);
-                 String.sub e.Obs.Registry.e_hash 0 12 ])
-             shown)
+                 String.sub e.Obs.Registry.e_hash 0 12;
+                 (if ok then "ok" else "MISSING") ])
+             shown);
+      if !missing > 0 then
+        Printf.printf
+          "%d entr%s point at deleted snapshot files; run `hetarch obs runs \
+           --prune` to compact the index\n"
+          !missing
+          (if !missing = 1 then "y" else "ies")
 
 let render_snapshot_doc doc =
   (match Obs.Json.member "run" doc with
@@ -1189,8 +1255,14 @@ let run_obs_show ref_ =
     | `Snap s -> Obs.Snapshot.to_json s
   in
   match schema_of doc with
-  | s when s = Obs.Snapshot.schema -> render_snapshot_doc doc
-  | s when s = Obs.Merge.schema -> render_fleet_doc doc
+  | s
+    when List.mem s
+           [ Obs.Snapshot.schema; Obs.Snapshot.schema_v2; Obs.Snapshot.schema_v1 ]
+    -> render_snapshot_doc doc
+  | s
+    when List.mem s
+           [ Obs.Merge.schema; Obs.Merge.schema_v2; Obs.Merge.schema_v1 ]
+    -> render_fleet_doc doc
   | s -> obs_fail "%s: unsupported schema %s (want %s or %s)" ref_ s
            Obs.Snapshot.schema Obs.Merge.schema
 
@@ -1216,6 +1288,103 @@ let run_obs_merge refs out =
       Printf.printf "fleet view: %d run(s) -> %s\n"
         (List.length (Obs.Merge.sources merged))
         path
+
+let run_obs_trace_merge files out check =
+  let texts =
+    List.map (fun f -> In_channel.with_open_bin f In_channel.input_all) files
+  in
+  let merged, stats =
+    try Obs.Trace_merge.merge texts with Failure msg -> obs_fail "%s" msg
+  in
+  if stats.Obs.Trace_merge.orphans <> [] then
+    Printf.eprintf
+      "hetarch obs trace-merge: warning: %d parent span id(s) missing from \
+       the merge (shard traces without their coordinator?): %s\n"
+      (List.length stats.Obs.Trace_merge.orphans)
+      (String.concat ", " stats.Obs.Trace_merge.orphans);
+  (match out with
+  | None -> print_string merged
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc merged);
+      Printf.printf "trace merge: %d source(s), %d event(s) -> %s\n"
+        stats.Obs.Trace_merge.sources stats.Obs.Trace_merge.events path);
+  if check && stats.Obs.Trace_merge.orphans <> [] then exit 1
+
+let render_monitor_rows rows =
+  if rows = [] then print_endline "no telemetry streams"
+  else begin
+    Tableio.print ~align:Tableio.Left
+      ~header:
+        [ "run"; "shard"; "status"; "shots"; "shots/s"; "ci"; "eta(s)";
+          "done"; "words/s"; "queue"; "busy"; "age(s)" ]
+      (List.map
+         (fun (r : Obs.Monitor.row) ->
+           [ r.Obs.Monitor.m_run_id;
+             (if r.Obs.Monitor.m_shard = "" then "-" else r.Obs.Monitor.m_shard);
+             (let s = Obs.Monitor.status_string r.Obs.Monitor.m_status in
+              if r.Obs.Monitor.m_status = Obs.Monitor.Stalled then
+                String.uppercase_ascii s
+              else s);
+             string_of_int r.Obs.Monitor.m_shots;
+             Printf.sprintf "%.0f" r.Obs.Monitor.m_rate;
+             (if Float.is_nan r.Obs.Monitor.m_rel_halfwidth then "-"
+              else Printf.sprintf "%.3f" r.Obs.Monitor.m_rel_halfwidth);
+             (match r.Obs.Monitor.m_eta_s with
+             | Some e -> Printf.sprintf "%.1f" (Float.max 0. e)
+             | None -> "-");
+             Printf.sprintf "%d/%d" r.Obs.Monitor.m_tasks_done
+               r.Obs.Monitor.m_tasks;
+             Printf.sprintf "%.0f" r.Obs.Monitor.m_alloc_w_per_s;
+             string_of_int r.Obs.Monitor.m_queue_depth;
+             string_of_int r.Obs.Monitor.m_busy_domains;
+             Printf.sprintf "%.1f" r.Obs.Monitor.m_age_s ])
+         rows);
+    let count st =
+      List.length
+        (List.filter (fun (r : Obs.Monitor.row) -> r.Obs.Monitor.m_status = st) rows)
+    in
+    Printf.printf "%d stream(s): %d live, %d stalled, %d done\n"
+      (List.length rows) (count Obs.Monitor.Live) (count Obs.Monitor.Stalled)
+      (count Obs.Monitor.Done)
+  end
+
+let run_obs_monitor once interval stall_factor =
+  match Obs.Registry.dir () with
+  | None ->
+      obs_fail
+        "no run registry configured (set HETARCH_OBS_DIR or pass --obs-dir)"
+  | Some d ->
+      let scan () = Obs.Monitor.scan ~stall_factor ~dir:d () in
+      if once then
+        (* Machine-readable: one hetarch.monitor/1 JSON object per line. *)
+        List.iter
+          (fun r -> print_endline (Obs.Json.to_string (Obs.Monitor.row_json r)))
+          (scan ())
+      else if not (Unix.isatty Unix.stdout) then render_monitor_rows (scan ())
+      else begin
+        (* Throttled live view: clear, redraw, sleep; leave once every
+           stream is done so scripted invocations terminate. *)
+        let rec loop () =
+          let rows = scan () in
+          print_string "\027[H\027[2J";
+          Printf.printf "fleet monitor %s (refresh %.1fs, ctrl-c to quit)\n\n"
+            d interval;
+          render_monitor_rows rows;
+          flush stdout;
+          if
+            rows = []
+            || List.exists
+                 (fun (r : Obs.Monitor.row) ->
+                   r.Obs.Monitor.m_status <> Obs.Monitor.Done)
+                 rows
+          then begin
+            Unix.sleepf interval;
+            loop ()
+          end
+        in
+        loop ()
+      end
 
 let run_obs_compare current_ref last nmad min_pct noise_floor gate =
   if Obs.Registry.dir () = None then
@@ -1360,9 +1529,11 @@ let telemetry_arg =
     & opt (some string) None
     & info [ "telemetry" ] ~docv:"FILE"
         ~doc:
-          "Stream live JSONL telemetry records (schema hetarch.telemetry/3) \
+          "Stream live JSONL telemetry records (schema hetarch.telemetry/4) \
            to $(docv) while the command runs; inspect with $(b,hetarch obs \
-           tail)")
+           tail).  With a run registry configured, recorded runs stream to \
+           <obs-dir>/telemetry/<run_id>.jsonl automatically; this flag \
+           overrides that path")
 
 let obs_dir_arg =
   Arg.(
@@ -1390,7 +1561,7 @@ let snapshot_arg =
     & opt (some string) None
     & info [ "snapshot" ] ~docv:"FILE"
         ~doc:
-          "Write the run's obs snapshot (schema hetarch.snapshot/2) to \
+          "Write the run's obs snapshot (schema hetarch.snapshot/3) to \
            $(docv) on exit, independent of the run registry")
 
 let telemetry_interval_arg =
@@ -1400,6 +1571,18 @@ let telemetry_interval_arg =
         ~doc:
           "Minimum seconds between telemetry records (0 records every \
            heartbeat); only meaningful with $(b,--telemetry)")
+
+let trace_parent_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-parent" ] ~docv:"CTX"
+        ~doc:
+          "Parent trace context as $(i,trace_id)-$(i,span_id) (two 16-hex \
+           halves, as printed by a coordinator or taken from \
+           $(b,HETARCH_TRACE_PARENT), which this flag overrides): this run \
+           keeps the parent's trace_id and records its span_id as \
+           parent_span_id, so fleet tooling can assemble the process tree")
 
 (* Every subcommand runs under a root span; the exporters only fire when the
    flags are given, so the stdout of an uninstrumented invocation is
@@ -1414,8 +1597,8 @@ let telemetry_interval_arg =
    leave complete artifacts.  [record=false] keeps the pure-reader obs
    analysis subcommands from polluting the run registry. *)
 let cmd ?(record = true) name doc term =
-  let wrap jobs cache_dir obs_dir shard metrics trace telemetry interval
-      snapshot f =
+  let wrap jobs cache_dir obs_dir shard trace_parent metrics trace telemetry
+      interval snapshot f =
     Parallel.set_jobs jobs;
     (try Char_store.set_dir cache_dir
      with Invalid_argument msg | Sys_error msg ->
@@ -1423,6 +1606,20 @@ let cmd ?(record = true) name doc term =
        exit 1);
     Option.iter (fun d -> Obs.Registry.set_dir (Some d)) obs_dir;
     if shard <> "" then Obs.Run.set_shard shard;
+    (* Must precede anything that stamps a document (telemetry enable
+       writes the baseline record): the context is computed once, on first
+       use. *)
+    Option.iter Obs.Context.set_parent trace_parent;
+    (* With a registry configured, recorded runs stream a live heartbeat
+       into <obs-dir>/telemetry/<run_id>.jsonl even without an explicit
+       --telemetry — that directory is what `hetarch obs monitor`
+       watches.  Explicit --telemetry takes precedence. *)
+    let telemetry =
+      match telemetry with
+      | Some _ as t -> t
+      | None when record -> Obs.Registry.telemetry_sink (Obs.Run.id ())
+      | None -> None
+    in
     (try
        Option.iter
          (fun path -> Obs.Telemetry.enable ~path ~interval_s:interval)
@@ -1459,8 +1656,8 @@ let cmd ?(record = true) name doc term =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const wrap $ jobs_arg $ cache_dir_arg $ obs_dir_arg $ shard_label_arg
-      $ metrics_arg $ trace_arg $ telemetry_arg $ telemetry_interval_arg
-      $ snapshot_arg $ term)
+      $ trace_parent_arg $ metrics_arg $ trace_arg $ telemetry_arg
+      $ telemetry_interval_arg $ snapshot_arg $ term)
 
 let collect_term =
   let campaign =
@@ -1476,18 +1673,22 @@ let collect_term =
       & info [ "shards" ] ~docv:"N"
           ~doc:
             "Partition the campaign across $(docv) cooperating processes by \
-             task content hash; each process runs with a distinct \
-             $(b,--shard) and the fleet is merged with $(b,hetarch obs \
-             merge)")
+             task content hash.  Without $(b,--shard) this process becomes \
+             the fleet coordinator: it forks $(docv) children of itself \
+             (one per shard, per-path output flags suffixed .shardI), hands \
+             each its trace context, and waits; the fleet is merged with \
+             $(b,hetarch obs merge) / $(b,obs trace-merge) and watched live \
+             with $(b,obs monitor)")
   in
   let shard =
     Arg.(
-      value & opt int 0
+      value
+      & opt (some int) None
       & info [ "shard" ] ~docv:"I"
           ~doc:
-            "This process's shard index in [0, shards).  Also sets the \
-             run's shard label (shardI/N) unless $(b,--shard-label) is \
-             given.")
+            "Run only this shard index in [0, shards) in-process (no \
+             coordinator fork).  Also sets the run's shard label (shardI/N) \
+             unless $(b,--shard-label) is given.")
   in
   let ledger =
     Arg.(
@@ -1742,7 +1943,55 @@ let obs_cmd =
           $ baseline_pos $ current_pos $ threshold_arg $ noise_floor_arg
           $ normalize_arg);
       cmd "runs" "List the run registry (--obs-dir / HETARCH_OBS_DIR)"
-        Term.(const (fun limit () -> run_obs_runs limit) $ limit_arg);
+        Term.(
+          const (fun limit prune () -> run_obs_runs limit prune)
+          $ limit_arg
+          $ Arg.(
+              value & flag
+              & info [ "prune" ]
+                  ~doc:
+                    "First compact index.jsonl down to entries whose \
+                     snapshot file still exists (hand-deleted snapshots \
+                     leave dangling lines); the rewrite is atomic"));
+      cmd "trace-merge"
+        "Union per-process Chrome-trace JSONL files into one clock-aligned \
+         timeline (order-independent, idempotent)"
+        Term.(
+          const (fun files out check () -> run_obs_trace_merge files out check)
+          $ Arg.(
+              non_empty & pos_all file []
+              & info [] ~docv:"TRACE"
+                  ~doc:"Trace JSONL files written by --trace")
+          $ out_arg
+          $ Arg.(
+              value & flag
+              & info [ "check" ]
+                  ~doc:
+                    "Exit 1 when any merged trace references a parent span \
+                     that is not among the merged sources (an incomplete \
+                     fleet)"));
+      cmd "monitor"
+        "Live fleet view: tail every run's telemetry stream under the \
+         registry with rate/ETA/stall detection"
+        Term.(
+          const (fun once interval stall () -> run_obs_monitor once interval stall)
+          $ Arg.(
+              value & flag
+              & info [ "once" ]
+                  ~doc:
+                    "Render one scan as machine-readable JSON (one \
+                     hetarch.monitor/1 object per line) and exit")
+          $ Arg.(
+              value & opt float 2.0
+              & info [ "interval" ] ~docv:"SEC"
+                  ~doc:"Refresh period of the live view (default 2)")
+          $ Arg.(
+              value
+              & opt float Obs.Monitor.default_stall_factor
+              & info [ "stall-factor" ] ~docv:"K"
+                  ~doc:
+                    "Flag a stream as stalled after K x its own telemetry \
+                     interval without a heartbeat (default 5)"));
       cmd "show" "Render a run snapshot or merged fleet view"
         Term.(const (fun r () -> run_obs_show r) $ run_ref_pos);
       cmd "merge"

@@ -488,3 +488,73 @@ let csv stats =
 let write_csv ~path stats =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (csv stats))
+
+(* -------------------------------------------------------------- fleet -- *)
+
+(* Coordinator-side shard forking: re-exec this executable once per shard
+   with a rewritten argv, handing each child the coordinator's trace
+   context so the fleet shares one trace_id and shard spans parent under
+   the coordinator's span.  Re-exec — not in-process fork — because the
+   observability layer holds process-global state (at_exit finalizers,
+   open telemetry sinks, the memoized run id) that a forked image would
+   double-fire or double-write. *)
+
+module Fleet = struct
+  (* Flags whose value names an output file: each shard writes its own,
+     suffixed ".shard<i>", so children never contend for one path. *)
+  let path_flags =
+    [ "--ledger"; "--csv"; "--trace"; "--telemetry"; "--metrics"; "--snapshot" ]
+
+  let shard_argv ~shard argv =
+    let suffix = Printf.sprintf ".shard%d" shard in
+    let rec rewrite = function
+      | [] -> []
+      | flag :: value :: rest when List.mem flag path_flags ->
+          flag :: (value ^ suffix) :: rewrite rest
+      | arg :: rest -> (
+          (* "--flag=value" spelling of the same path flags. *)
+          match String.index_opt arg '=' with
+          | Some i when List.mem (String.sub arg 0 i) path_flags ->
+              (arg ^ suffix) :: rewrite rest
+          | _ -> arg :: rewrite rest)
+    in
+    rewrite (Array.to_list argv) @ [ "--shard"; string_of_int shard ]
+
+  (* The child's environment: drop the coordinator's own run-id pin and
+     trace parent (a child inheriting HETARCH_RUN_ID would collide with
+     its siblings), then install the coordinator's context as the parent. *)
+  let child_env ~trace_parent env =
+    let keep e =
+      not
+        (String.length e >= 15 && String.sub e 0 15 = "HETARCH_RUN_ID="
+        || String.length e >= 21 && String.sub e 0 21 = "HETARCH_TRACE_PARENT=")
+    in
+    Array.append
+      (Array.of_list (List.filter keep (Array.to_list env)))
+      [| "HETARCH_TRACE_PARENT=" ^ trace_parent |]
+
+  (* Fork every shard, then wait in shard order.  Child stdout goes to
+     /dev/null — shards re-run the coordinator's command line, and two
+     processes interleaving result tables on one terminal helps nobody;
+     stderr (progress, warnings) passes through.  Returns per-shard exit
+     codes (128+signal for a signalled child). *)
+  let spawn_shards ~shards ~trace_parent argv =
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close devnull)
+      (fun () ->
+        let env = child_env ~trace_parent (Unix.environment ()) in
+        let pids =
+          List.init shards (fun shard ->
+              let args = Array.of_list (shard_argv ~shard argv) in
+              Unix.create_process_env Sys.executable_name args env Unix.stdin
+                devnull Unix.stderr)
+        in
+        List.map
+          (fun pid ->
+            let _, status = Unix.waitpid [] pid in
+            match status with
+            | Unix.WEXITED c -> c
+            | Unix.WSIGNALED s | Unix.WSTOPPED s -> 128 + s)
+          pids)
+end

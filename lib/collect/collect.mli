@@ -177,3 +177,33 @@ val csv : stat list -> string
     resumed and uninterrupted campaigns render identically. *)
 
 val write_csv : path:string -> stat list -> unit
+
+(** Coordinator-side shard forking for [collect --shards N]: re-exec this
+    executable once per shard with a rewritten argv, handing each child
+    the coordinator's trace context ([HETARCH_TRACE_PARENT]) so the fleet
+    shares one trace_id and shard spans parent under the coordinator's
+    span.  Re-exec rather than in-process fork: the observability layer
+    holds process-global state ([at_exit] finalizers, open telemetry
+    sinks, the memoized run id) a forked image would double-fire. *)
+module Fleet : sig
+  val path_flags : string list
+  (** Flags whose value names an output file; each shard's copy is
+      suffixed [".shard<i>"] so children never contend for one path. *)
+
+  val shard_argv : shard:int -> string array -> string list
+  (** The child command line: [argv] with every {!path_flags} value (both
+      ["--flag value"] and ["--flag=value"] spellings) suffixed, plus
+      ["--shard <i>"] appended. *)
+
+  val child_env : trace_parent:string -> string array -> string array
+  (** The child environment: the parent's minus any [HETARCH_RUN_ID] and
+      [HETARCH_TRACE_PARENT] bindings (a child inheriting the
+      coordinator's run-id pin would collide with its siblings), plus
+      [HETARCH_TRACE_PARENT=trace_parent]. *)
+
+  val spawn_shards : shards:int -> trace_parent:string -> string array -> int list
+  (** Fork all [shards] children, wait for each, and return exit codes in
+      shard order (128+signal for a signalled child).  Child stdout goes
+      to [/dev/null] — shards re-run the coordinator's command line and
+      interleaved result tables help nobody; stderr passes through. *)
+end

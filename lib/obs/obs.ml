@@ -271,6 +271,26 @@ module Json = struct
     | _ -> failwith "Obs.Json.to_float: not a number"
 end
 
+(* Torn-tail-tolerant JSONL fold: blank and unparsable lines — the
+   truncated final record a killed writer leaves behind — are skipped,
+   mirroring the collect ledger's replay.  Shared by the fleet monitor and
+   the offline `obs` readers. *)
+let fold_jsonl path f init =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> acc
+        | line when String.trim line = "" -> go acc
+        | line -> (
+            match Json.parse line with
+            | j -> go (f acc j)
+            | exception Failure _ -> go acc)
+      in
+      go init)
+
 (* ------------------------------------------------------------------- run *)
 
 (* Process-level run identity.  Every observability artifact a process
@@ -306,6 +326,86 @@ module Run = struct
 
   let json () =
     Json.Obj [ ("id", Json.String (id ())); ("shard", Json.String (shard ())) ]
+end
+
+(* --------------------------------------------------------- trace context *)
+
+(* Distributed trace identity, W3C-traceparent style: a 128-bit
+   (trace_id, span_id) pair of 16-hex-digit halves.  A root process mints
+   both from its run id; a child process handed "<trace_id>-<span_id>" (via
+   the HETARCH_TRACE_PARENT environment variable or the --trace-parent
+   flag) keeps the parent's trace_id, records the parent's span_id as
+   parent_span_id, and mints only its own span_id — so every process of a
+   fleet shares one trace_id and the per-process span ids form a tree.
+   The context is stamped into every observability artifact (telemetry
+   records, Chrome-trace metadata, run manifests, snapshots), which is what
+   lets `obs trace-merge` and `obs monitor` correlate a coordinator with
+   the shard children it forked. *)
+
+module Context = struct
+  type t = { trace_id : string; span_id : string; parent_span_id : string }
+
+  let env_var = "HETARCH_TRACE_PARENT"
+
+  let is_id s = String.length s = 16 && String.for_all Run.is_hex s
+
+  let mint ~run_id =
+    { trace_id = Content_hash.of_components [ "hetarch-trace/1"; run_id ];
+      span_id = Content_hash.of_components [ "hetarch-span/1"; run_id ];
+      parent_span_id = "" }
+
+  let child parent ~run_id =
+    { trace_id = parent.trace_id;
+      span_id = Content_hash.of_components [ "hetarch-span/1"; run_id ];
+      parent_span_id = parent.span_id }
+
+  let to_string c = c.trace_id ^ "-" ^ c.span_id
+
+  let of_string s =
+    if String.length s = 33 && s.[16] = '-' then begin
+      let t = String.sub s 0 16 and sp = String.sub s 17 16 in
+      if is_id t && is_id sp then
+        Some { trace_id = t; span_id = sp; parent_span_id = "" }
+      else None
+    end
+    else None
+
+  let parent_override : string option ref = ref None
+  let set_parent s = parent_override := Some s
+
+  let computed =
+    lazy
+      (let inherited =
+         match !parent_override with
+         | Some _ as s -> s
+         | None -> Sys.getenv_opt env_var
+       in
+       match inherited with
+       | None -> mint ~run_id:(Run.id ())
+       | Some s -> (
+           match of_string (String.trim s) with
+           | Some p -> child p ~run_id:(Run.id ())
+           | None ->
+               Printf.eprintf
+                 "hetarch: ignoring malformed trace parent %S (want <16 \
+                  hex>-<16 hex>)\n"
+                 s;
+               mint ~run_id:(Run.id ())))
+
+  let current () = Lazy.force computed
+
+  let fields () =
+    let c = current () in
+    [ ("trace_id", Json.String c.trace_id);
+      ("span_id", Json.String c.span_id);
+      ("parent_span_id", Json.String c.parent_span_id) ]
+
+  (* [Run.json] extended with the trace context — the stamp every document
+     embeds under "run". *)
+  let stamp () =
+    match Run.json () with
+    | Json.Obj kvs -> Json.Obj (kvs @ fields ())
+    | j -> j
 end
 
 (* --------------------------------------------------------------- metrics *)
@@ -479,6 +579,14 @@ module Trace = struct
   }
 
   let t0 = now_ns ()
+
+  (* Wall-clock time at monotonic zero — the clock handshake `obs
+     trace-merge` uses to align per-process timelines.  Each process records
+     the Unix time corresponding to its trace's ts = 0; the merge shifts
+     every process onto the earliest one's axis by the recorded offsets, so
+     alignment is deterministic and independent of merge order. *)
+  let t0_unix = Unix.gettimeofday ()
+
   let capacity = ref 65536
   let ring : span option array ref = ref (Array.make !capacity None)
   let next = ref 0 (* total spans ever recorded *)
@@ -612,7 +720,8 @@ module Trace = struct
         ("tid", Json.Int s.domain);
         ( "args",
           Json.Obj
-            (("depth", Json.Int s.depth)
+            (("trace_id", Json.String (Context.current ()).Context.trace_id)
+            :: ("depth", Json.Int s.depth)
             :: ("path", Json.String s.path)
             :: ("minor_w", Json.Int s.minor_w)
             :: ("promoted_w", Json.Int s.promoted_w)
@@ -625,14 +734,20 @@ module Trace = struct
       ~finally:(fun () -> close_out oc)
       (fun () ->
         (* First line is a Chrome-trace metadata event (ph "M") carrying the
-           run identity; trace readers aggregate "X" events only. *)
+           run identity, trace context, and clock handshake; trace readers
+           aggregate "X" events only. *)
+        let meta_args =
+          match Context.stamp () with
+          | Json.Obj kvs -> Json.Obj (kvs @ [ ("ts0_unix", Json.Float t0_unix) ])
+          | j -> j
+        in
         let meta =
           Json.Obj
             [ ("name", Json.String "hetarch.run");
               ("ph", Json.String "M");
               ("pid", Json.Int 0);
               ("tid", Json.Int 0);
-              ("args", Run.json ()) ]
+              ("args", meta_args) ]
         in
         output_string oc (Json.to_string meta);
         output_char oc '\n';
@@ -820,7 +935,7 @@ end
 
 (* ------------------------------------------------------------- telemetry *)
 
-(* Append-only JSONL heartbeat (schema hetarch.telemetry/3).  Ticks are
+(* Append-only JSONL heartbeat (schema hetarch.telemetry/4).  Ticks are
    driven synchronously from Parallel chunk boundaries and Collect batch
    completions — never from a background thread — so enabling telemetry
    cannot change any result.  Each record carries monotonic elapsed time,
@@ -828,7 +943,10 @@ end
    events/sec follow), GC deltas — including the minor-words allocation
    delta and its words/sec rate (v3) — and, when a campaign has registered
    a progress provider, per-task progress with Wilson half-widths and an
-   ETA at the current rate.  The collect --progress line reads the same
+   ETA at the current rate.  v4 stamps the trace context into "run", adds
+   the throttle interval and live Parallel queue/worker gauges, and marks
+   the closing record with ("final", true) so readers can tell a completed
+   stream from a stalled one.  The collect --progress line reads the same
    [campaign_snapshot] code path. *)
 
 module Telemetry = struct
@@ -867,6 +985,11 @@ module Telemetry = struct
   let prev_minor_words = ref 0.
   let provider : (unit -> task_progress list) option ref = ref None
   let provider_t0 = ref 0L
+
+  (* Set by [disable] around its last emit so the closing record carries
+     ("final", true) — the monitor's clean "stream complete" signal, as
+     opposed to a stream that merely went quiet (stalled). *)
+  let finalizing = ref false
 
   let enabled () = Atomic.get enabled_flag
 
@@ -986,13 +1109,18 @@ module Telemetry = struct
                    match c.c_eta_s with Some e -> Json.Float e | None -> Json.Null);
                   ("task_progress", Json.List (List.map task_json c.c_tasks)) ] ) ]
     in
+    let queue_depth, busy = Parallel.queue_stats () in
     let doc =
       Json.Obj
-        ([ ("schema", Json.String "hetarch.telemetry/3");
-           ("run", Run.json ());
+        ([ ("schema", Json.String "hetarch.telemetry/4");
+           ("run", Context.stamp ());
            ("seq", Json.Int !seq);
            ("elapsed_s", Json.Float elapsed_s);
            ("dt_s", Json.Float dt_s);
+           (* The throttle interval travels with every record so readers
+              (tail, monitor) can judge staleness without out-of-band
+              configuration. *)
+           ("interval_s", Json.Float (Int64.to_float !interval_ns /. 1e9));
            ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) counters));
            ("deltas", Json.Obj (List.map (fun (n, d) -> (n, Json.Int d)) deltas));
            ("rates", Json.Obj rates);
@@ -1002,8 +1130,13 @@ module Telemetry = struct
                  ("major_delta", Json.Int (max 0 (st.Gc.major_collections - pmajor)));
                  ("minor_words_delta", Json.Int minor_words_delta);
                  ("heap_words", Json.Int st.Gc.heap_words);
-                 ("top_heap_words", Json.Int st.Gc.top_heap_words) ] ) ]
-        @ campaign)
+                 ("top_heap_words", Json.Int st.Gc.top_heap_words) ] );
+           ( "parallel",
+             Json.Obj
+               [ ("queue_depth", Json.Int queue_depth);
+                 ("busy_domains", Json.Int busy) ] ) ]
+        @ campaign
+        @ if !finalizing then [ ("final", Json.Bool true) ] else [])
     in
     output_string oc (Json.to_string doc);
     output_char oc '\n';
@@ -1030,8 +1163,11 @@ module Telemetry = struct
         (match !sink with
         | Some oc ->
             (* Final record so the file always ends with the run's last
-               state, then close. *)
-            emit oc (now_ns ());
+               state, marked ("final", true), then close. *)
+            finalizing := true;
+            Fun.protect
+              ~finally:(fun () -> finalizing := false)
+              (fun () -> emit oc (now_ns ()));
             close_out oc
         | None -> ());
         sink := None;
@@ -1225,11 +1361,16 @@ module Report = struct
      plain atomics; snapshot them into gauges whenever a report is cut. *)
   let g_parallel_tasks = Gauge.create "parallel.tasks_total"
   let g_parallel_domains = Gauge.create "parallel.domains_spawned_total"
+  let g_parallel_queue = Gauge.create "parallel.queue_depth"
+  let g_parallel_busy = Gauge.create "parallel.busy_domains"
 
   let snapshot_parallel () =
     let tasks, domains = Parallel.stats () in
     Gauge.set g_parallel_tasks (float_of_int tasks);
-    Gauge.set g_parallel_domains (float_of_int domains)
+    Gauge.set g_parallel_domains (float_of_int domains);
+    let queue, busy = Parallel.queue_stats () in
+    Gauge.set g_parallel_queue (float_of_int queue);
+    Gauge.set g_parallel_busy (float_of_int busy)
 
   (* Free per-run process telemetry: GC counters (Gc.quick_stat reads
      mutator-maintained fields only — no heap traversal), peak heap, and
@@ -1316,8 +1457,8 @@ module Report = struct
         (Trace.summaries ())
     in
     Json.Obj
-      [ ("schema", Json.String "hetarch.obs/4");
-        ("run", Run.json ());
+      [ ("schema", Json.String "hetarch.obs/5");
+        ("run", Context.stamp ());
         ("process", process);
         ("counters", Json.Obj counters);
         ("gauges", Json.Obj gauges);
@@ -1345,11 +1486,13 @@ end
    identity on bytes and the content hash is well-defined. *)
 
 module Snapshot = struct
-  let schema = "hetarch.snapshot/2"
+  let schema = "hetarch.snapshot/3"
 
-  (* v1 (no per-span allocation aggregates) still parses — alloc fields
-     default to zero — so registries recorded before the bump stay
-     readable; serialization always emits v2. *)
+  (* One version back still parses: v2 (no trace context — context fields
+     default to "") and v1 (additionally no per-span allocation aggregates —
+     alloc fields default to zero) both load, so registries recorded before
+     the bumps stay readable; serialization always emits v3. *)
+  let schema_v2 = "hetarch.snapshot/2"
   let schema_v1 = "hetarch.snapshot/1"
 
   type hist = {
@@ -1377,6 +1520,9 @@ module Snapshot = struct
   type t = {
     run_id : string;
     shard : string;
+    trace_id : string;
+    span_id : string;
+    parent_span_id : string;  (* "" for a root (unparented) run *)
     argv : string list;
     started_unix : float;
     wall_seconds : float;
@@ -1406,8 +1552,12 @@ module Snapshot = struct
                 h_max = h.Histogram.hi }))
     in
     let st = Gc.quick_stat () in
+    let ctx = Context.current () in
     { run_id = Run.id ();
       shard = Run.shard ();
+      trace_id = ctx.Context.trace_id;
+      span_id = ctx.Context.span_id;
+      parent_span_id = ctx.Context.parent_span_id;
       argv = Array.to_list Sys.argv;
       started_unix = Run.started_unix;
       wall_seconds = Int64.to_float (Int64.sub (now_ns ()) Trace.t0) /. 1e9;
@@ -1467,6 +1617,9 @@ module Snapshot = struct
         Json.Obj
           [ ("id", Json.String t.run_id);
             ("shard", Json.String t.shard);
+            ("trace_id", Json.String t.trace_id);
+            ("span_id", Json.String t.span_id);
+            ("parent_span_id", Json.String t.parent_span_id);
             ("argv", Json.List (List.map (fun a -> Json.String a) t.argv));
             ("started_unix", Json.Float t.started_unix);
             ("wall_seconds", Json.Float t.wall_seconds);
@@ -1487,7 +1640,7 @@ module Snapshot = struct
   let of_json doc =
     let fail fmt = Printf.ksprintf (fun m -> failwith ("Obs.Snapshot.of_json: " ^ m)) fmt in
     (match Json.member "schema" doc with
-    | Some (Json.String s) when s = schema || s = schema_v1 -> ()
+    | Some (Json.String s) when s = schema || s = schema_v2 || s = schema_v1 -> ()
     | Some (Json.String s) -> fail "schema %s (want %s)" s schema
     | _ -> fail "missing schema");
     let section name =
@@ -1526,9 +1679,13 @@ module Snapshot = struct
         h_min = float_ "min" j;
         h_max = float_ "max" j }
     in
-    (* Alloc fields are absent in v1 documents; default to zero. *)
+    (* Alloc fields are absent in v1 documents; default to zero.  Trace
+       context fields are absent in v1/v2; default to "". *)
     let opt_int name j =
       match Json.member name j with Some (Json.Int i) -> i | _ -> 0
+    in
+    let opt_str name j =
+      match Json.member name j with Some (Json.String s) -> s | _ -> ""
     in
     let agg_of (name, j) =
       ( name,
@@ -1541,6 +1698,9 @@ module Snapshot = struct
     let p = Json.Obj (section "process") in
     { run_id = str "id" run;
       shard = str "shard" run;
+      trace_id = opt_str "trace_id" run;
+      span_id = opt_str "span_id" run;
+      parent_span_id = opt_str "parent_span_id" run;
       argv =
         (match Json.member "argv" run with
         | Some (Json.List xs) ->
@@ -1606,9 +1766,11 @@ end
    processes, so they carry per-source values plus min/max/sum. *)
 
 module Merge = struct
-  let schema = "hetarch.fleet/2"
+  let schema = "hetarch.fleet/3"
 
-  (* v1 fleet documents (sources are v1 snapshots) still flatten. *)
+  (* One version back still flattens: v2 (no trace context) and v1 fleet
+     documents (sources are v1 snapshots) both load. *)
+  let schema_v2 = "hetarch.fleet/2"
   let schema_v1 = "hetarch.fleet/1"
 
   type t = { keyed : (string * Snapshot.t) list }  (* (content_hash, snapshot) *)
@@ -1776,6 +1938,7 @@ module Merge = struct
              Json.Obj
                [ ("run", Json.String s.run_id);
                  ("shard", Json.String s.shard);
+                 ("trace_id", Json.String s.trace_id);
                  ("content_hash", Json.String h);
                  ("started_unix", Json.Float s.started_unix);
                  ("wall_seconds", Json.Float s.wall_seconds);
@@ -1811,11 +1974,12 @@ module Merge = struct
      flattened back to its sources, so merging merged documents is exact. *)
   let of_json doc =
     match Json.member "schema" doc with
-    | Some (Json.String s) when s = schema || s = schema_v1 -> (
+    | Some (Json.String s) when s = schema || s = schema_v2 || s = schema_v1 -> (
         match Json.member "sources" doc with
         | Some (Json.List ss) -> of_snapshots (List.map Snapshot.of_json ss)
         | _ -> failwith "Obs.Merge.of_json: fleet document without sources")
-    | Some (Json.String s) when s = Snapshot.schema || s = Snapshot.schema_v1 ->
+    | Some (Json.String s)
+      when s = Snapshot.schema || s = Snapshot.schema_v2 || s = Snapshot.schema_v1 ->
         of_snapshots [ Snapshot.of_json doc ]
     | _ ->
         failwith
@@ -1835,6 +1999,7 @@ module Registry = struct
   type entry = {
     e_run_id : string;
     e_shard : string;
+    e_trace : string;  (* trace_id; "" for entries recorded before v3 *)
     e_cmd : string;  (* leading non-flag argv words, e.g. "collect uec" *)
     e_file : string;  (* snapshot file name, relative to <dir>/snapshots *)
     e_hash : string;  (* snapshot content hash *)
@@ -1874,6 +2039,7 @@ module Registry = struct
     Json.Obj
       [ ("run_id", Json.String e.e_run_id);
         ("shard", Json.String e.e_shard);
+        ("trace_id", Json.String e.e_trace);
         ("cmd", Json.String e.e_cmd);
         ("file", Json.String e.e_file);
         ("hash", Json.String e.e_hash);
@@ -1888,7 +2054,9 @@ module Registry = struct
     in
     match (str "run_id", str "shard", str "cmd", str "file", str "hash", num "unix") with
     | Some e_run_id, Some e_shard, Some e_cmd, Some e_file, Some e_hash, Some e_unix ->
-        Some { e_run_id; e_shard; e_cmd; e_file; e_hash; e_unix }
+        (* trace_id is absent from pre-v3 index lines; default "". *)
+        let e_trace = Option.value ~default:"" (str "trace_id") in
+        Some { e_run_id; e_shard; e_trace; e_cmd; e_file; e_hash; e_unix }
     | _ -> None
 
   let record ?dir snap =
@@ -1901,6 +2069,7 @@ module Registry = struct
         let e =
           { e_run_id = snap.Snapshot.run_id;
             e_shard = snap.Snapshot.shard;
+            e_trace = snap.Snapshot.trace_id;
             e_cmd = cmd_of_argv snap.Snapshot.argv;
             e_file = file;
             e_hash = Snapshot.content_hash snap;
@@ -1964,6 +2133,55 @@ module Registry = struct
         failwith
           (Printf.sprintf "Obs.Registry.find: run id prefix %s is ambiguous (%s)" prefix
              (String.concat ", " ids))
+
+  (* Live telemetry streams live next to the snapshots: one
+     <run_id>.jsonl per process under <dir>/telemetry.  The monitor scans
+     this directory; a run whose id has reached index.jsonl is finished. *)
+  let telemetry_dir d = Filename.concat d "telemetry"
+
+  let telemetry_sink ?dir run_id =
+    match resolve dir with
+    | None -> None
+    | Some d ->
+        let td = telemetry_dir d in
+        mkdir_p td;
+        Some (Filename.concat td (run_id ^ ".jsonl"))
+
+  let snapshot_exists ?dir e =
+    match resolve dir with
+    | None -> false
+    | Some d -> Sys.file_exists (Filename.concat (snapshots_dir d) e.e_file)
+
+  (* Compact the index down to entries whose snapshot file still exists
+     (hand-deleted snapshots leave dangling lines behind).  The rewrite is
+     atomic — temp file then rename — so a concurrent reader never sees a
+     half-written index.  Returns (kept, dropped). *)
+  let prune ?dir () =
+    match resolve dir with
+    | None -> (0, 0)
+    | Some d ->
+        let all = entries ~dir:d () in
+        let kept, dropped =
+          List.partition (fun e -> snapshot_exists ~dir:d e) all
+        in
+        if dropped <> [] then begin
+          let path = index_path d in
+          let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+          let oc = open_out tmp in
+          (try
+             List.iter
+               (fun e ->
+                 output_string oc (Json.to_string (entry_to_json e));
+                 output_char oc '\n')
+               kept;
+             close_out oc
+           with e ->
+             close_out_noerr oc;
+             (try Sys.remove tmp with Sys_error _ -> ());
+             raise e);
+          Sys.rename tmp path
+        end;
+        (List.length kept, List.length dropped)
 end
 
 (* ----------------------------------------------------------------- trend *)
@@ -2029,6 +2247,367 @@ module Trend = struct
     |> List.sort (fun a b -> compare a.v_metric b.v_metric)
 end
 
+(* --------------------------------------------------------- fleet monitor *)
+
+(* Live fleet view over the registry's telemetry directory: one row per
+   <run_id>.jsonl stream, summarizing the stream's last record.  Reads are
+   torn-tail-tolerant (a stream being appended to mid-record simply yields
+   its previous record), and classification needs no cooperation from the
+   writer beyond the v4 telemetry fields: a stream is Done when its last
+   record carries ("final", true) or its run has reached index.jsonl,
+   Stalled when the file has not been touched for stall_factor × the
+   stream's own declared throttle interval, and Live otherwise. *)
+
+module Monitor = struct
+  type status = Live | Stalled | Done
+
+  type row = {
+    m_file : string;  (* telemetry stream path *)
+    m_run_id : string;
+    m_shard : string;
+    m_trace_id : string;
+    m_parent_span_id : string;
+    m_seq : int;
+    m_elapsed_s : float;
+    m_interval_s : float;  (* writer's declared throttle interval *)
+    m_age_s : float;  (* now - file mtime *)
+    m_final : bool;
+    m_registered : bool;  (* run id present in index.jsonl *)
+    m_shots : int;
+    m_rate : float;  (* campaign shots/s; 0 when no campaign section *)
+    m_rel_halfwidth : float;  (* worst unfinished task; nan when none *)
+    m_eta_s : float option;
+    m_tasks_done : int;
+    m_tasks : int;
+    m_alloc_w_per_s : float;  (* minor words/s over the last tick *)
+    m_queue_depth : int;
+    m_busy_domains : int;
+    m_status : status;
+  }
+
+  let default_stall_factor = 5.
+
+  (* Sub-second throttle intervals would make any scheduling hiccup read as
+     a stall; clamp the staleness window to at least one second. *)
+  let stall_threshold ~stall_factor ~interval_s =
+    stall_factor *. Float.max interval_s 1.0
+
+  let status_string = function
+    | Live -> "live"
+    | Stalled -> "stalled"
+    | Done -> "done"
+
+  let mem_float name j ~default =
+    match Json.member name j with
+    | Some v -> ( try Json.to_float v with Failure _ -> default)
+    | None -> default
+
+  let mem_int name j ~default =
+    match Json.member name j with Some (Json.Int i) -> i | _ -> default
+
+  let mem_str name j ~default =
+    match Json.member name j with Some (Json.String s) -> s | _ -> default
+
+  let row_of_stream ~registered ~stall_factor ~now_unix path last =
+    let run = Option.value ~default:(Json.Obj []) (Json.member "run" last) in
+    let gc = Option.value ~default:(Json.Obj []) (Json.member "gc" last) in
+    let par = Option.value ~default:(Json.Obj []) (Json.member "parallel" last) in
+    let interval_s = mem_float "interval_s" last ~default:1.0 in
+    let dt_s = mem_float "dt_s" last ~default:0.0 in
+    let final = match Json.member "final" last with Some (Json.Bool b) -> b | _ -> false in
+    let age_s = Float.max 0. (now_unix -. (Unix.stat path).Unix.st_mtime) in
+    let shots, rate, eta_s, tasks_done, tasks, worst =
+      match Json.member "campaign" last with
+      | None -> (0, 0., None, 0, 0, nan)
+      | Some c ->
+          let eta =
+            match Json.member "eta_s" c with
+            | Some Json.Null | None -> None
+            | Some v -> ( try Some (Json.to_float v) with Failure _ -> None)
+          in
+          (* Worst (largest) relative half-width over unfinished tasks —
+             the fleet's convergence laggard.  Folded through options so a
+             nan never poisons the comparison. *)
+          let worst =
+            match Json.member "task_progress" c with
+            | Some (Json.List ts) ->
+                List.fold_left
+                  (fun acc t ->
+                    let done_ =
+                      match Json.member "done" t with Some (Json.Bool b) -> b | _ -> false
+                    in
+                    let hw =
+                      match Json.member "rel_halfwidth" t with
+                      | Some (Json.Float f) -> Some f
+                      | Some (Json.Int i) -> Some (float_of_int i)
+                      | _ -> None
+                    in
+                    match (done_, hw, acc) with
+                    | true, _, _ | _, None, _ -> acc
+                    | false, Some h, None -> Some h
+                    | false, Some h, Some a -> Some (Float.max h a))
+                  None ts
+                |> Option.value ~default:nan
+            | _ -> nan
+          in
+          ( mem_int "shots" c ~default:0,
+            mem_float "shots_per_s" c ~default:0.,
+            eta,
+            mem_int "tasks_done" c ~default:0,
+            mem_int "tasks" c ~default:0,
+            worst )
+    in
+    let minor_delta = mem_int "minor_words_delta" gc ~default:0 in
+    let status =
+      if final || registered then Done
+      else if age_s > stall_threshold ~stall_factor ~interval_s then Stalled
+      else Live
+    in
+    { m_file = path;
+      m_run_id = mem_str "id" run ~default:"?";
+      m_shard = mem_str "shard" run ~default:"";
+      m_trace_id = mem_str "trace_id" run ~default:"";
+      m_parent_span_id = mem_str "parent_span_id" run ~default:"";
+      m_seq = mem_int "seq" last ~default:0;
+      m_elapsed_s = mem_float "elapsed_s" last ~default:0.;
+      m_interval_s = interval_s;
+      m_age_s = age_s;
+      m_final = final;
+      m_registered = registered;
+      m_shots = shots;
+      m_rate = rate;
+      m_rel_halfwidth = worst;
+      m_eta_s = eta_s;
+      m_tasks_done = tasks_done;
+      m_tasks = tasks;
+      m_alloc_w_per_s = (if dt_s > 0. then float_of_int minor_delta /. dt_s else 0.);
+      m_queue_depth = mem_int "queue_depth" par ~default:0;
+      m_busy_domains = mem_int "busy_domains" par ~default:0;
+      m_status = status }
+
+  (* One row per stream under <dir>/telemetry, sorted (shard, run_id) so
+     coordinator/shard families group together.  Streams with no complete
+     record yet are skipped — they will appear on the next scan. *)
+  let scan ?(stall_factor = default_stall_factor) ?now_unix ~dir () =
+    let now_unix = match now_unix with Some t -> t | None -> Unix.gettimeofday () in
+    let td = Registry.telemetry_dir dir in
+    if not (Sys.file_exists td && Sys.is_directory td) then []
+    else begin
+      let registered =
+        List.fold_left
+          (fun acc (e : Registry.entry) -> e.Registry.e_run_id :: acc)
+          [] (Registry.entries ~dir ())
+      in
+      Sys.readdir td |> Array.to_list |> List.sort compare
+      |> List.filter_map (fun f ->
+             if not (Filename.check_suffix f ".jsonl") then None
+             else begin
+               let path = Filename.concat td f in
+               let last =
+                 match fold_jsonl path (fun _ j -> Some j) None with
+                 | last -> last
+                 | exception Sys_error _ -> None
+               in
+               Option.map
+                 (fun last ->
+                   let run_id = Filename.chop_suffix f ".jsonl" in
+                   row_of_stream
+                     ~registered:(List.mem run_id registered)
+                     ~stall_factor ~now_unix path last)
+                 last
+             end)
+      |> List.sort (fun a b ->
+             match compare a.m_shard b.m_shard with
+             | 0 -> compare a.m_run_id b.m_run_id
+             | c -> c)
+    end
+
+  let row_json r =
+    Json.Obj
+      [ ("schema", Json.String "hetarch.monitor/1");
+        ("run", Json.String r.m_run_id);
+        ("shard", Json.String r.m_shard);
+        ("trace_id", Json.String r.m_trace_id);
+        ("parent_span_id", Json.String r.m_parent_span_id);
+        ("status", Json.String (status_string r.m_status));
+        ("stalled", Json.Bool (r.m_status = Stalled));
+        ("final", Json.Bool r.m_final);
+        ("registered", Json.Bool r.m_registered);
+        ("seq", Json.Int r.m_seq);
+        ("elapsed_s", Json.Float r.m_elapsed_s);
+        ("age_s", Json.Float r.m_age_s);
+        ("interval_s", Json.Float r.m_interval_s);
+        ("shots", Json.Int r.m_shots);
+        ("shots_per_s", Json.Float r.m_rate);
+        ("rel_halfwidth",
+         if Float.is_nan r.m_rel_halfwidth then Json.Null
+         else Json.Float r.m_rel_halfwidth);
+        ("eta_s", match r.m_eta_s with Some e -> Json.Float e | None -> Json.Null);
+        ("tasks_done", Json.Int r.m_tasks_done);
+        ("tasks", Json.Int r.m_tasks);
+        ("minor_words_per_s", Json.Float r.m_alloc_w_per_s);
+        ("queue_depth", Json.Int r.m_queue_depth);
+        ("busy_domains", Json.Int r.m_busy_domains);
+        ("file", Json.String r.m_file) ]
+end
+
+(* ----------------------------------------------------------- trace merge *)
+
+(* Cross-process union of Chrome-trace JSONL files into one timeline.
+   Each input's ph:"M" "hetarch.run" metadata event carries ts0_unix — the
+   wall-clock instant of that process's monotonic zero — so per-process
+   clocks align by shifting every event onto the earliest process's axis:
+   shifted_ts = ts + (ts0_unix - min ts0_unix) × 1e6 µs.  The minimum is
+   order-independent, sources are deduplicated by content hash and sorted
+   canonically (run id, then hash), and each source gets pid = its
+   canonical index + 1 — so the merged bytes are identical for any input
+   ordering and merging a merge's inputs again changes nothing. *)
+
+module Trace_merge = struct
+  type source = {
+    s_run_id : string;
+    s_shard : string;
+    s_trace_id : string;
+    s_span_id : string;
+    s_parent_span_id : string;
+    s_ts0_unix : float;
+    s_meta_args : (string * Json.t) list;
+    s_events : Json.t list;  (* non-metadata events, file order *)
+    s_hash : string;  (* content hash of the raw input text *)
+  }
+
+  type stats = {
+    sources : int;
+    events : int;
+    orphans : string list;  (* parent span ids with no source in the merge *)
+  }
+
+  let mem_str name j ~default =
+    match Json.member name j with Some (Json.String s) -> s | _ -> default
+
+  let parse_source text =
+    let lines = String.split_on_char '\n' text in
+    let meta, events =
+      List.fold_left
+        (fun (meta, events) line ->
+          if String.trim line = "" then (meta, events)
+          else
+            match Json.parse line with
+            | exception Failure _ -> (meta, events)  (* torn tail *)
+            | j ->
+                let is_meta =
+                  mem_str "ph" j ~default:"" = "M"
+                  && mem_str "name" j ~default:"" = "hetarch.run"
+                in
+                if is_meta && meta = None then (Some j, events)
+                else (meta, j :: events))
+        (None, []) lines
+    in
+    match meta with
+    | None -> failwith "Obs.Trace_merge: input has no hetarch.run metadata event"
+    | Some m ->
+        let args = Option.value ~default:(Json.Obj []) (Json.member "args" m) in
+        let meta_kvs = match args with Json.Obj kvs -> kvs | _ -> [] in
+        { s_run_id = mem_str "id" args ~default:"?";
+          s_shard = mem_str "shard" args ~default:"";
+          s_trace_id = mem_str "trace_id" args ~default:"";
+          s_span_id = mem_str "span_id" args ~default:"";
+          s_parent_span_id = mem_str "parent_span_id" args ~default:"";
+          s_ts0_unix =
+            (match Json.member "ts0_unix" args with
+            | Some v -> ( try Json.to_float v with Failure _ -> 0.)
+            | None -> 0.);
+          s_meta_args = meta_kvs;
+          s_events = List.rev events;
+          s_hash = Content_hash.hash_hex text }
+
+  let set_field key value kvs =
+    if List.mem_assoc key kvs then
+      List.map (fun (k, v) -> if k = key then (k, value) else (k, v)) kvs
+    else kvs @ [ (key, value) ]
+
+  let merge texts =
+    let srcs = List.map parse_source texts in
+    (* Canonical source order, duplicates (by raw content) removed. *)
+    let seen = Hashtbl.create 8 in
+    let srcs =
+      List.filter
+        (fun s ->
+          if Hashtbl.mem seen s.s_hash then false
+          else begin
+            Hashtbl.add seen s.s_hash ();
+            true
+          end)
+        srcs
+      |> List.sort (fun a b ->
+             match compare a.s_run_id b.s_run_id with
+             | 0 -> compare a.s_hash b.s_hash
+             | c -> c)
+    in
+    let zero =
+      List.fold_left (fun acc s -> Float.min acc s.s_ts0_unix) infinity srcs
+    in
+    let span_ids = List.map (fun s -> s.s_span_id) srcs in
+    let orphans =
+      List.filter_map
+        (fun s ->
+          if s.s_parent_span_id <> "" && not (List.mem s.s_parent_span_id span_ids)
+          then Some s.s_parent_span_id
+          else None)
+        srcs
+      |> List.sort_uniq compare
+    in
+    let nevents = List.fold_left (fun acc s -> acc + List.length s.s_events) 0 srcs in
+    let buf = Buffer.create 65536 in
+    let emit j =
+      Buffer.add_string buf (Json.to_string j);
+      Buffer.add_char buf '\n'
+    in
+    emit
+      (Json.Obj
+         [ ("name", Json.String "hetarch.trace_merge");
+           ("ph", Json.String "M");
+           ("pid", Json.Int 0);
+           ("tid", Json.Int 0);
+           ( "args",
+             Json.Obj
+               [ ("schema", Json.String "hetarch.tracemerge/1");
+                 ("sources", Json.Int (List.length srcs));
+                 ("ts0_unix", Json.Float (if srcs = [] then 0. else zero)) ] ) ]);
+    List.iteri
+      (fun i s ->
+        let pid = i + 1 in
+        let offset_us = (s.s_ts0_unix -. zero) *. 1e6 in
+        emit
+          (Json.Obj
+             [ ("name", Json.String "hetarch.run");
+               ("ph", Json.String "M");
+               ("pid", Json.Int pid);
+               ("tid", Json.Int 0);
+               ( "args",
+                 Json.Obj
+                   (s.s_meta_args @ [ ("clock_offset_us", Json.Float offset_us) ]) ) ]);
+        List.iter
+          (fun ev ->
+            match ev with
+            | Json.Obj kvs ->
+                let kvs = set_field "pid" (Json.Int pid) kvs in
+                let kvs =
+                  match Json.member "ts" ev with
+                  | Some v -> (
+                      match Json.to_float v with
+                      | ts -> set_field "ts" (Json.Float (ts +. offset_us)) kvs
+                      | exception Failure _ -> kvs)
+                  | None -> kvs
+                in
+                emit (Json.Obj kvs)
+            | j -> emit j)
+          s.s_events)
+      srcs;
+    ( Buffer.contents buf,
+      { sources = List.length srcs; events = nevents; orphans } )
+end
+
 (* Zero values in place rather than dropping registrations: modules hold
    metric handles created at init, and those must stay live in the
    registry across resets. *)
@@ -2063,6 +2642,10 @@ let reset () =
 let () =
   Parallel.task_context :=
     (fun () ->
+      (* Force the trace context in the submitting domain before any fan
+         out: [Context.computed] is a lazy, and concurrent first forces
+         from worker domains racing each other would be unsafe. *)
+      ignore (Context.current ());
       let inherited = !(Domain.DLS.get Trace.stack_key) in
       fun () -> Domain.DLS.get Trace.stack_key := inherited);
   Parallel.on_task_done := (fun () -> Telemetry.tick ())

@@ -51,6 +51,12 @@ module Json : sig
   (** Numeric value of [Int] or [Float]; raises [Failure] otherwise. *)
 end
 
+val fold_jsonl : string -> ('a -> Json.t -> 'a) -> 'a -> 'a
+(** Torn-tail-tolerant fold over a JSONL file: blank and unparsable lines
+    (the truncated final record a killed — or still-writing — process
+    leaves behind) are skipped, mirroring the collect ledger's replay.
+    Raises [Sys_error] if the file cannot be opened. *)
+
 (** Process-level run identity, stamped into every observability artifact
     (run manifests, telemetry records, Chrome-trace exports, snapshots) so
     fleet tooling can correlate the artifacts of one run after the fact. *)
@@ -71,7 +77,62 @@ module Run : sig
   val shard : unit -> string
 
   val json : unit -> Json.t
-  (** [{"id": ..., "shard": ...}] — the stamp embedded in documents. *)
+  (** [{"id": ..., "shard": ...}] — the bare run stamp.  Most documents
+      embed {!Context.stamp} instead, which extends this with the trace
+      context. *)
+end
+
+(** Distributed trace context, W3C-traceparent style: a 128-bit
+    [(trace_id, span_id)] pair of 16-hex-digit halves, minted from the run
+    id at first use — or inherited from the [HETARCH_TRACE_PARENT]
+    environment variable / [--trace-parent] flag, in which case this
+    process keeps the parent's [trace_id], records the parent's [span_id]
+    as [parent_span_id], and mints only its own [span_id].  Every process
+    of a fleet therefore shares one [trace_id] and the per-process span
+    ids form a tree, which is what lets [obs trace-merge] and
+    [obs monitor] correlate a coordinator with the shard children it
+    forked.  The context is stamped into telemetry records, Chrome-trace
+    metadata events, run manifests, and registry snapshots. *)
+module Context : sig
+  type t = {
+    trace_id : string;  (** 16 hex digits, shared fleet-wide *)
+    span_id : string;  (** 16 hex digits, unique per process *)
+    parent_span_id : string;  (** [""] for a root (unparented) process *)
+  }
+
+  val env_var : string
+  (** ["HETARCH_TRACE_PARENT"]. *)
+
+  val mint : run_id:string -> t
+  (** Root context: both halves are content hashes of the run id, so a
+      pinned [HETARCH_RUN_ID] yields a reproducible context. *)
+
+  val child : t -> run_id:string -> t
+  (** Inherit [trace_id], record the parent's [span_id] as
+      [parent_span_id], mint a fresh [span_id] from [run_id]. *)
+
+  val to_string : t -> string
+  (** ["<trace_id>-<span_id>"] — the wire form handed to children. *)
+
+  val of_string : string -> t option
+  (** Parse the wire form; [None] unless exactly [<16 hex>-<16 hex>]. *)
+
+  val set_parent : string -> unit
+  (** Install a parent context string (the [--trace-parent] flag), taking
+      precedence over the environment variable.  Must run before the first
+      {!current} forces the context; later calls have no effect. *)
+
+  val current : unit -> t
+  (** This process's context, computed once on first use: [set_parent]
+      value, else [HETARCH_TRACE_PARENT], else a freshly minted root.  A
+      malformed parent string warns on stderr and falls back to minting. *)
+
+  val fields : unit -> (string * Json.t) list
+  (** [trace_id]/[span_id]/[parent_span_id] as JSON object fields. *)
+
+  val stamp : unit -> Json.t
+  (** {!Run.json} extended with {!fields} — the run stamp every
+      observability document embeds. *)
 end
 
 (** Monotonically increasing integer metric. *)
@@ -192,9 +253,12 @@ module Trace : sig
   val export : path:string -> unit
   (** Write retained spans as JSONL, one Chrome-trace complete event per
       line: [{"name":…,"ph":"X","ts":µs,"dur":µs,"pid":0,"tid":domain,
-      "args":{"depth":…,"path":…,…}}].  [tid] is the recording domain, so
-      Perfetto renders one track per domain; nesting depth and the caller
-      path travel in [args]. *)
+      "args":{"trace_id":…,"depth":…,"path":…,…}}].  [tid] is the
+      recording domain, so Perfetto renders one track per domain; nesting
+      depth and the caller path travel in [args].  The first line is a
+      [ph:"M"] ["hetarch.run"] metadata event carrying {!Context.stamp}
+      plus [ts0_unix] — the wall-clock instant of this process's monotonic
+      zero, the clock handshake {!Trace_merge} aligns timelines with. *)
 end
 
 (** Call-tree profiler over caller-path-keyed span aggregates.
@@ -252,9 +316,14 @@ module Profile : sig
       path); [limit] defaults to 20, [sort] to self time. *)
 end
 
-(** Append-only JSONL telemetry heartbeat, schema [hetarch.telemetry/3]
+(** Append-only JSONL telemetry heartbeat, schema [hetarch.telemetry/4]
     (v2 added the {!Run} stamp to every record; v3 adds the minor-words
-    allocation delta to the [gc] section and a [gc.minor_words_per_s] rate).
+    allocation delta to the [gc] section and a [gc.minor_words_per_s]
+    rate; v4 stamps the trace context into [run], adds [interval_s] — the
+    writer's declared throttle interval, which staleness detectors judge
+    against — a [parallel] section with live [queue_depth]/[busy_domains]
+    gauges, and marks the stream's closing record with [("final", true)]
+    so readers can tell a completed stream from a stalled one).
 
     One record per tick: monotonic elapsed seconds, every counter's value
     and its delta since the previous record (plus derived per-second rates),
@@ -381,8 +450,10 @@ end
 
 (** One-document run manifest: the registry plus span summaries.
 
-    Schema [hetarch.obs/4] (v4 adds per-span-name [minor_w]/[promoted_w]/
-    [major_w] allocation totals): a [run] stamp ({!Run.json}), a [process]
+    Schema [hetarch.obs/5] (v4 added per-span-name [minor_w]/[promoted_w]/
+    [major_w] allocation totals; v5 stamps the trace context into [run]
+    and adds [parallel.queue_depth]/[parallel.busy_domains] gauges): a
+    [run] stamp ({!Context.stamp}), a [process]
     section (GC collection and allocation counters from [Gc.quick_stat],
     peak heap words, wall-clock run seconds), p50/p90/p99 quantile
     estimates on every histogram, and [p50_ns]/[p90_ns]/[p99_ns] per span
@@ -397,7 +468,8 @@ end
 
 (** Complete, versioned, content-hashed serialization of one process's obs
     state — the unit of fleet-scale aggregation (schema
-    [hetarch.snapshot/2]; v1 documents still parse, their absent alloc
+    [hetarch.snapshot/3]; v2 documents still parse with trace-context
+    fields defaulting to [""], and v1 additionally with absent alloc
     fields defaulting to zero).
 
     Where the {!Report} manifest is a human-facing summary with lossy
@@ -440,6 +512,9 @@ module Snapshot : sig
   type t = {
     run_id : string;
     shard : string;
+    trace_id : string;  (** [""] on documents older than v3 *)
+    span_id : string;
+    parent_span_id : string;  (** [""] for a root (unparented) run *)
     argv : string list;
     started_unix : float;
     wall_seconds : float;
@@ -455,6 +530,9 @@ module Snapshot : sig
   }
 
   val schema : string
+
+  val schema_v2 : string
+  (** The pre-trace-context schema string, still accepted by {!of_json}. *)
 
   val schema_v1 : string
   (** The pre-allocation schema string, still accepted by {!of_json}. *)
@@ -479,7 +557,9 @@ module Snapshot : sig
 end
 
 (** Deterministic, order-insensitive union of snapshots into one fleet view
-    (schema [hetarch.fleet/2]; v1 documents still flatten via {!of_json}).
+    (schema [hetarch.fleet/3], whose attribution entries carry each
+    source's [trace_id]; v2 and v1 documents still flatten via
+    {!of_json}).
 
     The merged document embeds its full source snapshots and recomputes
     every aggregate by folding them in a canonical order (run id, then
@@ -496,6 +576,12 @@ module Merge : sig
   type t
 
   val schema : string
+
+  val schema_v2 : string
+  (** The pre-trace-context schema string, still accepted by {!of_json}. *)
+
+  val schema_v1 : string
+  (** The original schema string, still accepted by {!of_json}. *)
 
   val of_snapshots : Snapshot.t list -> t
   val union : t -> t -> t
@@ -522,6 +608,7 @@ module Registry : sig
   type entry = {
     e_run_id : string;
     e_shard : string;
+    e_trace : string;  (** trace_id; [""] on entries recorded before v3 *)
     e_cmd : string;  (** leading non-flag argv words, e.g. ["collect uec"] *)
     e_file : string;  (** snapshot file name relative to [<dir>/snapshots] *)
     e_hash : string;  (** snapshot content hash *)
@@ -552,6 +639,111 @@ module Registry : sig
   val find : ?dir:string -> string -> entry option
   (** Latest entry whose run id starts with the given prefix; [None] on no
       match; raises [Failure] when the prefix matches several run ids. *)
+
+  val telemetry_dir : string -> string
+  (** [<dir>/telemetry] — one [<run_id>.jsonl] live heartbeat stream per
+      process, the directory {!Monitor.scan} watches. *)
+
+  val telemetry_sink : ?dir:string -> string -> string option
+  (** [telemetry_sink run_id] creates the telemetry directory and returns
+      the stream path for [run_id]; [None] when no registry directory is
+      configured. *)
+
+  val snapshot_exists : ?dir:string -> entry -> bool
+  (** Whether the entry's snapshot file is still on disk (hand-deleted
+      snapshots leave dangling index lines behind). *)
+
+  val prune : ?dir:string -> unit -> int * int
+  (** Compact [index.jsonl] down to entries whose snapshot file exists.
+      The rewrite is atomic (temp file + rename).  Returns
+      [(kept, dropped)]; [(0, 0)] without a configured directory. *)
+end
+
+(** Live fleet view over {!Registry.telemetry_dir}: one row per heartbeat
+    stream, summarizing its last complete record (reads are
+    torn-tail-tolerant via {!fold_jsonl}).  Status classification needs no
+    cooperation from the writer beyond the v4 telemetry fields: [Done]
+    when the last record carries [("final", true)] or the run has reached
+    [index.jsonl]; [Stalled] when the file has gone untouched for
+    [stall_factor × max(interval_s, 1 s)] — judged against the stream's
+    {e own} declared throttle interval, not a global constant; [Live]
+    otherwise.  [obs tail] shares this detector. *)
+module Monitor : sig
+  type status = Live | Stalled | Done
+
+  type row = {
+    m_file : string;  (** telemetry stream path *)
+    m_run_id : string;
+    m_shard : string;
+    m_trace_id : string;
+    m_parent_span_id : string;
+    m_seq : int;
+    m_elapsed_s : float;
+    m_interval_s : float;  (** writer's declared throttle interval *)
+    m_age_s : float;  (** now − file mtime *)
+    m_final : bool;
+    m_registered : bool;  (** run id present in [index.jsonl] *)
+    m_shots : int;
+    m_rate : float;  (** campaign shots/s; [0.] without a campaign *)
+    m_rel_halfwidth : float;  (** worst unfinished task; [nan] when none *)
+    m_eta_s : float option;
+    m_tasks_done : int;
+    m_tasks : int;
+    m_alloc_w_per_s : float;  (** minor words/s over the last tick *)
+    m_queue_depth : int;
+    m_busy_domains : int;
+    m_status : status;
+  }
+
+  val default_stall_factor : float
+  (** 5.0 — five missed heartbeats flag a stall. *)
+
+  val stall_threshold : stall_factor:float -> interval_s:float -> float
+  (** [stall_factor × max(interval_s, 1 s)]: the clamp keeps sub-second
+      throttle intervals from reading scheduling hiccups as stalls. *)
+
+  val scan :
+    ?stall_factor:float -> ?now_unix:float -> dir:string -> unit -> row list
+  (** One row per stream with at least one complete record, sorted
+      [(shard, run_id)] so coordinator/shard families group together.
+      [now_unix] pins the staleness clock (tests). *)
+
+  val status_string : status -> string
+  (** ["live"] / ["stalled"] / ["done"]. *)
+
+  val row_json : row -> Json.t
+  (** Machine-readable row, schema [hetarch.monitor/1] — the
+      [obs monitor --once] output format. *)
+end
+
+(** Cross-process union of Chrome-trace JSONL files into one timeline.
+
+    Each input's [ph:"M"] ["hetarch.run"] metadata event carries
+    [ts0_unix] — the wall-clock instant of that process's monotonic
+    zero — so per-process clocks align by shifting every event onto the
+    earliest process's axis: [ts' = ts + (ts0_unix − min ts0_unix) × 1e6]
+    µs.  The minimum is order-independent, sources are deduplicated by
+    content hash and sorted canonically (run id, then hash), and each
+    source is assigned [pid = canonical index + 1] — so the merged bytes
+    are identical for any input ordering, and merging a merge's inputs
+    again changes nothing.  The output opens with a
+    ["hetarch.trace_merge"] metadata event (schema [hetarch.tracemerge/1])
+    followed by each source's re-emitted metadata event (with its
+    [clock_offset_us]) and shifted span events. *)
+module Trace_merge : sig
+  type stats = {
+    sources : int;  (** after deduplication *)
+    events : int;  (** non-metadata events emitted *)
+    orphans : string list;
+        (** parent span ids referenced by some source but not present among
+            the merged sources' span ids — a shard merged without its
+            coordinator *)
+  }
+
+  val merge : string list -> string * stats
+  (** [merge texts] unions raw trace-file contents into one JSONL
+      timeline.  Torn trailing lines in the inputs are skipped; raises
+      [Failure] if an input has no ["hetarch.run"] metadata event. *)
 end
 
 (** Trend-based regression watchdog over registry history.

@@ -32,6 +32,17 @@ let tasks_total = Atomic.make 0
 let domains_spawned_total = Atomic.make 0
 let stats () = (Atomic.get tasks_total, Atomic.get domains_spawned_total)
 
+(* Live queue/worker gauges for fleet monitoring: [queue_remaining] counts
+   submitted-but-unclaimed tasks across every in-flight [run];
+   [busy_domains] counts domains currently executing tasks (including the
+   submitting domain while it works its own share).  Both are advisory
+   instantaneous values — telemetry samples them mid-run via the
+   [on_task_done] hook — and both return to zero when every [run] exits,
+   including on the exception path. *)
+let queue_remaining = Atomic.make 0
+let busy_domains = Atomic.make 0
+let queue_stats () = (Atomic.get queue_remaining, Atomic.get busy_domains)
+
 (* Upward hooks (installed by lib/obs, which sits above this library).
 
    [task_context] is called once in the submitting domain per [run]; the
@@ -63,38 +74,65 @@ let run ?jobs:requested tasks =
   ignore (Atomic.fetch_and_add tasks_total n);
   let j = max 1 (min (match requested with Some j -> j | None -> jobs ()) n) in
   if n = 0 then [||]
-  else if j = 1 then
-    Array.map
-      (fun f ->
-        let v = f () in
-        !on_task_done ();
-        v)
-      tasks
   else begin
-    let results = Array.make n None in
-    let error = Atomic.make None in
-    let next = Atomic.make 0 in
-    let setup = !task_context () in
-    let worker () =
-      setup ();
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get error <> None then continue := false
-        else
-          match tasks.(i) () with
-          | v ->
-              results.(i) <- Some v;
-              !on_task_done ()
-          | exception e -> ignore (Atomic.compare_and_set error None (Some e))
-      done
+    ignore (Atomic.fetch_and_add queue_remaining n);
+    let claimed = Atomic.make 0 in
+    (* Tasks abandoned by an error abort were never individually
+       decremented; remove this run's whole unclaimed remainder so the
+       gauge returns to its pre-run level on every exit path. *)
+    let drain_queue () =
+      ignore (Atomic.fetch_and_add queue_remaining (Atomic.get claimed - n))
     in
-    ignore (Atomic.fetch_and_add domains_spawned_total (j - 1));
-    let domains = Array.init (j - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
-    (match Atomic.get error with Some e -> raise e | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
+    let claim () =
+      Atomic.incr claimed;
+      Atomic.decr queue_remaining
+    in
+    if j = 1 then begin
+      Atomic.incr busy_domains;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.decr busy_domains;
+          drain_queue ())
+        (fun () ->
+          Array.map
+            (fun f ->
+              claim ();
+              let v = f () in
+              !on_task_done ();
+              v)
+            tasks)
+    end
+    else begin
+      let results = Array.make n None in
+      let error = Atomic.make None in
+      let next = Atomic.make 0 in
+      let setup = !task_context () in
+      let worker () =
+        setup ();
+        Atomic.incr busy_domains;
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n || Atomic.get error <> None then continue := false
+          else begin
+            claim ();
+            match tasks.(i) () with
+            | v ->
+                results.(i) <- Some v;
+                !on_task_done ()
+            | exception e -> ignore (Atomic.compare_and_set error None (Some e))
+          end
+        done;
+        Atomic.decr busy_domains
+      in
+      ignore (Atomic.fetch_and_add domains_spawned_total (j - 1));
+      let domains = Array.init (j - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      drain_queue ();
+      (match Atomic.get error with Some e -> raise e | None -> ());
+      Array.map (function Some v -> v | None -> assert false) results
+    end
   end
 
 let map ?jobs f xs = run ?jobs (Array.map (fun x () -> f x) xs)

@@ -55,6 +55,13 @@ val monte_carlo_count :
 val stats : unit -> int * int
 (** [(tasks_run, domains_spawned)] process totals, for observability. *)
 
+val queue_stats : unit -> int * int
+(** [(queue_remaining, busy_domains)] instantaneous gauges: tasks submitted
+    to in-flight {!run} calls but not yet claimed by a domain, and domains
+    currently executing tasks (the submitting domain counts while it works
+    its own share).  Telemetry samples these mid-run; both return to zero
+    once every [run] exits, including on the exception path. *)
+
 val task_context : (unit -> unit -> unit) ref
 (** Upward hook for layers above this library (installed by [Obs]).  Called
     once in the submitting domain per {!run}; the returned closure is called

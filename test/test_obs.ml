@@ -228,8 +228,8 @@ let test_report_process_section () =
   Obs.reset ();
   ignore (Sys.opaque_identity (Array.init 10_000 (fun i -> float_of_int i)));
   let doc = Obs.Json.parse (Obs.Json.to_string (Obs.Report.to_json ())) in
-  Alcotest.(check bool) "schema v4" true
-    (Obs.Json.member "schema" doc = Some (Obs.Json.String "hetarch.obs/4"));
+  Alcotest.(check bool) "schema v5" true
+    (Obs.Json.member "schema" doc = Some (Obs.Json.String "hetarch.obs/5"));
   (* every manifest carries the run stamp for fleet attribution *)
   let run = Option.get (Obs.Json.member "run" doc) in
   Alcotest.(check bool) "run id is 16 hex digits" true

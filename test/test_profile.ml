@@ -233,7 +233,7 @@ let test_telemetry_deltas_across_reset () =
                 (Printf.sprintf "record %d schema" i)
                 true
                 (Obs.Json.member "schema" r
-                = Some (Obs.Json.String "hetarch.telemetry/3"));
+                = Some (Obs.Json.String "hetarch.telemetry/4"));
               Alcotest.(check bool)
                 (Printf.sprintf "record %d run stamp" i)
                 true

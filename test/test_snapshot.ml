@@ -47,6 +47,9 @@ let snap ?(run_id = "00000000000000aa") ?(shard = "") ?(counters = [])
     ?(gauges = []) ?(histograms = []) ?(spans = []) () =
   { Obs.Snapshot.run_id;
     shard;
+    trace_id = "0123456789abcdef";
+    span_id = "fedcba9876543210";
+    parent_span_id = "";
     argv = [ "hetarch"; "collect"; "threshold"; "--seed"; "7" ];
     started_unix = 1723100000.;
     wall_seconds = 1.5;
@@ -107,15 +110,16 @@ let test_write_load () =
 (* Pinned vectors: a serialization or hash change must be a deliberate
    schema bump, not an accident — these fail loudly on drift. *)
 let test_pinned_content_hash () =
-  Alcotest.(check string) "pinned content hash" "3f1e7a17705c5c2a"
+  Alcotest.(check string) "pinned content hash" "ba6040ca0402385d"
     (Obs.Snapshot.content_hash fixed);
   let empty = snap ~run_id:"00000000000000bb" () in
-  Alcotest.(check string) "pinned empty-snapshot hash" "ae6a5629ae95360d"
+  Alcotest.(check string) "pinned empty-snapshot hash" "c916c79e831f0b30"
     (Obs.Snapshot.content_hash empty)
 
-(* v1 snapshots predate allocation accounting: their span/path aggregates
-   carry no minor_w/promoted_w/major_w members and the schema string is one
-   bump older.  They must still parse, with the alloc fields defaulting 0. *)
+(* Older snapshots must still parse.  v2 predates trace-context propagation
+   (no trace_id/span_id/parent_span_id in the run section); v1 additionally
+   predates allocation accounting (no minor_w/promoted_w/major_w in the
+   span/path aggregates).  Missing members default to ""/0. *)
 let replace ~sub ~by s =
   let buf = Buffer.create (String.length s) in
   let n = String.length sub in
@@ -133,10 +137,31 @@ let replace ~sub ~by s =
   Buffer.add_substring buf s !i (String.length s - !i);
   Buffer.contents buf
 
+let strip_trace =
+  replace
+    ~sub:
+      "\"trace_id\":\"0123456789abcdef\",\"span_id\":\"fedcba9876543210\",\"parent_span_id\":\"\","
+    ~by:""
+
+let test_v2_parse_defaults_trace () =
+  let v2 =
+    to_string fixed
+    |> replace ~sub:"\"hetarch.snapshot/3\"" ~by:"\"hetarch.snapshot/2\""
+    |> strip_trace
+  in
+  let s = Obs.Snapshot.of_json (Obs.Json.parse v2) in
+  Alcotest.(check string) "v2 trace_id defaults to empty" ""
+    s.Obs.Snapshot.trace_id;
+  Alcotest.(check string) "v2 span_id defaults to empty" ""
+    s.Obs.Snapshot.span_id;
+  Alcotest.(check bool) "v2 spans parse with alloc intact" true
+    (s.Obs.Snapshot.spans = [ ("s.run", 3, 900L, 450, 30, 12) ])
+
 let test_v1_parse_defaults_alloc () =
   let v1 =
     to_string fixed
-    |> replace ~sub:"\"hetarch.snapshot/2\"" ~by:"\"hetarch.snapshot/1\""
+    |> replace ~sub:"\"hetarch.snapshot/3\"" ~by:"\"hetarch.snapshot/1\""
+    |> strip_trace
     |> replace ~sub:",\"major_w\":12" ~by:""
     |> replace ~sub:"\"minor_w\":450," ~by:""
     |> replace ~sub:",\"promoted_w\":30" ~by:""
@@ -419,6 +444,8 @@ let () =
           Alcotest.test_case "live capture" `Quick test_capture_roundtrip;
           Alcotest.test_case "write/load" `Quick test_write_load;
           Alcotest.test_case "pinned hashes" `Quick test_pinned_content_hash;
+          Alcotest.test_case "v2 parse leniency" `Quick
+            test_v2_parse_defaults_trace;
           Alcotest.test_case "v1 parse leniency" `Quick
             test_v1_parse_defaults_alloc ] );
       ( "merge",

@@ -77,7 +77,8 @@ let () =
       "hetarch span-record";
       "hetarch telemetry-snapshot";
       "hetarch obs-snapshot-write";
-      "hetarch obs-merge" ]
+      "hetarch obs-merge";
+      "hetarch obs-monitor-once" ]
   in
   let recorded =
     List.filter_map
