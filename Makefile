@@ -15,7 +15,7 @@
 DUNE ?= dune
 SMOKE_ARTIFACTS ?=
 
-.PHONY: all build test bench ci jobs-smoke collect-smoke obs-smoke obs-merge-smoke monitor-smoke cache-smoke decode-smoke alloc-smoke clean
+.PHONY: all build test bench ci jobs-smoke collect-smoke obs-smoke obs-merge-smoke monitor-smoke cache-smoke decode-smoke alloc-smoke serve-smoke clean
 
 all: build
 
@@ -291,7 +291,87 @@ alloc-smoke: build
 	  || { echo "alloc-smoke: flame root total $$root vs process minor words $$proc: off by >1%"; exit 1; }; } && \
 	echo "alloc-smoke: zero-alloc decode proven to d=9; alloc flamegraph jobs-invariant, reconciles within 1% ($$root vs $$proc words)"
 
-ci: build test jobs-smoke collect-smoke obs-smoke obs-merge-smoke monitor-smoke cache-smoke decode-smoke alloc-smoke
+# The serve daemon contract, end to end: 8 concurrent clients over 3
+# distinct queries must coalesce (single-flight dedup counter > 0), a
+# second wave must be answered from the warm response store (warm-hit
+# counters > 0), and identical requests must receive byte-identical
+# response bodies — within a wave, across waves, and recomputed cold by a
+# daemon running at a different --jobs.  Shutdown is exercised both ways
+# (the shutdown control query and SIGTERM), and both daemons must leave
+# valid registry artifacts: one snapshot each, telemetry streams closed
+# with exactly one final record.  Clients run the built binary directly:
+# concurrent `dune exec` processes race on the build lock.
+serve-smoke: build
+	@d=$$(mktemp -d) && \
+	trap 'rc=$$?; [ -n "$$spid" ] && kill $$spid 2>/dev/null; \
+	     if [ $$rc -ne 0 ] && [ -n "$(SMOKE_ARTIFACTS)" ]; then \
+	       mkdir -p "$(SMOKE_ARTIFACTS)" && cp -r "$$d" "$(SMOKE_ARTIFACTS)/serve-smoke"; fi; \
+	     rm -rf "$$d"; exit $$rc' EXIT && \
+	bin=$$PWD/_build/default/bin/main.exe && \
+	q0='{"kind":"threshold","distance":5,"shots":80000,"seed":7}' && \
+	q1='{"kind":"uec","code":"SC3","shots":100000,"seed":7}' && \
+	q2='{"kind":"distill","shots":4000,"seed":7}' && \
+	{ $$bin serve --socket $$d/serve.sock --cache-dir $$d/cache --obs-dir $$d/obs \
+	    --jobs 2 2> $$d/serve.err & spid=$$!; } && \
+	pids= && \
+	for i in 0 1 2 3 4 5 6 7; do \
+	  case $$((i % 3)) in 0) q="$$q0";; 1) q="$$q1";; *) q="$$q2";; esac; \
+	  $$bin query --socket $$d/serve.sock --retry-for 15 "$$q" > $$d/w1.$$i & \
+	  pids="$$pids $$!"; \
+	done; \
+	for p in $$pids; do wait $$p \
+	  || { echo "serve-smoke: wave-1 client failed"; exit 1; }; done && \
+	$$bin query --socket $$d/serve.sock '{"kind":"stats"}' > $$d/stats1.json && \
+	co=$$(grep -o '"serve.coalesced_total":[0-9]*' $$d/stats1.json | cut -d: -f2) && \
+	{ [ "$$co" -gt 0 ] \
+	  || { echo "serve-smoke: no coalesced requests (single-flight dedup never fired)"; \
+	       cat $$d/stats1.json; exit 1; }; } && \
+	pids= && \
+	for i in 0 1 2 3 4 5 6 7; do \
+	  case $$((i % 3)) in 0) q="$$q0";; 1) q="$$q1";; *) q="$$q2";; esac; \
+	  $$bin query --socket $$d/serve.sock "$$q" > $$d/w2.$$i & \
+	  pids="$$pids $$!"; \
+	done; \
+	for p in $$pids; do wait $$p \
+	  || { echo "serve-smoke: wave-2 client failed"; exit 1; }; done && \
+	$$bin query --socket $$d/serve.sock '{"kind":"stats"}' > $$d/stats2.json && \
+	wm=$$(grep -o '"serve.warm_memory_hits_total":[0-9]*' $$d/stats2.json | cut -d: -f2) && \
+	{ [ "$$wm" -gt 0 ] \
+	  || { echo "serve-smoke: second wave produced no warm-store hits"; \
+	       cat $$d/stats2.json; exit 1; }; } && \
+	for k in 0 1 2; do \
+	  files=; for i in 0 1 2 3 4 5 6 7; do \
+	    [ $$((i % 3)) -eq $$k ] && files="$$files $$d/w1.$$i $$d/w2.$$i"; done; \
+	  n=$$(cat $$files | sort -u | wc -l); \
+	  [ "$$n" -eq 1 ] \
+	    || { echo "serve-smoke: query $$k bodies not byte-identical across clients/waves"; exit 1; }; \
+	done && \
+	$$bin query --socket $$d/serve.sock '{"kind":"shutdown"}' > /dev/null && \
+	{ wait $$spid \
+	  || { echo "serve-smoke: daemon exited nonzero after shutdown query"; exit 1; }; } && \
+	spid= && \
+	{ $$bin serve --socket $$d/serve2.sock --obs-dir $$d/obs --jobs 1 \
+	    2>> $$d/serve.err & spid=$$!; } && \
+	for k in 0 1 2; do \
+	  case $$k in 0) q="$$q0";; 1) q="$$q1";; *) q="$$q2";; esac; \
+	  $$bin query --socket $$d/serve2.sock --retry-for 15 "$$q" > $$d/cold.$$k \
+	    || { echo "serve-smoke: cold recompute client failed"; exit 1; }; \
+	  diff -u $$d/w1.$$k $$d/cold.$$k > /dev/null \
+	    || { echo "serve-smoke: --jobs 1 cold recompute differs from --jobs 2 body (query $$k)"; \
+	         diff -u $$d/w1.$$k $$d/cold.$$k; exit 1; }; \
+	done && \
+	kill -TERM $$spid && \
+	{ wait $$spid \
+	  || { echo "serve-smoke: daemon exited nonzero on SIGTERM"; exit 1; }; } && \
+	spid= && \
+	{ [ "$$(wc -l < $$d/obs/index.jsonl)" -eq 2 ] \
+	  || { echo "serve-smoke: expected 2 registry entries (one per daemon)"; \
+	       cat $$d/obs/index.jsonl; exit 1; }; } && \
+	{ [ "$$(cat $$d/obs/telemetry/*.jsonl | grep -c '"final":true')" -eq 2 ] \
+	  || { echo "serve-smoke: telemetry streams not closed exactly once each"; exit 1; }; } && \
+	echo "serve-smoke: $$co coalesced, $$wm warm hits; bodies byte-identical across 8 clients, 2 waves, --jobs 1/2; both shutdown paths left valid registry artifacts"
+
+ci: build test jobs-smoke collect-smoke obs-smoke obs-merge-smoke monitor-smoke cache-smoke decode-smoke alloc-smoke serve-smoke
 	$(DUNE) exec bench/main.exe -- --quick
 	$(DUNE) exec tools/check_bench.exe -- BENCH_hetarch.json
 	@$(DUNE) exec bin/main.exe -- obs diff BENCH_baseline.json BENCH_hetarch.json \

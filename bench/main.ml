@@ -307,6 +307,31 @@ let kernel_burden () =
   List.map Burden.reduction
     [ Burden.distillation_module (); Burden.uec_module (); Burden.ct_module () ]
 
+(* `hetarch serve` steady-state request path: parse one request line,
+   normalize and content-hash it, and answer from the warm in-memory
+   response tier — the per-request cost of a warm daemon, excluding socket
+   I/O.  check_bench requires this kernel WITH its minor-words floor: the
+   warm path is the daemon's hot loop, and letting its allocation creep
+   turns a busy server into GC pressure. *)
+let serve_request_line = {|{"kind":"threshold","distance":3,"shots":1024,"seed":1}|}
+
+let serve_fixture =
+  lazy
+    (match Serve.parse_request serve_request_line with
+    | Ok (Serve.Query q) ->
+        Serve.cache_response q (Serve.compute_answer q);
+        q
+    | _ -> assert false)
+
+let kernel_serve_request_warm () =
+  ignore (Lazy.force serve_fixture);
+  match Serve.parse_request serve_request_line with
+  | Ok (Serve.Query q) -> (
+      match Serve.warm_answer q with
+      | Some body -> body
+      | None -> assert false)
+  | _ -> assert false
+
 let tests =
   Test.make_grouped ~name:"hetarch" ~fmt:"%s %s"
     [ Test.make ~name:"table1-devices" (Staged.stage kernel_table1);
@@ -336,6 +361,7 @@ let tests =
       Test.make ~name:"obs-snapshot-write" (Staged.stage kernel_snapshot_write);
       Test.make ~name:"obs-merge" (Staged.stage kernel_obs_merge);
       Test.make ~name:"obs-monitor-once" (Staged.stage kernel_obs_monitor_once);
+      Test.make ~name:"serve-request-warm" (Staged.stage kernel_serve_request_warm);
       Test.make ~name:"dse-burden" (Staged.stage kernel_burden) ]
 
 (* Kernels whose pair carries a min_speedup floor are a *hard* CI gate, and
@@ -406,6 +432,8 @@ let kernel_thunks : (string * (unit -> unit)) list =
     ("hetarch obs-snapshot-write", kernel_snapshot_write);
     ("hetarch obs-merge", fun () -> ignore (kernel_obs_merge ()));
     ("hetarch obs-monitor-once", fun () -> ignore (kernel_obs_monitor_once ()));
+    ( "hetarch serve-request-warm",
+      fun () -> ignore (kernel_serve_request_warm ()) );
     ("hetarch dse-burden", fun () -> ignore (kernel_burden ())) ]
 
 (* Per-kernel allocation floors — the zero-alloc CI gate.  check_bench
@@ -414,7 +442,10 @@ let kernel_thunks : (string * (unit -> unit)) list =
    the fused sample+decode pipeline is budgeted at 64 words per shot. *)
 let alloc_floors =
   [ ("hetarch fig6-decode-d7-batch-steady", 0);
-    ("hetarch fig6-sample-decode-d7-batch", 64 * pair_shots) ]
+    ("hetarch fig6-sample-decode-d7-batch", 64 * pair_shots);
+    (* parse + normalize + hash + memory-tier lookup for one request line;
+       the JSON tree and normalized field list dominate *)
+    ("hetarch serve-request-warm", 2048) ]
 
 let robust_ns f =
   ignore (Sys.opaque_identity (f ()));

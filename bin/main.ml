@@ -2009,8 +2009,94 @@ let obs_cmd =
           $ current_opt_pos $ last_arg $ nmad_arg $ threshold_arg
           $ noise_floor_arg $ gate_arg) ]
 
+(* --------------------------------------------------------------- serve *)
+
+(* Endpoint flags shared by the daemon and the client: a Unix-domain
+   socket path (the default transport) or a loopback-only TCP port, which
+   takes precedence when both are given. *)
+let serve_socket_arg =
+  Arg.(
+    value
+    & opt string "hetarch.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default $(b,hetarch.sock))")
+
+let serve_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on loopback TCP $(docv) instead of a Unix socket")
+
+let serve_endpoint socket port =
+  match port with Some p -> Serve.Tcp p | None -> Serve.Unix_path socket
+
+let run_serve socket port max_queue =
+  if max_queue < 1 then begin
+    prerr_endline "hetarch serve: --max-queue must be >= 1";
+    exit 1
+  end;
+  let endpoint = serve_endpoint socket port in
+  (match endpoint with
+  | Serve.Unix_path path -> Printf.eprintf "hetarch serve: listening on %s\n%!" path
+  | Serve.Tcp p -> Printf.eprintf "hetarch serve: listening on 127.0.0.1:%d\n%!" p);
+  try Serve.run ~max_queue endpoint
+  with Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "hetarch serve: %s(%s): %s\n" fn arg (Unix.error_message e);
+    exit 1
+
+let run_query socket port retry_for body =
+  match Serve.request ~retry_for (serve_endpoint socket port) body with
+  | response -> print_endline response
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "hetarch query: %s(%s): %s\n" fn arg (Unix.error_message e);
+      exit 1
+  | exception Failure msg ->
+      Printf.eprintf "hetarch query: %s\n" msg;
+      exit 1
+
+let serve_term =
+  Term.(
+    const (fun socket port max_queue () -> run_serve socket port max_queue)
+    $ serve_socket_arg $ serve_port_arg
+    $ Arg.(
+        value & opt int 64
+        & info [ "max-queue" ] ~docv:"N"
+            ~doc:
+              "Admission limit: past $(docv) pending unique requests the \
+               daemon answers a structured 429-style rejection instead of \
+               queueing (duplicates of an in-flight request always attach \
+               to it and do not count)"))
+
+let query_term =
+  Term.(
+    const (fun socket port retry body () -> run_query socket port retry body)
+    $ serve_socket_arg $ serve_port_arg
+    $ Arg.(
+        value & opt float 0.
+        & info [ "retry-for" ] ~docv:"SEC"
+            ~doc:
+              "Retry a refused or not-yet-bound socket for up to $(docv) \
+               seconds before failing — absorbs the daemon-startup race in \
+               scripts (default 0: fail fast)")
+    $ Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"JSON"
+            ~doc:
+              "Request body: one JSON object with a $(b,kind) field \
+               (threshold, uec, distill, dse, ping, stats, shutdown)"))
+
 let commands =
   [ cmd "devices" "Table 1: device catalog" Term.(const run_devices);
+    cmd "serve"
+      "Long-running estimation daemon: newline-delimited JSON queries over \
+       a Unix/TCP socket, warm-store answers, single-flight dedup"
+      serve_term;
+    cmd ~record:false "query"
+      "Send one request line to a running hetarch serve daemon and print \
+       the response"
+      query_term;
     cmd "collect"
       "Resumable sample-collection campaign with adaptive stopping"
       collect_term;

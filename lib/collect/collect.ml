@@ -53,6 +53,7 @@ module Task = struct
 
   let kind t = t.kind
   let fields t = t.fields
+  let sample t rng shots = t.sample rng shots
 
   (* "k=v;k=v" in key order, CSV-safe: delimiter characters inside values
      are replaced, never quoted (the column is for humans and plotting

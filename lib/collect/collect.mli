@@ -45,9 +45,23 @@ module Task : sig
   val kind : t -> string
   val fields : t -> (string * string) list
 
+  val sample : t -> Rng.t -> int -> int
+  (** Run the task's sampler directly: [sample t rng shots] is the error
+      count over [shots] fresh shots.  Exposed for single-task consumers
+      (the serve daemon answers one query per request, outside any
+      campaign); the determinism contract of [create]'s [sample] applies
+      unchanged. *)
+
   val params_string : t -> string
   (** Sorted ["k=v;k=v"] rendering with CSV delimiters sanitized. *)
 end
+
+val batch_rng : seed:int -> id:string -> index:int -> Rng.t
+(** The campaign batch RNG: a pure function of (campaign seed, task id,
+    batch index) — the heart of resume determinism.  Exposed so other
+    entry points (the serve daemon) can reproduce exactly the stream a
+    campaign would have used for batch [index] of the task, making their
+    answers byte-comparable with campaign ledgers at the same seed. *)
 
 val shard_of : shards:int -> Task.t -> int
 (** Deterministic shard assignment for multi-process campaigns: the task's

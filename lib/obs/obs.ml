@@ -269,6 +269,12 @@ module Json = struct
     | Int i -> float_of_int i
     | Float f -> f
     | _ -> failwith "Obs.Json.to_float: not a number"
+
+  let to_int = function
+    | Int i -> i
+    | Float f when Float.is_integer f && Float.abs f <= 2. ** 53. ->
+        int_of_float f
+    | _ -> failwith "Obs.Json.to_int: not an integer"
 end
 
 (* Torn-tail-tolerant JSONL fold: blank and unparsable lines — the

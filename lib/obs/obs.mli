@@ -49,6 +49,12 @@ module Json : sig
 
   val to_float : t -> float
   (** Numeric value of [Int] or [Float]; raises [Failure] otherwise. *)
+
+  val to_int : t -> int
+  (** Integer value of [Int], or of a [Float] that is exactly integral
+      (within the 53-bit exact range); raises [Failure] otherwise.  JSON
+      has one number type, so writers that round-trip through floats may
+      deliver integral values as [Float]. *)
 end
 
 val fold_jsonl : string -> ('a -> Json.t -> 'a) -> 'a -> 'a

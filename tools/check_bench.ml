@@ -78,7 +78,8 @@ let () =
       "hetarch telemetry-snapshot";
       "hetarch obs-snapshot-write";
       "hetarch obs-merge";
-      "hetarch obs-monitor-once" ]
+      "hetarch obs-monitor-once";
+      "hetarch serve-request-warm" ]
   in
   let recorded =
     List.filter_map
@@ -95,7 +96,8 @@ let () =
      their allocation floor, or the gate silently evaporates. *)
   let alloc_gated =
     [ "hetarch fig6-decode-d7-batch-steady";
-      "hetarch fig6-sample-decode-d7-batch" ]
+      "hetarch fig6-sample-decode-d7-batch";
+      "hetarch serve-request-warm" ]
   in
   List.iter
     (fun r ->
